@@ -1,0 +1,275 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation on
+   the simulator (the same output as `ltrim experiments`).
+
+   Part 2 runs Bechamel micro-benchmarks: one Test.make per paper table /
+   figure, timing the computational kernel that experiment exercises, plus a
+   group for the minipy substrate. Pass --no-experiments or --no-micro to
+   skip a part. *)
+
+open Bechamel
+open Toolkit
+
+(* --- part 1: experiment tables/figures ----------------------------------- *)
+
+let run_experiments () =
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+       print_string (e.Experiments.Registry.print ());
+       flush stdout)
+    Experiments.Registry.all
+
+(* --- part 2: Bechamel micro-benchmarks ----------------------------------- *)
+
+let tiny = lazy (Workloads.Suite.tiny_app ())
+
+let tiny_trimmed =
+  lazy
+    (let d = Lazy.force tiny in
+     (Trim.Pipeline.run ~options:{ Trim.Pipeline.default_options with k = 1 } d)
+       .Trim.Pipeline.optimized)
+
+let markdown_spec = lazy (Workloads.Apps.find "markdown")
+
+let cold_start d =
+  let sim = Platform.Lambda_sim.create d in
+  Platform.Lambda_sim.invoke sim ~now_s:0.0 ~event:"{\"x\": 1}" ()
+
+let substrate_tests =
+  let source =
+    lazy
+      (Minipy.Vfs.read_exn (Lazy.force tiny).Platform.Deployment.vfs
+         "site-packages/tinylib/__init__.py")
+  in
+  [ Test.make ~name:"lexer.tokenize"
+      (Staged.stage (fun () ->
+           Minipy.Lexer.tokenize ~file:"<b>" (Lazy.force source)));
+    Test.make ~name:"parser.parse"
+      (Staged.stage (fun () ->
+           Minipy.Parser.parse ~file:"<b>" (Lazy.force source)));
+    Test.make ~name:"pretty.print"
+      (Staged.stage
+         (let prog =
+            lazy (Minipy.Parser.parse ~file:"<b>" (Lazy.force source))
+          in
+          fun () -> Minipy.Pretty.program_to_string (Lazy.force prog)));
+    Test.make ~name:"interp.exec_fib"
+      (Staged.stage
+         (let prog =
+            lazy
+              (Minipy.Parser.parse ~file:"<b>"
+                 "def fib(n):\n\
+                 \  if n < 2:\n\
+                 \    return n\n\
+                 \  return fib(n - 1) + fib(n - 2)\n\
+                  r = fib(12)\n")
+          in
+          fun () ->
+            let t = Minipy.Interp.create (Minipy.Vfs.create ()) in
+            Minipy.Interp.exec_main t (Lazy.force prog)));
+    Test.make ~name:"importer.cold_import"
+      (Staged.stage (fun () ->
+           let t =
+             Minipy.Interp.create (Lazy.force tiny).Platform.Deployment.vfs
+           in
+           Minipy.Interp.exec_main t
+             (Minipy.Parser.parse ~file:"<b>" "import tinylib\n"))) ]
+
+(* One kernel per paper table/figure. *)
+let experiment_tests =
+  [ (* Figure 1: a cold start through all four phases *)
+    Test.make ~name:"fig1.cold_start"
+      (Staged.stage (fun () -> cold_start (Lazy.force tiny)));
+    (* Table 1: synthesizing a benchmark application image *)
+    Test.make ~name:"table1.build_app_image"
+      (Staged.stage (fun () ->
+           Workloads.Codegen.deployment (Lazy.force markdown_spec)));
+    (* Figure 2: Eq. 1 billing over a batch of invocations *)
+    Test.make ~name:"fig2.pricing_eq1_x1000"
+      (Staged.stage (fun () ->
+           let acc = ref 0.0 in
+           for i = 1 to 1000 do
+             acc := !acc
+                    +. Platform.Pricing.invocation_cost Platform.Pricing.aws
+                         ~duration_ms:(float_of_int i)
+                         ~memory_mb:(float_of_int (128 + i))
+           done;
+           !acc));
+    (* Figure 8: the full lambda-trim pipeline *)
+    Test.make ~name:"fig8.pipeline_run"
+      (Staged.stage (fun () -> Trim.Pipeline.run (Lazy.force tiny)));
+    (* Table 2: the FaaSLight baseline *)
+    Test.make ~name:"table2.faaslight_optimize"
+      (Staged.stage (fun () -> Baselines.Faaslight.optimize (Lazy.force tiny)));
+    (* Figure 9: profiling + ranking *)
+    Test.make ~name:"fig9.profile_and_rank"
+      (Staged.stage (fun () ->
+           let p = Trim.Profiler.profile (Lazy.force tiny) in
+           Trim.Scoring.rank Trim.Scoring.Combined p));
+    (* Table 3: DD debloating of one module *)
+    Test.make ~name:"table3.debloat_module"
+      (Staged.stage (fun () ->
+           let d = Lazy.force tiny in
+           let oracle, _ = Trim.Oracle.for_reference d in
+           Trim.Debloater.debloat_module ~oracle
+             ~protected:Trim.Debloater.String_set.empty d
+             ~module_name:"tinylib"));
+    (* Figure 10: the DD search itself at a larger component count *)
+    Test.make ~name:"fig10.dd_minimize_64"
+      (Staged.stage
+         (let items = List.init 64 Fun.id in
+          let oracle subset =
+            List.for_all (fun x -> List.mem x subset) [ 3; 31; 47 ]
+          in
+          fun () -> Trim.Dd.minimize ~oracle items));
+    (* Figure 11: a warm start *)
+    Test.make ~name:"fig11.warm_start"
+      (Staged.stage
+         (let sim =
+            lazy
+              (let s = Platform.Lambda_sim.create (Lazy.force tiny) in
+               ignore (Platform.Lambda_sim.invoke s ~now_s:0.0 ());
+               s)
+          in
+          fun () ->
+            Platform.Lambda_sim.invoke (Lazy.force sim) ~now_s:1.0 ()));
+    (* Figure 12: the C/R latency model over all variants *)
+    Test.make ~name:"fig12.criu_variants"
+      (Staged.stage (fun () ->
+           List.map
+             (fun v ->
+                Checkpoint.Criu.init_time_ms ~variant:v ~orig_init_ms:900.0
+                  ~orig_post_init_mb:250.0 ~trim_init_ms:400.0
+                  ~trim_post_init_mb:150.0 ())
+             [ Checkpoint.Criu.Original; Checkpoint.Criu.Cr;
+               Checkpoint.Criu.Trimmed; Checkpoint.Criu.Cr_and_trimmed ]));
+    (* Figure 13: analytic trace replay *)
+    Test.make ~name:"fig13.trace_replay_10k"
+      (Staged.stage
+         (let trace =
+            lazy
+              (Platform.Trace.poisson ~seed:3 ~rate_per_s:0.12
+                 ~duration_s:86_400.0 ~name:"bench")
+          in
+          fun () ->
+            Platform.Trace.replay (Lazy.force trace) ~keep_alive_s:900.0));
+    (* Figure 14: trace matching + SnapStart costing *)
+    Test.make ~name:"fig14.snapstart_costing"
+      (Staged.stage
+         (let trace =
+            lazy (Platform.Azure_trace.generate ~n_functions:50 ~seed:1 ())
+          in
+          fun () ->
+            let f =
+              Platform.Azure_trace.nearest_function (Lazy.force trace)
+                ~memory_mb:256.0 ~exec_ms:120.0
+            in
+            Checkpoint.Snapstart.costs_over_window
+              ~lambda_pricing:Platform.Pricing.aws ~snapshot_mb:200.0
+              ~memory_mb:f.Platform.Azure_trace.memory_mb ~billed_ms_cold:350.0
+              ~billed_ms_warm:100.0 ~cold_starts:10 ~warm_starts:100
+              ~window_s:86_400.0 ()));
+    (* Table 4: the fallback path end to end *)
+    Test.make ~name:"table4.fallback_invoke"
+      (Staged.stage (fun () ->
+           Trim.Fallback.invoke ~event:"{\"x\": 1}"
+             ~trimmed_sim:(Platform.Lambda_sim.create (Lazy.force tiny_trimmed))
+             ~original_sim:(Platform.Lambda_sim.create (Lazy.force tiny))
+             ~now_s:0.0 ())) ]
+
+(* Kernels for the ablations and §9 extensions. *)
+let extension_tests =
+  [ Test.make ~name:"abl.parallel_dd_8workers"
+      (Staged.stage
+         (let items = List.init 64 Fun.id in
+          let oracle subset =
+            List.for_all (fun x -> List.mem x subset) [ 3; 31; 47 ]
+          in
+          fun () -> Trim.Dd.minimize_parallel ~workers:8 ~oracle items));
+    Test.make ~name:"abl.seeded_dd"
+      (Staged.stage
+         (let items = List.init 64 Fun.id in
+          let oracle subset =
+            List.for_all (fun x -> List.mem x subset) [ 3; 31; 47 ]
+          in
+          fun () ->
+            Trim.Dd.minimize_with_seed ~oracle ~seed:[ 3; 31; 47; 10 ] items));
+    Test.make ~name:"abl.statement_dd"
+      (Staged.stage (fun () ->
+           let d = Lazy.force tiny in
+           let oracle, _ = Trim.Oracle.for_reference d in
+           Trim.Debloater.debloat_module_statements ~oracle
+             ~protected:Trim.Debloater.String_set.empty d
+             ~module_name:"tinylib"));
+    Test.make ~name:"abl.concurrent_replay_10k"
+      (Staged.stage
+         (let trace =
+            lazy
+              (Platform.Trace.poisson ~seed:9 ~rate_per_s:0.12
+                 ~duration_s:86_400.0 ~name:"bench-conc")
+          in
+          fun () ->
+            Platform.Trace.replay_concurrent ~exec_s:0.3 (Lazy.force trace)
+              ~keep_alive_s:900.0));
+    Test.make ~name:"substrate.json_roundtrip"
+      (Staged.stage
+         (let v =
+            lazy
+              (Minipy.Json_support.loads
+                 "{\"k\": [1, 2.5, true, null, \"s\"], \"n\": {\"a\": 1}}")
+          in
+          fun () ->
+            Minipy.Json_support.loads (Minipy.Json_support.dumps (Lazy.force v)))) ]
+
+let benchmark tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"lambda-trim" ~fmt:"%s %s" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Analyze.merge ols instances [ results ]
+
+let print_results results =
+  (* flat text output: test name, ns/run estimate *)
+  Hashtbl.iter
+    (fun _instance tbl ->
+       let rows =
+         Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+         |> List.sort compare
+       in
+       Printf.printf "\n%-44s %16s %10s\n" "benchmark" "ns/run" "r^2";
+       List.iter
+         (fun (name, ols) ->
+            let estimate =
+              match Analyze.OLS.estimates ols with
+              | Some [ e ] -> Printf.sprintf "%16.1f" e
+              | _ -> "               -"
+            in
+            let r2 =
+              match Analyze.OLS.r_square ols with
+              | Some r -> Printf.sprintf "%10.4f" r
+              | None -> "         -"
+            in
+            Printf.printf "%-44s %s %s\n" name estimate r2)
+         rows)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let skip_experiments = List.mem "--no-experiments" args in
+  let skip_micro = List.mem "--no-micro" args in
+  if not skip_experiments then run_experiments ();
+  if not skip_micro then begin
+    print_string
+      (Experiments.Common.header
+         "Bechamel micro-benchmarks (one kernel per table/figure + substrate)");
+    print_results (benchmark (substrate_tests @ experiment_tests @ extension_tests))
+  end

@@ -1,0 +1,1 @@
+bin/common_measure.ml: Platform Printf

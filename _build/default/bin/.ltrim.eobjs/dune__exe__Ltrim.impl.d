@@ -1,0 +1,1 @@
+bin/ltrim.ml: Arg Cmd Cmdliner Common_measure Experiments Filename Float Fmt List Logs Logs_fmt Platform Printf String Sys Term Trim Unix Workloads

@@ -1,0 +1,27 @@
+(* Small measurement helpers for the CLI. *)
+
+let cold (d : Platform.Deployment.t) : Platform.Lambda_sim.record =
+  let sim = Platform.Lambda_sim.create d in
+  let event =
+    match d.Platform.Deployment.test_cases with
+    | tc :: _ -> tc.Platform.Deployment.tc_event
+    | [] -> "{}"
+  in
+  Platform.Lambda_sim.invoke sim ~now_s:0.0 ~event ()
+
+let print_comparison ~(before : Platform.Lambda_sim.record)
+    ~(after : Platform.Lambda_sim.record) =
+  let open Platform.Lambda_sim in
+  let pct = Platform.Metrics.improvement_pct in
+  Printf.printf
+    "Cold start:  E2E %.1f -> %.1f ms (%.1f%%), init %.1f -> %.1f ms \
+     (%.1f%%),\n             memory %.1f -> %.1f MB (%.1f%%), cost $%.3e -> \
+     $%.3e (%.1f%%)\n"
+    before.e2e_ms after.e2e_ms
+    (pct ~before:before.e2e_ms ~after:after.e2e_ms)
+    before.init_ms after.init_ms
+    (pct ~before:before.init_ms ~after:after.init_ms)
+    before.peak_memory_mb after.peak_memory_mb
+    (pct ~before:before.peak_memory_mb ~after:after.peak_memory_mb)
+    before.cost after.cost
+    (pct ~before:before.cost ~after:after.cost)

@@ -1,0 +1,274 @@
+(* lambda-trim command-line interface.
+
+   Drives the pipeline against the synthesized benchmark suite:
+
+     ltrim list                          enumerate applications
+     ltrim analyze <app>                 static analysis (imports, PyCG)
+     ltrim profile <app>                 per-module marginal costs + ranking
+     ltrim debloat <app> [-k N] [-s M]   run the full pipeline
+     ltrim invoke <app> [--trimmed]      cold+warm invocation on the simulator
+     ltrim experiments [-o ID]           regenerate paper tables/figures *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let app_arg =
+  let doc = "Application name (see `ltrim list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let verbose_flag =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose pipeline logging.")
+
+let k_arg =
+  Arg.(value & opt int 20 & info [ "k" ] ~docv:"K"
+         ~doc:"Number of top-ranked modules to debloat (default 20).")
+
+let scoring_arg =
+  let doc = "Scoring method: combined, time, memory, or random." in
+  Arg.(value & opt string "combined" & info [ "s"; "scoring" ] ~docv:"METHOD" ~doc)
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (s : Workloads.Apps.spec) ->
+         Printf.printf "%-18s %-12s libs: %s\n" s.Workloads.Apps.name
+           s.Workloads.Apps.origin
+           (String.concat ", "
+              (List.map
+                 (fun l -> l.Workloads.Libspec.l_name)
+                 s.Workloads.Apps.libs)))
+      Workloads.Apps.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark applications.")
+    Term.(const run $ const ())
+
+(* --- analyze ------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run app =
+    let d = Workloads.Suite.deployment_of app in
+    let a = Trim.Static_analyzer.analyze d in
+    Printf.printf "Application: %s\n" app;
+    Printf.printf "Imported root modules: %s\n"
+      (String.concat ", " a.Trim.Static_analyzer.imported_roots);
+    Printf.printf "Imported dotted paths: %s\n"
+      (String.concat ", " a.Trim.Static_analyzer.imported_dotted);
+    List.iter
+      (fun root ->
+         let protected =
+           Trim.Static_analyzer.protected_attrs a ~module_name:root
+         in
+         Printf.printf "PyCG-protected attrs of %s: %s\n" root
+           (String.concat ", "
+              (Trim.Static_analyzer.String_set.elements protected)))
+      a.Trim.Static_analyzer.imported_roots
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Run the static analyzer on an application.")
+    Term.(const run $ app_arg)
+
+(* --- profile ------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run app scoring =
+    let method_ = Trim.Scoring.method_of_string scoring in
+    let d = Workloads.Suite.deployment_of app in
+    let p = Trim.Profiler.profile d in
+    Printf.printf "Function Initialization: T = %.2f ms, M = %.2f MB\n\n"
+      p.Trim.Profiler.total_ms p.Trim.Profiler.total_mb;
+    Printf.printf "%-28s %10s %10s %12s\n" "module" "t (ms)" "m (MB)"
+      "marginal $¢";
+    List.iter
+      (fun (mp : Trim.Profiler.module_profile) ->
+         Printf.printf "%-28s %10.2f %10.2f %12.1f\n" mp.Trim.Profiler.mp_name
+           mp.Trim.Profiler.mp_incl_ms mp.Trim.Profiler.mp_incl_mb
+           (Trim.Scoring.score Trim.Scoring.Combined ~result:p mp))
+      (Trim.Scoring.rank method_ p)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile per-module marginal import time/memory and rank them.")
+    Term.(const run $ app_arg $ scoring_arg)
+
+(* --- debloat ------------------------------------------------------------- *)
+
+let debloat_cmd =
+  let run app k scoring verbose =
+    setup_logs verbose;
+    let method_ = Trim.Scoring.method_of_string scoring in
+    let d = Workloads.Suite.deployment_of app in
+    let r =
+      Trim.Pipeline.run
+        ~options:{ Trim.Pipeline.k; scoring = method_; log = verbose }
+        d
+    in
+    Printf.printf "Debloated %s in %.2f s (%d oracle queries)\n" app
+      r.Trim.Pipeline.debloat_wall_s r.Trim.Pipeline.total_oracle_queries;
+    List.iter
+      (fun m -> Printf.printf "  %s\n" (Fmt.str "%a" Trim.Debloater.pp_module_result m))
+      r.Trim.Pipeline.module_results;
+    let before = Common_measure.cold d in
+    let after = Common_measure.cold r.Trim.Pipeline.optimized in
+    Common_measure.print_comparison ~before ~after
+  in
+  Cmd.v
+    (Cmd.info "debloat" ~doc:"Run the full lambda-trim pipeline on an application.")
+    Term.(const run $ app_arg $ k_arg $ scoring_arg $ verbose_flag)
+
+(* --- invoke -------------------------------------------------------------- *)
+
+let invoke_cmd =
+  let trimmed_flag =
+    Arg.(value & flag & info [ "trimmed" ]
+           ~doc:"Invoke the lambda-trim optimized application.")
+  in
+  let run app trimmed =
+    let spec = Workloads.Suite.spec_of app in
+    let d = Workloads.Suite.deployment_of app in
+    let d =
+      if trimmed then (Trim.Pipeline.run d).Trim.Pipeline.optimized else d
+    in
+    let sim = Platform.Lambda_sim.create d in
+    let event =
+      match spec.Workloads.Apps.tests with (_, e) :: _ -> e | [] -> "{}"
+    in
+    let cold, warm = Platform.Lambda_sim.measure_cold_and_warm ~event sim in
+    List.iter
+      (fun (r : Platform.Lambda_sim.record) ->
+         Printf.printf
+           "%s start: e2e %.1f ms (init %.1f, exec %.1f), billed %.0f ms, \
+            %.1f MB, $%.3e\n"
+           (Platform.Lambda_sim.start_kind_name r.Platform.Lambda_sim.kind)
+           r.Platform.Lambda_sim.e2e_ms r.Platform.Lambda_sim.init_ms
+           r.Platform.Lambda_sim.exec_ms r.Platform.Lambda_sim.billed_ms
+           r.Platform.Lambda_sim.peak_memory_mb r.Platform.Lambda_sim.cost;
+         print_string r.Platform.Lambda_sim.stdout)
+      [ cold; warm ]
+  in
+  Cmd.v
+    (Cmd.info "invoke" ~doc:"Invoke an application on the platform simulator.")
+    Term.(const run $ app_arg $ trimmed_flag)
+
+(* --- calibrate ------------------------------------------------------------ *)
+
+(* Check every synthesized application against its paper metrics: the
+   workload generator is supposed to land within tolerance of Table 1. *)
+let calibrate_cmd =
+  let run () =
+    Printf.printf "%-18s %22s %22s %22s %s\n" "" "size MB (ours/ppr)"
+      "import s (ours/ppr)" "e2e s (ours/ppr)" "status";
+    let failures = ref 0 in
+    List.iter
+      (fun (spec : Workloads.Apps.spec) ->
+         let d = Workloads.Codegen.deployment spec in
+         let sim =
+           Platform.Lambda_sim.create ~params:Experiments.Common.table1_params d
+         in
+         let event =
+           match spec.Workloads.Apps.tests with (_, e) :: _ -> e | [] -> "{}"
+         in
+         let cold, _ = Platform.Lambda_sim.measure_cold_and_warm ~event sim in
+         let p = spec.Workloads.Apps.paper in
+         let size = Platform.Deployment.image_mb d in
+         let import_s = cold.Platform.Lambda_sim.init_ms /. 1000.0 in
+         let e2e_s = cold.Platform.Lambda_sim.e2e_ms /. 1000.0 in
+         let within tol a b = Float.abs (a -. b) <= tol *. b in
+         (* size and import are generator-controlled and checked strictly;
+            E2E is informational — the paper's per-app platform overheads
+            (instance assignment, image caching) are not modelled per app *)
+         let ok =
+           within 0.05 size p.Workloads.Apps.p_size_mb
+           && within 0.30 import_s p.Workloads.Apps.p_import_s
+         in
+         if not ok then incr failures;
+         Printf.printf "%-18s %10.1f /%9.1f %10.2f /%9.2f %10.2f /%9.2f %s\n"
+           spec.Workloads.Apps.name size p.Workloads.Apps.p_size_mb import_s
+           p.Workloads.Apps.p_import_s e2e_s p.Workloads.Apps.p_e2e_s
+           (if ok then "ok" else "OUT OF BAND"))
+      Workloads.Apps.all;
+    if !failures > 0 then begin
+      Printf.printf "%d applications out of calibration band\n" !failures;
+      exit 1
+    end
+    else print_endline "all applications within calibration bands"
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Check every synthesized app against its Table-1 paper metrics.")
+    Term.(const run $ const ())
+
+(* --- experiments ---------------------------------------------------------- *)
+
+let experiments_cmd =
+  let only_arg =
+    Arg.(value & opt_all string [] & info [ "o"; "only" ] ~docv:"ID"
+           ~doc:"Run only this experiment (repeatable). IDs: fig1 table1 fig2 \
+                 fig8 table2 fig9 table3 fig10 fig11 fig12 fig13 fig14 table4.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Also write each experiment's output to DIR/<id>.txt.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"DIR"
+             ~doc:"Write machine-readable rows to DIR/<id>.csv (experiments \
+                   with structured data only).")
+  in
+  let run only out csv =
+    let entries =
+      match only with
+      | [] -> Experiments.Registry.all
+      | ids ->
+        List.filter_map
+          (fun id ->
+             match Experiments.Registry.find id with
+             | Some e -> Some e
+             | None ->
+               Printf.eprintf "unknown experiment %S (known: %s)\n" id
+                 (String.concat ", " Experiments.Registry.ids);
+               None)
+          ids
+    in
+    let ensure_dir = function
+      | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+      | _ -> ()
+    in
+    ensure_dir out;
+    ensure_dir csv;
+    let write dir name contents =
+      let oc = open_out (Filename.concat dir name) in
+      output_string oc contents;
+      close_out oc
+    in
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+         let text = e.Experiments.Registry.print () in
+         print_string text;
+         (match out with
+          | Some dir -> write dir (e.Experiments.Registry.id ^ ".txt") text
+          | None -> ());
+         match csv, e.Experiments.Registry.csv with
+         | Some dir, Some rows ->
+           write dir (e.Experiments.Registry.id ^ ".csv") (rows ())
+         | _ -> ())
+      entries
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures on the simulator.")
+    Term.(const run $ only_arg $ out_arg $ csv_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "ltrim" ~version:"1.0.0"
+       ~doc:"Cost-driven debloating for serverless applications (lambda-trim).")
+    [ list_cmd; analyze_cmd; profile_cmd; debloat_cmd; invoke_cmd;
+      calibrate_cmd; experiments_cmd ]
+
+let () = exit (Cmd.eval main)

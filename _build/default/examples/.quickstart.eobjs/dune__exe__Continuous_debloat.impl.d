@@ -1,0 +1,1 @@
+examples/continuous_debloat.ml: List Minipy Platform Printf Str Trim Workloads

@@ -1,0 +1,1 @@
+examples/cost_explorer.ml: Array Checkpoint List Platform Printf Sys Trim Workloads

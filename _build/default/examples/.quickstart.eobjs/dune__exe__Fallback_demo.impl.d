@@ -1,0 +1,1 @@
+examples/fallback_demo.ml: List Minipy Platform Printf String Trim

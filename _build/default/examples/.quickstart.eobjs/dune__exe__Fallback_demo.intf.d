@@ -1,0 +1,1 @@
+examples/fallback_demo.mli:

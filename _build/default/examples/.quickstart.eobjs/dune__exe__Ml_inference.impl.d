@@ -1,0 +1,1 @@
+examples/ml_inference.ml: Checkpoint Fmt List Platform Printf String Trim Workloads

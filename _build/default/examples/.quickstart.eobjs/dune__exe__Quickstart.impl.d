@@ -1,0 +1,1 @@
+examples/quickstart.ml: Minipy Platform Printf String Trim

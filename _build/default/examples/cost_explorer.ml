@@ -1,0 +1,111 @@
+(* Cost explorer: what will this function cost me per month?
+
+   Takes an application, simulates it under three traffic patterns and all
+   three provider pricing models, and shows where λ-trim moves the bill —
+   including the SnapStart alternative from §8.6.
+
+     dune exec examples/cost_explorer.exe [APP]    (default: spacy) *)
+
+let monthly = 30.0
+
+let traffic_patterns =
+  [ ("steady (1/min)",
+     fun () -> Platform.Trace.periodic ~period_s:60.0 ~count:(24 * 60) ~name:"steady");
+    ("bursty (50-request bursts)",
+     fun () ->
+       Platform.Trace.bursty ~seed:11 ~burst_size:50 ~burst_rate_per_s:5.0
+         ~idle_gap_s:3600.0 ~bursts:24 ~name:"bursty");
+    ("sparse (poisson, ~1/h)",
+     fun () ->
+       Platform.Trace.poisson ~seed:7 ~rate_per_s:(1.0 /. 3600.0)
+         ~duration_s:86400.0 ~name:"sparse") ]
+
+let () =
+  let app_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "spacy" in
+  let spec = Workloads.Apps.find app_name in
+  let app = Workloads.Codegen.deployment spec in
+  let report = Trim.Pipeline.run app in
+  let measure d =
+    let sim = Platform.Lambda_sim.create d in
+    Platform.Lambda_sim.measure_cold_and_warm
+      ~event:(match spec.Workloads.Apps.tests with (_, e) :: _ -> e | [] -> "{}")
+      sim
+  in
+  let orig_cold, orig_warm = measure app in
+  let trim_cold, trim_warm = measure report.Trim.Pipeline.optimized in
+  let open Platform.Lambda_sim in
+
+  Printf.printf "Cost explorer for %S\n" app_name;
+  Printf.printf "  original: cold %.0f ms / %.0f MB, warm %.0f ms\n"
+    (orig_cold.init_ms +. orig_cold.exec_ms) orig_cold.peak_memory_mb
+    orig_warm.exec_ms;
+  Printf.printf "  trimmed : cold %.0f ms / %.0f MB, warm %.0f ms\n\n"
+    (trim_cold.init_ms +. trim_cold.exec_ms) trim_cold.peak_memory_mb
+    trim_warm.exec_ms;
+
+  (* provider comparison for a single cold start *)
+  Printf.printf "One cold start under each provider's pricing:\n";
+  List.iter
+    (fun pricing ->
+       let cost r =
+         Platform.Pricing.invocation_cost pricing
+           ~duration_ms:(r.init_ms +. r.exec_ms) ~memory_mb:r.peak_memory_mb
+       in
+       Printf.printf "  %-6s original $%.3e -> trimmed $%.3e\n"
+         (Platform.Pricing.provider_name pricing.Platform.Pricing.provider)
+         (cost orig_cold) (cost trim_cold))
+    [ Platform.Pricing.aws; Platform.Pricing.gcp; Platform.Pricing.azure ];
+
+  (* monthly bills per traffic pattern (24h trace x 30) *)
+  Printf.printf "\nProjected monthly bill (AWS, 15-min keep-alive):\n";
+  List.iter
+    (fun (label, mk_trace) ->
+       let trace = mk_trace () in
+       let bill cold warm =
+         let r =
+           Platform.Trace.replay trace ~keep_alive_s:900.0
+             ~exec_s:(warm.exec_ms /. 1000.0)
+         in
+         let day =
+           (float_of_int r.Platform.Trace.cold_starts *. cold.cost)
+           +. (float_of_int r.Platform.Trace.warm_starts *. warm.cost)
+         in
+         (day *. monthly, r)
+       in
+       let orig_bill, replay = bill orig_cold orig_warm in
+       let trim_bill, _ = bill trim_cold trim_warm in
+       Printf.printf "  %-28s %4d cold / %5d warm per day: $%.4f -> $%.4f (%.1f%%)\n"
+         label replay.Platform.Trace.cold_starts replay.Platform.Trace.warm_starts
+         orig_bill trim_bill
+         (Platform.Metrics.improvement_pct ~before:orig_bill ~after:trim_bill))
+    traffic_patterns;
+
+  (* SnapStart alternative *)
+  Printf.printf "\nSnapStart instead of keep-alive (sparse traffic, 24h):\n";
+  let sparse = (List.nth traffic_patterns 2 |> snd) () in
+  let snap r =
+    let replay =
+      Platform.Trace.replay sparse ~keep_alive_s:900.0
+        ~exec_s:(r.exec_ms /. 1000.0)
+    in
+    let snapshot_mb =
+      Checkpoint.Snapstart.snapshot_size_mb ~post_init_memory_mb:r.peak_memory_mb
+        ~image_mb:(Platform.Deployment.image_mb app)
+    in
+    Checkpoint.Snapstart.costs_over_window ~lambda_pricing:Platform.Pricing.aws
+      ~snapshot_mb ~memory_mb:r.peak_memory_mb
+      ~billed_ms_cold:(200.0 +. r.exec_ms) ~billed_ms_warm:r.exec_ms
+      ~cold_starts:replay.Platform.Trace.cold_starts
+      ~warm_starts:replay.Platform.Trace.warm_starts ~window_s:86400.0 ()
+  in
+  let so = snap orig_cold and st = snap trim_cold in
+  Printf.printf
+    "  original: invocation $%.5f + cache/restore $%.5f (SnapStart share %.0f%%)\n"
+    so.Checkpoint.Snapstart.invocation_cost
+    (so.Checkpoint.Snapstart.cache_cost +. so.Checkpoint.Snapstart.restore_cost)
+    (100.0 *. Checkpoint.Snapstart.snapstart_share so);
+  Printf.printf
+    "  trimmed : invocation $%.5f + cache/restore $%.5f (SnapStart share %.0f%%)\n"
+    st.Checkpoint.Snapstart.invocation_cost
+    (st.Checkpoint.Snapstart.cache_cost +. st.Checkpoint.Snapstart.restore_cost)
+    (100.0 *. Checkpoint.Snapstart.snapstart_share st)

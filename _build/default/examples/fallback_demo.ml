@@ -1,0 +1,106 @@
+(* Fallback demo (§5.4): what happens when the oracle set is too weak.
+
+   We debloat the markdown app with an oracle that only ever renders plain
+   text, then send an input that exercises a code path the oracle never saw.
+   The wrapper catches the AttributeError, re-invokes the original function,
+   returns its answer, and tells the user to re-run λ-trim with the failing
+   input added — which we then do, showing the repaired deployment.
+
+     dune exec examples/fallback_demo.exe *)
+
+let lib_init =
+  "import simrt\n\
+   simrt.cpu_ms(30)\n\
+   from md._render import render_text\n\
+   from md._tables import render_table\n\
+   simrt.alloc_mb(2)\n\
+   def render(event):\n\
+  \  if event.get(\"table\", False):\n\
+  \    return render_table(event[\"rows\"])\n\
+  \  return render_text(event[\"text\"])\n"
+
+let lib_render =
+  "import simrt\nsimrt.cpu_ms(20)\nsimrt.alloc_mb(6)\n\
+   def render_text(s):\n  return \"<p>\" + s + \"</p>\"\n"
+
+let lib_tables =
+  "import simrt\nsimrt.cpu_ms(60)\nsimrt.alloc_mb(18)\n\
+   def render_table(rows):\n  return \"<table rows=\" + str(rows) + \">\"\n"
+
+(* The handler only ever names md.render — which attributes render needs is
+   decided dynamically inside the library, so the static analyzer cannot
+   protect render_table; only the oracle can. *)
+let handler =
+  "import md\n\
+   def handler(event, context):\n\
+  \  out = md.render(event)\n\
+  \  print(out)\n\
+  \  return {\"statusCode\": 200, \"body\": out}\n"
+
+let make_app ~tests =
+  let vfs = Minipy.Vfs.create () in
+  Minipy.Vfs.add_file vfs "site-packages/md/__init__.py" lib_init;
+  Minipy.Vfs.add_file vfs "site-packages/md/_render.py" lib_render;
+  Minipy.Vfs.add_file vfs "site-packages/md/_tables.py" lib_tables;
+  Minipy.Vfs.add_file vfs "handler.py" handler;
+  Platform.Deployment.make ~name:"markdown-svc" ~vfs ~handler_file:"handler.py"
+    ~handler_name:"handler"
+    ~test_cases:
+      (List.map (fun (n, e) -> Platform.Deployment.test_case ~name:n e) tests)
+
+let weak_tests = [ ("plain", "{\"text\": \"hello\"}") ]
+let table_event = "{\"table\": True, \"rows\": 3}"
+
+let () =
+  (* 1. debloat against the WEAK oracle: table rendering looks redundant *)
+  let app = make_app ~tests:weak_tests in
+  let report = Trim.Pipeline.run app in
+  let trimmed = report.Trim.Pipeline.optimized in
+  Printf.printf "Debloated with weak oracle; removed attributes: %s\n"
+    (String.concat ", "
+       (List.concat_map
+          (fun m -> m.Trim.Debloater.removed_attrs)
+          report.Trim.Pipeline.module_results));
+
+  (* 2. a table request arrives: the wrapper falls back to the original *)
+  let trimmed_sim = Platform.Lambda_sim.create trimmed in
+  let original_sim = Platform.Lambda_sim.create app in
+  let r =
+    Trim.Fallback.invoke ~event:table_event ~trimmed_sim ~original_sim
+      ~now_s:0.0 ()
+  in
+  Printf.printf "\nTable request against the trimmed function:\n";
+  Printf.printf "  used fallback: %b\n" r.Trim.Fallback.used_fallback;
+  (match r.Trim.Fallback.notification with
+   | Some n -> Printf.printf "  notification: %s\n" n
+   | None -> ());
+  (match r.Trim.Fallback.outcome with
+   | Platform.Lambda_sim.Ok v ->
+     Printf.printf "  response: %s\n" (Minipy.Value.to_repr v)
+   | Platform.Lambda_sim.Error e ->
+     Printf.printf "  ERROR: %s: %s\n" e.Minipy.Value.exc_class
+       e.Minipy.Value.exc_msg);
+  Printf.printf "  e2e with fallback: %.0f ms (trimmed alone was %.0f ms)\n"
+    r.Trim.Fallback.e2e_ms
+    r.Trim.Fallback.trimmed_record.Platform.Lambda_sim.e2e_ms;
+
+  (* 3. re-run lambda-trim with the failing input added to the oracle set *)
+  let repaired_app =
+    make_app ~tests:(weak_tests @ [ ("table", table_event) ])
+  in
+  let report2 = Trim.Pipeline.run repaired_app in
+  let repaired = report2.Trim.Pipeline.optimized in
+  let sim = Platform.Lambda_sim.create repaired in
+  let r2 = Platform.Lambda_sim.invoke sim ~now_s:0.0 ~event:table_event () in
+  Printf.printf "\nAfter re-running lambda-trim with the input added:\n";
+  (match r2.Platform.Lambda_sim.outcome with
+   | Platform.Lambda_sim.Ok v ->
+     Printf.printf "  table request handled natively: %s\n"
+       (Minipy.Value.to_repr v)
+   | Platform.Lambda_sim.Error e ->
+     Printf.printf "  still failing: %s\n" e.Minipy.Value.exc_class);
+  Printf.printf "  removed attributes now: %s\n"
+    (String.concat ", "
+       (List.concat_map
+          (fun m -> m.Trim.Debloater.removed_attrs)
+          report2.Trim.Pipeline.module_results))

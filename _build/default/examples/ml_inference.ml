@@ -1,0 +1,79 @@
+(* ML-inference scenario: the resnet application (Table 1's heaviest
+   RainbowCake workload, torch + numpy + PIL).
+
+   Shows the full λ-trim pipeline, the resulting cold-start speed-up (the
+   paper's headline 2×), and how λ-trim composes with checkpoint/restore
+   (§8.6): debloating shrinks the CRIU checkpoint, so C/R + λ-trim beats
+   either alone.
+
+     dune exec examples/ml_inference.exe *)
+
+let () =
+  let spec = Workloads.Apps.find "resnet" in
+  let app = Workloads.Codegen.deployment spec in
+  Printf.printf "Application: resnet (image %.0f MB, libraries: %s)\n"
+    (Platform.Deployment.image_mb app)
+    (String.concat ", "
+       (List.map (fun l -> l.Workloads.Libspec.l_name) spec.Workloads.Apps.libs));
+
+  (* 1. profile: where does Function Initialization go? *)
+  let profile = Trim.Profiler.profile app in
+  Printf.printf "\nFunction Initialization: %.0f ms, %.0f MB across %d modules\n"
+    profile.Trim.Profiler.total_ms profile.Trim.Profiler.total_mb
+    (List.length profile.Trim.Profiler.modules);
+  Printf.printf "Top modules by marginal monetary cost (Eq. 2):\n";
+  List.iteri
+    (fun i (mp : Trim.Profiler.module_profile) ->
+       if i < 5 then
+         Printf.printf "  %d. %-18s t = %7.1f ms, m = %6.1f MB\n" (i + 1)
+           mp.Trim.Profiler.mp_name mp.Trim.Profiler.mp_incl_ms
+           mp.Trim.Profiler.mp_incl_mb)
+    (Trim.Scoring.rank Trim.Scoring.Combined profile);
+
+  (* 2. debloat *)
+  let report = Trim.Pipeline.run app in
+  Printf.printf "\nDebloated %d modules in %.2f s (%d oracle queries):\n"
+    (List.length report.Trim.Pipeline.module_results)
+    report.Trim.Pipeline.debloat_wall_s
+    report.Trim.Pipeline.total_oracle_queries;
+  List.iteri
+    (fun i m ->
+       if i < 4 then
+         Printf.printf "  %s\n" (Fmt.str "%a" Trim.Debloater.pp_module_result m))
+    report.Trim.Pipeline.module_results;
+
+  (* 3. deploy both and compare cold starts *)
+  let cold d =
+    (* fast-path platform: provisioned runtime, cached image layers *)
+    let params =
+      { Platform.Lambda_sim.default_params with
+        instance_init_ms = 300.0;
+        transmission_mb_per_s = 2000.0 }
+    in
+    let sim = Platform.Lambda_sim.create ~params d in
+    Platform.Lambda_sim.invoke sim ~now_s:0.0 ~event:"{\"x\": 3}" ()
+  in
+  let b = cold app and a = cold report.Trim.Pipeline.optimized in
+  let open Platform.Lambda_sim in
+  Printf.printf "\nCold start  original : e2e %7.0f ms (init %6.0f), %4.0f MB, $%.3e\n"
+    b.e2e_ms b.init_ms b.peak_memory_mb b.cost;
+  Printf.printf "Cold start  trimmed  : e2e %7.0f ms (init %6.0f), %4.0f MB, $%.3e\n"
+    a.e2e_ms a.init_ms a.peak_memory_mb a.cost;
+  Printf.printf "E2E speed-up: %.2fx (paper: up to 2x on resnet)\n"
+    (Platform.Metrics.speedup ~before:b.e2e_ms ~after:a.e2e_ms);
+
+  (* 4. compose with checkpoint/restore *)
+  Printf.printf "\nInitialization time under C/R (Figure 12 variants):\n";
+  List.iter
+    (fun v ->
+       let ms =
+         Checkpoint.Criu.init_time_ms ~variant:v ~orig_init_ms:b.init_ms
+           ~orig_post_init_mb:b.peak_memory_mb ~trim_init_ms:a.init_ms
+           ~trim_post_init_mb:a.peak_memory_mb ()
+       in
+       Printf.printf "  %-18s %7.0f ms\n" (Checkpoint.Criu.variant_name v) ms)
+    [ Checkpoint.Criu.Original; Checkpoint.Criu.Cr; Checkpoint.Criu.Trimmed;
+      Checkpoint.Criu.Cr_and_trimmed ];
+  let ckpt mb = Checkpoint.Criu.checkpoint_size_mb ~post_init_memory_mb:mb () in
+  Printf.printf "Checkpoint size: %.0f MB -> %.0f MB after debloating\n"
+    (ckpt b.peak_memory_mb) (ckpt a.peak_memory_mb)

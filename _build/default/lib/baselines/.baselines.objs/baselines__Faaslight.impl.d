@@ -1,0 +1,1 @@
+lib/baselines/faaslight.ml: Callgraph List Minipy Platform Trim

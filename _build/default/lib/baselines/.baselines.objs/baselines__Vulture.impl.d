@@ -1,0 +1,1 @@
+lib/baselines/vulture.ml: Callgraph List Minipy Platform String Trim

@@ -1,0 +1,73 @@
+(* FaaSLight-style baseline (Liu et al., TOSEM'23) for Table 2.
+
+   FaaSLight trims function-level code via static reachability analysis
+   (no runtime oracle) and keeps the original code retrievable as a
+   safeguard. Differences from λ-trim that the comparison exercises:
+
+   - STATEMENT granularity: a `from m import a, b, c` survives whole if any
+     one name is used — λ-trim's per-name filtering is what buys its larger
+     memory savings (§8.1);
+   - purely static: no DD, so no oracle queries, but also no removal of
+     statically-referenced-yet-dynamically-dead code;
+   - the safeguard copy of each trimmed module stays in the image. *)
+
+type report = {
+  fl_modules : string list;        (* module files rewritten *)
+  fl_statements_removed : int;
+  fl_backup_paths : string list;
+}
+
+(* Keep a statement iff it binds nothing (imports of cost code, expression
+   statements), binds a magic name, binds a name that some *other* package or
+   the application accesses, or binds a name referenced anywhere in the same
+   file — a static analyzer cannot prove a referenced name dead, even when
+   the referencing branch never executes (λ-trim's oracle can). *)
+let keep_stmt ~protected ~local_refs (stmt : Minipy.Ast.stmt) =
+  match Trim.Attrs.bound_names stmt with
+  | [] -> true
+  | names ->
+    List.exists
+      (fun n ->
+         Trim.Attrs.is_magic n
+         || Callgraph.Pycg.String_set.mem n protected
+         || Callgraph.Pycg.String_set.mem n local_refs)
+      names
+
+let optimize ?(k = 20) (d : Platform.Deployment.t) :
+  Platform.Deployment.t * report =
+  let analysis = Trim.Static_analyzer.analyze d in
+  let profile = Trim.Profiler.profile d in
+  let top = Trim.Scoring.top_k Trim.Scoring.Combined profile ~k in
+  let d' = Platform.Deployment.copy d in
+  let removed = ref 0 in
+  let rewritten = ref [] in
+  let backups = ref [] in
+  List.iter
+    (fun (mp : Trim.Profiler.module_profile) ->
+       let module_name = mp.Trim.Profiler.mp_name in
+       match Minipy.Importer.init_file_of d'.Platform.Deployment.vfs module_name with
+       | None -> ()
+       | Some file ->
+         let protected =
+           Trim.Static_analyzer.protected_attrs_excluding_file analysis
+             ~module_name ~file
+         in
+         let src = Minipy.Vfs.read_exn d'.Platform.Deployment.vfs file in
+         let prog = Minipy.Parser.parse ~file src in
+         let local_refs = Callgraph.Pycg.referenced_names prog in
+         let kept = List.filter (keep_stmt ~protected ~local_refs) prog in
+         if List.length kept < List.length prog then begin
+           removed := !removed + (List.length prog - List.length kept);
+           (* safeguard: the original module ships alongside the trimmed one *)
+           let backup = file ^ ".faaslight-backup" in
+           Minipy.Vfs.add_file d'.Platform.Deployment.vfs backup src;
+           backups := backup :: !backups;
+           Minipy.Vfs.add_file d'.Platform.Deployment.vfs file
+             (Minipy.Pretty.program_to_string kept);
+           rewritten := module_name :: !rewritten
+         end)
+    top;
+  ( d',
+    { fl_modules = List.rev !rewritten;
+      fl_statements_removed = !removed;
+      fl_backup_paths = List.rev !backups } )

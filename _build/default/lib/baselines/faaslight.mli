@@ -1,0 +1,14 @@
+(** FaaSLight-style baseline (Liu et al., TOSEM'23) for Table 2: purely
+    static, statement-granularity trimming with the original modules kept in
+    the image as a safeguard. Differences from λ-trim that the comparison
+    exercises: whole-statement removal (no per-name from-import filtering),
+    and conservatism on names referenced from dead branches. *)
+
+type report = {
+  fl_modules : string list;        (** module files rewritten *)
+  fl_statements_removed : int;
+  fl_backup_paths : string list;   (** safeguard copies added to the image *)
+}
+
+val optimize :
+  ?k:int -> Platform.Deployment.t -> Platform.Deployment.t * report

@@ -1,0 +1,10 @@
+(** Vulture-style baseline for Table 2: static dead-code detection over the
+    application's own code only. It never looks inside third-party packages,
+    which is why its reported improvements are marginal — serverless handlers
+    are small and the bloat lives in the libraries. *)
+
+type report = {
+  v_dead_names : string list;  (** top-level handler bindings removed *)
+}
+
+val optimize : Platform.Deployment.t -> Platform.Deployment.t * report

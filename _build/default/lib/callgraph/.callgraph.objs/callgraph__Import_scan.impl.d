@@ -1,0 +1,1 @@
+lib/callgraph/import_scan.ml: List Minipy Option Set String

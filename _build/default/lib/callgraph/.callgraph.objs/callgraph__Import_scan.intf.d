@@ -1,0 +1,1 @@
+lib/callgraph/import_scan.mli: Minipy Set

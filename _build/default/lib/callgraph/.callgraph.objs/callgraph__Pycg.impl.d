@@ -1,0 +1,1 @@
+lib/callgraph/pycg.ml: List Map Minipy Option Set String

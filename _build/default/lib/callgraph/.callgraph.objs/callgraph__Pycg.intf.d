@@ -1,0 +1,1 @@
+lib/callgraph/pycg.mli: Map Minipy Set

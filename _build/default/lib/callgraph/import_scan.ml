@@ -1,0 +1,72 @@
+(* Single AST pass collecting every module imported by a program (§5.1).
+
+   The scan is conservative: it descends into all blocks (function bodies,
+   conditionals, try/except) because minipy, like Python, allows imports
+   anywhere, and λ-trim must not miss a lazily-imported dependency. *)
+
+module String_set = Set.Make (String)
+
+type import = {
+  path : Minipy.Ast.dotted;  (* full dotted path as written *)
+  bound_as : string;         (* name bound in the importing namespace *)
+  is_from : bool;            (* from x import ... *)
+}
+
+let rec scan_stmts acc (stmts : Minipy.Ast.stmt list) =
+  List.fold_left scan_stmt acc stmts
+
+and scan_stmt acc (s_ : Minipy.Ast.stmt) =
+  let open Minipy.Ast in
+  match s_.sdesc with
+  | Import (path, alias) ->
+    let bound_as =
+      match alias with Some a -> a | None -> List.hd path
+    in
+    { path; bound_as; is_from = false } :: acc
+  | From_import ({ fc_level; fc_path }, names) when fc_level = 0 ->
+    List.fold_left
+      (fun acc (name, alias) ->
+         { path = fc_path; bound_as = Option.value alias ~default:name;
+           is_from = true }
+         :: acc)
+      acc names
+  | From_import (_, _) ->
+    (* relative imports are intra-package wiring, never external debloating
+       candidates; the interpreter resolves them at run time *)
+    acc
+  | Def { dbody; _ } -> scan_stmts acc dbody
+  | Class { cbody; _ } -> scan_stmts acc cbody
+  | If (branches, orelse) ->
+    let acc = List.fold_left (fun acc (_, b) -> scan_stmts acc b) acc branches in
+    scan_stmts acc orelse
+  | While (_, body) -> scan_stmts acc body
+  | For (_, _, body) -> scan_stmts acc body
+  | Try (body, handlers, finally) ->
+    let acc = scan_stmts acc body in
+    let acc = List.fold_left (fun acc h -> scan_stmts acc h.hbody) acc handlers in
+    scan_stmts acc finally
+  | Expr_stmt _ | Assign _ | AugAssign _ | Return _ | Raise _ | Pass | Break
+  | Continue | Global _ | Del _ | Assert _ -> acc
+
+let imports (prog : Minipy.Ast.program) : import list =
+  List.rev (scan_stmts [] prog)
+
+(* Distinct top-level module roots, e.g. [torch; numpy], the candidates the
+   profiler ranks. [simrt] is the interpreter-provided costing module and is
+   never a debloating candidate. *)
+let root_modules (prog : Minipy.Ast.program) : string list =
+  let roots =
+    List.fold_left
+      (fun set i -> String_set.add (List.hd i.path) set)
+      String_set.empty (imports prog)
+  in
+  String_set.elements (String_set.remove "simrt" roots)
+
+(* Full dotted module paths mentioned anywhere. *)
+let dotted_modules (prog : Minipy.Ast.program) : string list =
+  let set =
+    List.fold_left
+      (fun set i -> String_set.add (Minipy.Ast.dotted_to_string i.path) set)
+      String_set.empty (imports prog)
+  in
+  String_set.elements set

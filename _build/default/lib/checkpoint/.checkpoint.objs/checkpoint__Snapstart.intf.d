@@ -1,0 +1,1 @@
+lib/checkpoint/snapstart.mli: Platform

@@ -1,0 +1,57 @@
+(* Checkpoint/Restore substrate modelled on the CRIU prototype of §8.6.
+
+   Checkpointing freezes the process right after Function Initialization;
+   restoring replays the process tree and maps the checkpoint image back in.
+   The paper's observations, which this model encodes:
+
+   - restore carries a fixed overhead (~0.1 s: fork + /proc state rebuild),
+     which makes C/R *worse* than plain init for small apps (<0.2 s init);
+   - for larger apps restore wins because loading memory pages from the
+     image is much faster than file I/O and interpreter execution;
+   - the checkpoint image holds the resident memory of the initialized
+     process plus interpreter baseline pages, so debloating shrinks it
+     (Table 3: average −11 %). *)
+
+type params = {
+  restore_base_ms : float;       (* fork + /proc restore overhead *)
+  restore_mb_per_s : float;      (* page load bandwidth from image *)
+  image_fraction : float;        (* fraction of peak RSS captured in image *)
+  image_base_mb : float;         (* interpreter/runtime baseline pages *)
+}
+
+let default_params =
+  { restore_base_ms = 100.0;
+    restore_mb_per_s = 2200.0;
+    image_fraction = 0.42;
+    image_base_mb = 7.0 }
+
+(* Size of the checkpoint taken after Function Initialization, given the
+   measured post-init footprint. *)
+let checkpoint_size_mb ?(params = default_params) ~post_init_memory_mb () =
+  params.image_base_mb +. (params.image_fraction *. post_init_memory_mb)
+
+(* Time to restore from a checkpoint (replaces Function Initialization). *)
+let restore_ms ?(params = default_params) ~checkpoint_mb () =
+  params.restore_base_ms +. (checkpoint_mb /. params.restore_mb_per_s *. 1000.0)
+
+type variant = Original | Cr | Trimmed | Cr_and_trimmed
+
+let variant_name = function
+  | Original -> "original"
+  | Cr -> "C/R"
+  | Trimmed -> "lambda-trim"
+  | Cr_and_trimmed -> "C/R + lambda-trim"
+
+(* Effective initialization time of each Figure-12 variant, from the measured
+   init time and post-init footprint of the original and trimmed apps. *)
+let init_time_ms ?(params = default_params) ~variant ~orig_init_ms
+    ~orig_post_init_mb ~trim_init_ms ~trim_post_init_mb () =
+  match variant with
+  | Original -> orig_init_ms
+  | Trimmed -> trim_init_ms
+  | Cr ->
+    let ckpt = checkpoint_size_mb ~params ~post_init_memory_mb:orig_post_init_mb () in
+    restore_ms ~params ~checkpoint_mb:ckpt ()
+  | Cr_and_trimmed ->
+    let ckpt = checkpoint_size_mb ~params ~post_init_memory_mb:trim_post_init_mb () in
+    restore_ms ~params ~checkpoint_mb:ckpt ()

@@ -1,0 +1,60 @@
+(* AWS SnapStart cost model (§8.6, Figures 13-14).
+
+   SnapStart charges two line items on top of normal invocation costs:
+   - caching: $/GB-second for keeping the encrypted snapshot available, paid
+     for the *whole wall-clock period* the function version exists;
+   - restore: $/GB of snapshot restored, paid per cold start (per restore).
+
+   Rates follow AWS's published SnapStart pricing. Because caching accrues
+   24/7 while compute accrues only during requests, rarely-invoked functions
+   spend most of their budget on C/R support — the effect Figure 13 shows
+   (median > 60 % even at long keep-alives). *)
+
+type pricing = {
+  cache_price_per_gb_s : float;
+  restore_price_per_gb : float;
+}
+
+let aws_snapstart_pricing =
+  { cache_price_per_gb_s = 0.0000015046; restore_price_per_gb = 0.0001397998 }
+
+type costs = {
+  invocation_cost : float;   (* normal compute cost over the window *)
+  cache_cost : float;
+  restore_cost : float;
+}
+
+let total c = c.invocation_cost +. c.cache_cost +. c.restore_cost
+
+let snapstart_share c =
+  let t = total c in
+  if t = 0.0 then 0.0 else (c.cache_cost +. c.restore_cost) /. t
+
+(* Costs of running a function over a trace window with SnapStart enabled.
+
+   [snapshot_mb] — size of the VM snapshot (derived from the post-init
+   footprint); [billed_ms_cold]/[billed_ms_warm] — billed duration per cold
+   (with SnapStart, cold = restore + exec) and warm invocation;
+   [memory_mb] — configured memory; the replay supplies cold/warm counts. *)
+let costs_over_window ?(pricing = aws_snapstart_pricing)
+    ~(lambda_pricing : Platform.Pricing.t) ~snapshot_mb ~memory_mb
+    ~billed_ms_cold ~billed_ms_warm ~cold_starts ~warm_starts ~window_s () =
+  let inv_cost n billed_ms =
+    float_of_int n
+    *. Platform.Pricing.invocation_cost lambda_pricing ~duration_ms:billed_ms
+         ~memory_mb
+  in
+  let invocation_cost =
+    inv_cost cold_starts billed_ms_cold +. inv_cost warm_starts billed_ms_warm
+  in
+  let snapshot_gb = snapshot_mb /. 1024.0 in
+  let cache_cost = snapshot_gb *. window_s *. pricing.cache_price_per_gb_s in
+  let restore_cost =
+    float_of_int cold_starts *. snapshot_gb *. pricing.restore_price_per_gb
+  in
+  { invocation_cost; cache_cost; restore_cost }
+
+(* VM-level snapshot: unlike a CRIU process image it includes the guest OS
+   and runtime pages, hence larger than the process footprint alone. *)
+let snapshot_size_mb ~post_init_memory_mb ~image_mb =
+  60.0 +. (0.8 *. post_init_memory_mb) +. (0.08 *. image_mb)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Buffer Callgraph Common List Minipy Platform Printf Trim Workloads

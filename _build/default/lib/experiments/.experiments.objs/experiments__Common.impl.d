@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Hashtbl Platform Printf String Trim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Buffer Common List Platform Printf String Workloads

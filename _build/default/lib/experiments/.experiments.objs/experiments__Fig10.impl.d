@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Buffer Common List Platform Printf String

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Buffer Checkpoint Common Float List Platform Printf String

@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Buffer Checkpoint Common List Platform Printf String

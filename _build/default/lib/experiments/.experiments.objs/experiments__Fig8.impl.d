@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Buffer Common Float List Platform Printf String

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Buffer Common List Platform Printf String Trim

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Fig1 Fig10 Fig11 Fig12 Fig13 Fig14 Fig2 Fig8 Fig9 List String Table1 Table2 Table3 Table4

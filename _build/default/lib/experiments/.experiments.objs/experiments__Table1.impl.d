@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Buffer Common List Platform Printf String Workloads

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Baselines Buffer Common List Option Platform Printf String Workloads

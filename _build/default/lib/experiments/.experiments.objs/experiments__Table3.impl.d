@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Buffer Checkpoint Common List Platform Printf String Trim

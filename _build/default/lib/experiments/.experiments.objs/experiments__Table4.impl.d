@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Buffer Common List Minipy Option Platform Printf String Trim Workloads

@@ -1,0 +1,274 @@
+(* Ablations of λ-trim's design choices, beyond the paper's own figures:
+
+   - attribute vs statement granularity (the §6.1 design argument);
+   - PyCG protection on/off (the §5.1 claim that excluding definitely-
+     accessed attributes "speeds up the debloating phase");
+   - intra-module parallel DD (§9 future work): critical-path rounds vs
+     sequential queries;
+   - continuous debloating (§9): oracle queries on re-run with seeds. *)
+
+module SS = Callgraph.Pycg.String_set
+
+let apps_small = [ "dna-visualization"; "lightgbm"; "markdown"; "shapely-numpy" ]
+
+(* --- granularity ---------------------------------------------------------- *)
+
+type granularity_row = {
+  g_app : string;
+  g_module : string;
+  attr_kept : int;
+  stmt_kept : int;
+  attr_mem_pct : float;
+  stmt_mem_pct : float;
+}
+
+let granularity_row app =
+  let spec = Workloads.Apps.find app in
+  let d = Workloads.Codegen.deployment spec in
+  let oracle, _ = Trim.Oracle.for_reference d in
+  let analysis = Trim.Static_analyzer.analyze d in
+  let module_name =
+    match spec.Workloads.Apps.libs with
+    | l :: _ -> l.Workloads.Libspec.l_name
+    | [] -> invalid_arg "app without libraries"
+  in
+  let protected = Trim.Static_analyzer.protected_attrs analysis ~module_name in
+  let d_attr, r_attr =
+    Trim.Debloater.debloat_module ~oracle ~protected d ~module_name
+  in
+  let d_stmt, r_stmt =
+    Trim.Debloater.debloat_module_statements ~oracle ~protected d ~module_name
+  in
+  let mem dep = (Common.measure spec dep).Common.cold.Platform.Lambda_sim.peak_memory_mb in
+  let base = mem d in
+  { g_app = app;
+    g_module = module_name;
+    attr_kept = r_attr.Trim.Debloater.attrs_after;
+    stmt_kept = r_stmt.Trim.Debloater.attrs_after;
+    attr_mem_pct = Common.pct ~before:base ~after:(mem d_attr);
+    stmt_mem_pct = Common.pct ~before:base ~after:(mem d_stmt) }
+
+let print_granularity () =
+  let rows = List.map granularity_row apps_small in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Common.header
+       "Ablation: attribute vs statement granularity (§6.1) — primary module");
+  Buffer.add_string b
+    (Printf.sprintf "  %-18s %-12s %10s %10s %10s %10s\n" "" "module"
+       "attr kept" "stmt kept" "attr mem%" "stmt mem%");
+  List.iter
+    (fun r ->
+       Buffer.add_string b
+         (Printf.sprintf "  %-18s %-12s %10d %10d %9.1f%% %9.1f%%\n" r.g_app
+            r.g_module r.attr_kept r.stmt_kept r.attr_mem_pct r.stmt_mem_pct))
+    rows;
+  Buffer.add_string b
+    "  Attribute granularity keeps no more (usually fewer) attributes and\n\
+    \  never loses memory to statement granularity (per-name from-import \
+     filtering).\n";
+  Buffer.contents b
+
+(* --- PyCG protection ------------------------------------------------------ *)
+
+let print_protection () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Common.header
+       "Ablation: PyCG protection (§5.1) — oracle queries with and without");
+  Buffer.add_string b
+    (Printf.sprintf "  %-18s %-12s %12s %12s %10s\n" "" "module" "with PyCG"
+       "without" "saved");
+  List.iter
+    (fun app ->
+       let spec = Workloads.Apps.find app in
+       let d = Workloads.Codegen.deployment spec in
+       let oracle, _ = Trim.Oracle.for_reference d in
+       let analysis = Trim.Static_analyzer.analyze d in
+       let module_name =
+         match spec.Workloads.Apps.libs with
+         | l :: _ -> l.Workloads.Libspec.l_name
+         | [] -> assert false
+       in
+       let protected =
+         Trim.Static_analyzer.protected_attrs analysis ~module_name
+       in
+       let _, with_pycg =
+         Trim.Debloater.debloat_module ~oracle ~protected d ~module_name
+       in
+       let _, without =
+         Trim.Debloater.debloat_module ~oracle ~protected:SS.empty d
+           ~module_name
+       in
+       Buffer.add_string b
+         (Printf.sprintf "  %-18s %-12s %12d %12d %9.0f%%\n" app module_name
+            with_pycg.Trim.Debloater.oracle_queries
+            without.Trim.Debloater.oracle_queries
+            (Common.pct
+               ~before:(float_of_int without.Trim.Debloater.oracle_queries)
+               ~after:(float_of_int with_pycg.Trim.Debloater.oracle_queries))))
+    apps_small;
+  Buffer.contents b
+
+(* --- parallel DD ---------------------------------------------------------- *)
+
+let print_parallel () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Common.header
+       "Ablation: intra-module parallel DD (§9) — critical-path rounds");
+  let app = Workloads.Suite.tiny_app ~attrs:48 () in
+  let oracle, _ = Trim.Oracle.for_reference app in
+  let file = "site-packages/tinylib/__init__.py" in
+  let prog =
+    Minipy.Parser.parse ~file
+      (Minipy.Vfs.read_exn app.Platform.Deployment.vfs file)
+  in
+  let candidates = Trim.Attrs.attrs_of_program prog in
+  let dd_oracle subset =
+    oracle (Trim.Debloater.with_restricted app ~file ~keep:subset)
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  %-10s %10s %10s %10s\n" "workers" "queries" "rounds"
+       "speedup");
+  let base_rounds = ref 0 in
+  List.iter
+    (fun workers ->
+       let _, s = Trim.Dd.minimize_parallel ~workers ~oracle:dd_oracle candidates in
+       if workers = 1 then base_rounds := s.Trim.Dd.p_rounds;
+       Buffer.add_string b
+         (Printf.sprintf "  %-10d %10d %10d %9.1fx\n" workers
+            s.Trim.Dd.p_oracle_queries s.Trim.Dd.p_rounds
+            (float_of_int !base_rounds /. float_of_int s.Trim.Dd.p_rounds)))
+    [ 1; 2; 4; 8; 16 ];
+  Buffer.contents b
+
+(* --- continuous pipeline -------------------------------------------------- *)
+
+let print_continuous () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Common.header
+       "Ablation: continuous debloating (§9) — fresh vs seeded re-run");
+  Buffer.add_string b
+    (Printf.sprintf "  %-18s %12s %12s %10s %10s\n" "" "fresh" "continuous"
+       "saved" "seed hits");
+  List.iter
+    (fun app ->
+       let d = Workloads.Suite.deployment_of app in
+       let options = { Trim.Pipeline.default_options with k = 8 } in
+       let first = Trim.Pipeline.run ~options d in
+       let second = Trim.Pipeline.run_continuous ~options ~previous:first d in
+       Buffer.add_string b
+         (Printf.sprintf "  %-18s %12d %12d %9.0f%% %6d/%d\n" app
+            first.Trim.Pipeline.total_oracle_queries
+            second.Trim.Pipeline.base.Trim.Pipeline.total_oracle_queries
+            (Common.pct
+               ~before:(float_of_int first.Trim.Pipeline.total_oracle_queries)
+               ~after:
+                 (float_of_int
+                    second.Trim.Pipeline.base.Trim.Pipeline.total_oracle_queries))
+            second.Trim.Pipeline.seed_hits second.Trim.Pipeline.seeded_modules))
+    apps_small;
+  Buffer.contents b
+
+(* --- bursty scale-out ------------------------------------------------------
+
+   §1 motivates λ-trim with bursty scale-out workloads: every overflow
+   request in a burst pays a full cold start in parallel, so Function
+   Initialization is multiplied by the burst width. This experiment replays
+   a bursty day through the concurrent pool model and prices both variants. *)
+
+let print_bursts () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Common.header
+       "Ablation: bursty scale-out (§1) — concurrent pool, 24h of 40-wide \
+        bursts");
+  Buffer.add_string b
+    (Printf.sprintf "  %-18s %6s %6s %6s %14s %8s\n" "" "cold" "warm" "peak"
+       "bill o->t ($)" "saving");
+  List.iter
+    (fun app ->
+       let t = Common.trimmed app in
+       let orig = t.Common.original_m.Common.cold in
+       let trim = t.Common.trimmed_m.Common.cold in
+       let open Platform.Lambda_sim in
+       let trace =
+         Platform.Trace.bursty ~seed:17 ~burst_size:40 ~burst_rate_per_s:20.0
+           ~idle_gap_s:3600.0 ~bursts:24 ~name:"burst-day"
+       in
+       let bill (r : record) =
+         let replay =
+           Platform.Trace.replay_concurrent
+             ~exec_s:(r.exec_ms /. 1000.0)
+             ~cold_extra_s:(r.init_ms /. 1000.0)
+             trace ~keep_alive_s:900.0
+         in
+         let cold_cost =
+           Platform.Pricing.invocation_cost Platform.Pricing.aws
+             ~duration_ms:(r.init_ms +. r.exec_ms)
+             ~memory_mb:r.peak_memory_mb
+         in
+         let warm_cost =
+           Platform.Pricing.invocation_cost Platform.Pricing.aws
+             ~duration_ms:r.exec_ms ~memory_mb:r.peak_memory_mb
+         in
+         ( (float_of_int replay.Platform.Trace.c_cold_starts *. cold_cost)
+           +. (float_of_int replay.Platform.Trace.c_warm_starts *. warm_cost),
+           replay )
+       in
+       let orig_bill, replay = bill orig in
+       let trim_bill, _ = bill trim in
+       Buffer.add_string b
+         (Printf.sprintf "  %-18s %6d %6d %6d %6.4f->%6.4f %7.1f%%\n" app
+            replay.Platform.Trace.c_cold_starts
+            replay.Platform.Trace.c_warm_starts
+            replay.Platform.Trace.c_peak_instances orig_bill trim_bill
+            (Common.pct ~before:orig_bill ~after:trim_bill)))
+    [ "resnet"; "skimage"; "lightgbm"; "spacy"; "huggingface"; "ffmpeg" ];
+  Buffer.add_string b
+    "  Bursts multiply Function Initialization by the burst width; trimming\n\
+    \  the init phase also shrinks the concurrent cold-start pool.\n";
+  Buffer.contents b
+
+(* --- provider pricing granularity -----------------------------------------
+
+   §2.1's footnote: AWS bills per ms, GCP rounds to 100 ms, Azure to 1 s.
+   Rounding punishes short functions — a 40 ms markdown invocation bills a
+   whole second on Azure — which changes both the absolute bill and how much
+   of it λ-trim can recover. *)
+
+let print_providers () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Common.header
+       "Ablation: provider billing granularity (§2.1) — cold-start cost and \
+        lambda-trim saving");
+  Buffer.add_string b
+    (Printf.sprintf "  %-18s %24s %24s %24s\n" ""
+       "AWS $ o->t (sav%)" "GCP $ o->t (sav%)" "Azure $ o->t (sav%)");
+  List.iter
+    (fun app ->
+       let t = Common.trimmed app in
+       let orig = t.Common.original_m.Common.cold in
+       let trim = t.Common.trimmed_m.Common.cold in
+       let open Platform.Lambda_sim in
+       let cost pricing (r : record) =
+         Platform.Pricing.invocation_cost pricing
+           ~duration_ms:(r.init_ms +. r.exec_ms) ~memory_mb:r.peak_memory_mb
+       in
+       let cell pricing =
+         let o = cost pricing orig and tr = cost pricing trim in
+         Printf.sprintf "%9.2e->%9.2e (%4.0f%%)" o tr
+           (Common.pct ~before:o ~after:tr)
+       in
+       Buffer.add_string b
+         (Printf.sprintf "  %-18s %s %s %s\n" app
+            (cell Platform.Pricing.aws) (cell Platform.Pricing.gcp)
+            (cell Platform.Pricing.azure)))
+    [ "markdown"; "igraph"; "lightgbm"; "skimage"; "resnet" ];
+  Buffer.add_string b
+    "  Coarser rounding (Azure 1 s) floors short invocations, shrinking the\n\
+    \  duration component lambda-trim can recover; memory savings survive.\n";
+  Buffer.contents b

@@ -1,0 +1,85 @@
+(* Shared measurement machinery for the experiment harness.
+
+   Pipeline runs are memoized per (app, scoring method, K): Figures 8-10 and
+   Tables 2-3 all reuse the default-configuration debloating result. *)
+
+type measurement = {
+  spec : Workloads.Apps.spec;
+  deployment : Platform.Deployment.t;
+  cold : Platform.Lambda_sim.record;
+  warm : Platform.Lambda_sim.record;
+}
+
+let first_event (spec : Workloads.Apps.spec) =
+  match spec.Workloads.Apps.tests with (_, e) :: _ -> e | [] -> "{}"
+
+(* Table-1-like platform parameters: fast instance provisioning and image
+   caching, so E2E ≈ init + exec + small overhead (§2.2). *)
+let table1_params =
+  { Platform.Lambda_sim.default_params with
+    instance_init_ms = 300.0;
+    transmission_mb_per_s = 2000.0 }
+
+(* Figure-1-like parameters: the slow-path cold start with full image pull. *)
+let fig1_params =
+  { Platform.Lambda_sim.default_params with
+    instance_init_ms = 5640.0;
+    transmission_mb_per_s = 167.0 }
+
+let measure ?(params = table1_params) (spec : Workloads.Apps.spec)
+    (deployment : Platform.Deployment.t) : measurement =
+  let sim = Platform.Lambda_sim.create ~params deployment in
+  let event = first_event spec in
+  let cold, warm = Platform.Lambda_sim.measure_cold_and_warm ~event sim in
+  { spec; deployment; cold; warm }
+
+(* --- memoized pipeline runs --------------------------------------------- *)
+
+type trimmed = {
+  report : Trim.Pipeline.report;
+  original_m : measurement;
+  trimmed_m : measurement;
+}
+
+let cache : (string, trimmed) Hashtbl.t = Hashtbl.create 64
+
+let key name scoring k =
+  Printf.sprintf "%s/%s/%d" name (Trim.Scoring.method_name scoring) k
+
+let trimmed ?(scoring = Trim.Scoring.Combined) ?(k = 20) name : trimmed =
+  let cache_key = key name scoring k in
+  match Hashtbl.find_opt cache cache_key with
+  | Some t -> t
+  | None ->
+    let spec = Workloads.Apps.find name in
+    let deployment = Workloads.Codegen.deployment spec in
+    let report =
+      Trim.Pipeline.run
+        ~options:{ Trim.Pipeline.default_options with k; scoring }
+        deployment
+    in
+    let t =
+      { report;
+        original_m = measure spec deployment;
+        trimmed_m = measure spec report.Trim.Pipeline.optimized }
+    in
+    Hashtbl.replace cache cache_key t;
+    t
+
+let all_app_names = Workloads.Suite.names
+
+(* --- formatting helpers -------------------------------------------------- *)
+
+let hr = String.make 78 '-'
+
+let header title =
+  Printf.sprintf "\n%s\n%s\n%s\n" hr title hr
+
+let pct = Platform.Metrics.improvement_pct
+
+(* Cost of a single cold invocation at the paper's price point. *)
+let cost_of (r : Platform.Lambda_sim.record) = r.Platform.Lambda_sim.cost
+
+(* Cost of 100K invocations as Figure 2 reports. *)
+let cost_100k (r : Platform.Lambda_sim.record) =
+  r.Platform.Lambda_sim.cost *. 100_000.0

@@ -1,0 +1,62 @@
+(* Figure 10: varying K, the number of modules to debloat. Improvements grow
+   with K and plateau once the modules that dominate the import process have
+   been debloated (paper: plateau at K = 20). *)
+
+let apps = [ "dna-visualization"; "lightgbm"; "spacy" ]
+let ks = [ 1; 5; 10; 15; 20; 30; 40; 50 ]
+
+type point = {
+  k : int;
+  mem_pct : float;
+  e2e_pct : float;
+  cost_pct : float;
+}
+
+type row = {
+  app : string;
+  points : point list;
+}
+
+let point_of name k =
+  let t = Common.trimmed ~k name in
+  let b = t.Common.original_m.Common.cold in
+  let a = t.Common.trimmed_m.Common.cold in
+  let open Platform.Lambda_sim in
+  { k;
+    mem_pct = Common.pct ~before:b.peak_memory_mb ~after:a.peak_memory_mb;
+    e2e_pct = Common.pct ~before:b.e2e_ms ~after:a.e2e_ms;
+    cost_pct = Common.pct ~before:(Common.cost_of b) ~after:(Common.cost_of a) }
+
+let run () : row list =
+  List.map (fun app -> { app; points = List.map (point_of app) ks }) apps
+
+let print () =
+  let rows = run () in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Common.header "Figure 10: improvement vs number of modules debloated (K)");
+  List.iter
+    (fun r ->
+       Buffer.add_string b (Printf.sprintf "  %s\n" r.app);
+       Buffer.add_string b
+         (Printf.sprintf "    %-6s %8s %8s %8s\n" "K" "Mem%" "E2E%" "Cost%");
+       List.iter
+         (fun p ->
+            Buffer.add_string b
+              (Printf.sprintf "    %-6d %7.1f%% %7.1f%% %7.1f%%\n" p.k p.mem_pct
+                 p.e2e_pct p.cost_pct))
+         r.points)
+    rows;
+  Buffer.contents b
+
+let csv () =
+  "app,k,mem_pct,e2e_pct,cost_pct\n"
+  ^ String.concat ""
+      (List.concat_map
+         (fun r ->
+            List.map
+              (fun p ->
+                 Printf.sprintf "%s,%d,%.2f,%.2f,%.2f\n" r.app p.k p.mem_pct
+                   p.e2e_pct p.cost_pct)
+              r.points)
+         (run ()))

@@ -1,0 +1,51 @@
+(* Figure 11: warm-start E2E impact of λ-trim. Expected: within noise (<10 %),
+   since a debloated application's execution path is unchanged. *)
+
+type row = {
+  app : string;
+  warm_before_s : float;
+  warm_after_s : float;
+  impact_pct : float;   (* positive = trimmed slower *)
+}
+
+let row_of name =
+  let t = Common.trimmed name in
+  let b = t.Common.original_m.Common.warm in
+  let a = t.Common.trimmed_m.Common.warm in
+  let open Platform.Lambda_sim in
+  { app = name;
+    warm_before_s = b.e2e_ms /. 1000.0;
+    warm_after_s = a.e2e_ms /. 1000.0;
+    impact_pct =
+      (if b.e2e_ms = 0.0 then 0.0
+       else (a.e2e_ms -. b.e2e_ms) /. b.e2e_ms *. 100.0) }
+
+let run () : row list = List.map row_of Common.all_app_names
+
+let print () =
+  let rows = run () in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b (Common.header "Figure 11: warm-start E2E impact");
+  Buffer.add_string b
+    (Printf.sprintf "  %-18s %12s %12s %8s\n" "" "Orig(s)" "Trimmed(s)" "Impact");
+  List.iter
+    (fun r ->
+       Buffer.add_string b
+         (Printf.sprintf "  %-18s %12.3f %12.3f %+7.2f%%\n" r.app
+            r.warm_before_s r.warm_after_s r.impact_pct))
+    rows;
+  let worst =
+    List.fold_left (fun acc r -> Float.max acc (Float.abs r.impact_pct)) 0.0 rows
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  Max |impact|: %.2f%% (paper: <10%%)\n" worst);
+  Buffer.contents b
+
+let csv () =
+  "app,warm_before_s,warm_after_s,impact_pct\n"
+  ^ String.concat ""
+      (List.map
+         (fun r ->
+            Printf.sprintf "%s,%.4f,%.4f,%.3f\n" r.app r.warm_before_s
+              r.warm_after_s r.impact_pct)
+         (run ()))

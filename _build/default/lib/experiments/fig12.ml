@@ -1,0 +1,67 @@
+(* Figure 12: Function Initialization time of four variants — original, C/R
+   (CRIU restore), λ-trim, and C/R + λ-trim. Expected shape (§8.6): C/R loses
+   on small apps (fixed ~0.1 s restore overhead), wins on large ones; λ-trim
+   shrinks the checkpoint, so the combination dominates. *)
+
+type row = {
+  app : string;
+  original_ms : float;
+  cr_ms : float;
+  trim_ms : float;
+  cr_trim_ms : float;
+}
+
+let row_of name =
+  let t = Common.trimmed name in
+  let b = t.Common.original_m.Common.cold in
+  let a = t.Common.trimmed_m.Common.cold in
+  let open Platform.Lambda_sim in
+  let init v =
+    Checkpoint.Criu.init_time_ms ~variant:v ~orig_init_ms:b.init_ms
+      ~orig_post_init_mb:b.peak_memory_mb ~trim_init_ms:a.init_ms
+      ~trim_post_init_mb:a.peak_memory_mb ()
+  in
+  { app = name;
+    original_ms = init Checkpoint.Criu.Original;
+    cr_ms = init Checkpoint.Criu.Cr;
+    trim_ms = init Checkpoint.Criu.Trimmed;
+    cr_trim_ms = init Checkpoint.Criu.Cr_and_trimmed }
+
+let run () : row list = List.map row_of Common.all_app_names
+
+let print () =
+  let rows = run () in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Common.header
+       "Figure 12: initialization time — original / C/R / lambda-trim / \
+        C/R + lambda-trim (ms)");
+  Buffer.add_string b
+    (Printf.sprintf "  %-18s %10s %10s %10s %12s %s\n" "" "Original" "C/R"
+       "l-trim" "C/R+l-trim" "winner");
+  List.iter
+    (fun r ->
+       let winner =
+         let best =
+           List.fold_left Float.min r.original_ms
+             [ r.cr_ms; r.trim_ms; r.cr_trim_ms ]
+         in
+         if best = r.cr_trim_ms then "C/R+l-trim"
+         else if best = r.trim_ms then "l-trim"
+         else if best = r.cr_ms then "C/R"
+         else "original"
+       in
+       Buffer.add_string b
+         (Printf.sprintf "  %-18s %10.0f %10.0f %10.0f %12.0f %s\n" r.app
+            r.original_ms r.cr_ms r.trim_ms r.cr_trim_ms winner))
+    rows;
+  Buffer.contents b
+
+let csv () =
+  "app,original_ms,cr_ms,trim_ms,cr_trim_ms\n"
+  ^ String.concat ""
+      (List.map
+         (fun r ->
+            Printf.sprintf "%s,%.1f,%.1f,%.1f,%.1f\n" r.app r.original_ms
+              r.cr_ms r.trim_ms r.cr_trim_ms)
+         (run ()))

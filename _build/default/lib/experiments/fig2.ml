@@ -1,0 +1,69 @@
+(* Figure 2: billed duration (split into Function Initialization and
+   Function Execution) and monetary cost of cold starts, priced for 100 K
+   invocations. The paper's headline: the median import share of billed
+   duration is 53.75 %, higher for larger applications. *)
+
+type row = {
+  app : string;
+  import_s : float;
+  exec_s : float;
+  import_share_pct : float;
+  cost_100k_usd : float;
+}
+
+type result = {
+  rows : row list;
+  median_share_pct : float;
+}
+
+let run () : result =
+  let rows =
+    List.map
+      (fun (spec : Workloads.Apps.spec) ->
+         let d = Workloads.Codegen.deployment spec in
+         let m = Common.measure spec d in
+         let c = m.Common.cold in
+         let init = c.Platform.Lambda_sim.init_ms in
+         let exec = c.Platform.Lambda_sim.exec_ms in
+         { app = spec.Workloads.Apps.name;
+           import_s = init /. 1000.0;
+           exec_s = exec /. 1000.0;
+           import_share_pct = 100.0 *. init /. (init +. exec);
+           cost_100k_usd = Common.cost_100k c })
+      Workloads.Apps.all
+  in
+  { rows;
+    median_share_pct =
+      Platform.Metrics.median (List.map (fun r -> r.import_share_pct) rows) }
+
+let print () =
+  let r = run () in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Common.header
+       "Figure 2: billed duration (import vs exec) and cost of cold starts \
+        (100K invocations)");
+  Buffer.add_string b
+    (Printf.sprintf "  %-18s %10s %10s %9s %12s\n" "" "Import(s)" "Exec(s)"
+       "Import%" "Cost($)");
+  List.iter
+    (fun row ->
+       Buffer.add_string b
+         (Printf.sprintf "  %-18s %10.2f %10.2f %8.1f%% %12.2f\n" row.app
+            row.import_s row.exec_s row.import_share_pct row.cost_100k_usd))
+    r.rows;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  Median import share of billed duration: %.1f%% (paper: 53.75%%)\n"
+       r.median_share_pct);
+  Buffer.contents b
+
+let csv () =
+  let r = run () in
+  "app,import_s,exec_s,import_share_pct,cost_100k_usd\n"
+  ^ String.concat ""
+      (List.map
+         (fun row ->
+            Printf.sprintf "%s,%.3f,%.3f,%.2f,%.4f\n" row.app row.import_s
+              row.exec_s row.import_share_pct row.cost_100k_usd)
+         r.rows)

@@ -1,0 +1,75 @@
+(* Figure 9: ablation of the profiler's scoring method (time / memory /
+   combined / random) on dna-visualization, lightgbm and spacy. The paper's
+   finding: the combined Eq.-2 method consistently dominates. A small K makes
+   the ranking decision actually matter (at K = 20 every method eventually
+   reaches all modules in small apps). *)
+
+let apps = [ "dna-visualization"; "lightgbm"; "spacy" ]
+
+let methods =
+  [ Trim.Scoring.Time; Trim.Scoring.Memory; Trim.Scoring.Combined;
+    Trim.Scoring.Random 42 ]
+
+type cell = {
+  cost_pct : float;
+  mem_pct : float;
+  e2e_pct : float;
+}
+
+type row = {
+  app : string;
+  per_method : (string * cell) list;   (* method name -> improvements *)
+}
+
+let ablation_k = 3
+
+let cell_of name scoring =
+  let t = Common.trimmed ~scoring ~k:ablation_k name in
+  let b = t.Common.original_m.Common.cold in
+  let a = t.Common.trimmed_m.Common.cold in
+  let open Platform.Lambda_sim in
+  { cost_pct = Common.pct ~before:(Common.cost_of b) ~after:(Common.cost_of a);
+    mem_pct = Common.pct ~before:b.peak_memory_mb ~after:a.peak_memory_mb;
+    e2e_pct = Common.pct ~before:b.e2e_ms ~after:a.e2e_ms }
+
+let run () : row list =
+  List.map
+    (fun app ->
+       { app;
+         per_method =
+           List.map
+             (fun m -> (Trim.Scoring.method_name m, cell_of app m))
+             methods })
+    apps
+
+let print () =
+  let rows = run () in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Common.header
+       (Printf.sprintf
+          "Figure 9: scoring-method ablation (K = %d): cost / memory / E2E \
+           improvement" ablation_k));
+  List.iter
+    (fun r ->
+       Buffer.add_string b (Printf.sprintf "  %s\n" r.app);
+       List.iter
+         (fun (m, c) ->
+            Buffer.add_string b
+              (Printf.sprintf "    %-9s cost %6.1f%%  mem %6.1f%%  e2e %6.1f%%\n"
+                 m c.cost_pct c.mem_pct c.e2e_pct))
+         r.per_method)
+    rows;
+  Buffer.contents b
+
+let csv () =
+  "app,method,cost_pct,mem_pct,e2e_pct\n"
+  ^ String.concat ""
+      (List.concat_map
+         (fun r ->
+            List.map
+              (fun (m, c) ->
+                 Printf.sprintf "%s,%s,%.2f,%.2f,%.2f\n" r.app m c.cost_pct
+                   c.mem_pct c.e2e_pct)
+              r.per_method)
+         (run ()))

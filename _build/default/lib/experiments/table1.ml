@@ -1,0 +1,55 @@
+(* Table 1: the benchmarked applications — image size, import time, execution
+   time, and E2E latency of a cold start, next to the paper's numbers. *)
+
+type row = {
+  app : string;
+  origin : string;
+  size_mb : float;
+  import_s : float;
+  exec_s : float;
+  e2e_s : float;
+  paper : Workloads.Apps.paper_metrics;
+}
+
+let run () : row list =
+  List.map
+    (fun (spec : Workloads.Apps.spec) ->
+       let d = Workloads.Codegen.deployment spec in
+       let m = Common.measure spec d in
+       let c = m.Common.cold in
+       { app = spec.Workloads.Apps.name;
+         origin = spec.Workloads.Apps.origin;
+         size_mb = Platform.Deployment.image_mb d;
+         import_s = c.Platform.Lambda_sim.init_ms /. 1000.0;
+         exec_s = c.Platform.Lambda_sim.exec_ms /. 1000.0;
+         e2e_s = c.Platform.Lambda_sim.e2e_ms /. 1000.0;
+         paper = spec.Workloads.Apps.paper })
+    Workloads.Apps.all
+
+let print () =
+  let rows = run () in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b (Common.header "Table 1: benchmarked applications");
+  Buffer.add_string b
+    (Printf.sprintf "  %-18s %-12s %19s %19s %19s\n" "" ""
+       "Size(MB) ours/ppr" "Import(s) ours/ppr" "E2E(s) ours/ppr");
+  List.iter
+    (fun r ->
+       Buffer.add_string b
+         (Printf.sprintf "  %-18s %-12s %8.1f /%8.1f %8.2f /%8.2f %8.2f /%8.2f\n"
+            r.app r.origin r.size_mb r.paper.Workloads.Apps.p_size_mb r.import_s
+            r.paper.Workloads.Apps.p_import_s r.e2e_s
+            r.paper.Workloads.Apps.p_e2e_s))
+    rows;
+  Buffer.contents b
+
+let csv () =
+  "app,origin,size_mb,import_s,exec_s,e2e_s,paper_size_mb,paper_import_s,paper_exec_s,paper_e2e_s\n"
+  ^ String.concat ""
+      (List.map
+         (fun r ->
+            Printf.sprintf "%s,%s,%.1f,%.3f,%.3f,%.3f,%.1f,%.2f,%.2f,%.2f\n"
+              r.app r.origin r.size_mb r.import_s r.exec_s r.e2e_s
+              r.paper.Workloads.Apps.p_size_mb r.paper.Workloads.Apps.p_import_s
+              r.paper.Workloads.Apps.p_exec_s r.paper.Workloads.Apps.p_e2e_s)
+         (run ()))

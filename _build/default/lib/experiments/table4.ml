@@ -1,0 +1,118 @@
+(* Table 4: E2E latencies (s) when triggering the fallback, for every
+   combination of cold/warm λ-trim function and cold/warm fallback function,
+   on the paper's four representative applications. The trimmed deployment
+   is over-trimmed on purpose (an attribute the handler needs is deleted) so
+   that every invocation triggers the fallback path. *)
+
+let apps = [ "dna-visualization"; "lightgbm"; "spacy"; "huggingface" ]
+
+type cell = {
+  trimmed_kind : Platform.Lambda_sim.start_kind;
+  fallback_kind : Platform.Lambda_sim.start_kind option;
+  e2e_s : float;
+}
+
+type row = {
+  app : string;
+  baseline_cold_s : float;     (* original app, no error *)
+  baseline_warm_s : float;
+  trim_cold_s : float;         (* trimmed app, no error *)
+  trim_warm_s : float;
+  cells : cell list;           (* the four fallback combinations *)
+}
+
+(* Build a deployment whose handler needs an attribute that is then deleted
+   from the trimmed image, guaranteeing an AttributeError at run time. *)
+let over_trimmed (d : Platform.Deployment.t) primary_lib =
+  let d' = Platform.Deployment.copy d in
+  let file = Printf.sprintf "site-packages/%s/__init__.py" primary_lib in
+  let src = Minipy.Vfs.read_exn d'.Platform.Deployment.vfs file in
+  let prog = Minipy.Parser.parse ~file src in
+  let keep =
+    List.filter (fun a -> a <> "run_task")
+      (Trim.Attrs.attrs_of_program prog)
+  in
+  let keep_set =
+    List.fold_left (fun s a -> Trim.Attrs.String_set.add a s)
+      Trim.Attrs.String_set.empty keep
+  in
+  Minipy.Vfs.add_file d'.Platform.Deployment.vfs file
+    (Minipy.Pretty.program_to_string (Trim.Attrs.restrict prog ~keep:keep_set));
+  d'
+
+let row_of name =
+  let spec = Workloads.Apps.find name in
+  let original = Workloads.Codegen.deployment spec in
+  let primary =
+    match spec.Workloads.Apps.libs with
+    | l :: _ -> l.Workloads.Libspec.l_name
+    | [] -> invalid_arg "app without libraries"
+  in
+  let trimmed_ok = (Common.trimmed name).Common.trimmed_m in
+  let baseline = Common.measure spec original in
+  let broken = over_trimmed original primary in
+  let event = Common.first_event spec in
+  let params = Common.table1_params in
+  let combo ~warm_trim ~warm_fb =
+    let trimmed_sim = Platform.Lambda_sim.create ~params broken in
+    let original_sim = Platform.Lambda_sim.create ~params original in
+    if warm_trim then
+      ignore (Platform.Lambda_sim.invoke trimmed_sim ~now_s:0.0 ~event ());
+    if warm_fb then
+      ignore (Platform.Lambda_sim.invoke original_sim ~now_s:0.0 ~event ());
+    let r =
+      Trim.Fallback.invoke ~event ~trimmed_sim ~original_sim ~now_s:10.0 ()
+    in
+    { trimmed_kind = r.Trim.Fallback.trimmed_record.Platform.Lambda_sim.kind;
+      fallback_kind =
+        Option.map
+          (fun (fr : Platform.Lambda_sim.record) -> fr.Platform.Lambda_sim.kind)
+          r.Trim.Fallback.fallback_record;
+      e2e_s = r.Trim.Fallback.e2e_ms /. 1000.0 }
+  in
+  let open Platform.Lambda_sim in
+  { app = name;
+    baseline_cold_s = baseline.Common.cold.e2e_ms /. 1000.0;
+    baseline_warm_s = baseline.Common.warm.e2e_ms /. 1000.0;
+    trim_cold_s = trimmed_ok.Common.cold.e2e_ms /. 1000.0;
+    trim_warm_s = trimmed_ok.Common.warm.e2e_ms /. 1000.0;
+    cells =
+      [ combo ~warm_trim:false ~warm_fb:false;
+        combo ~warm_trim:false ~warm_fb:true;
+        combo ~warm_trim:true ~warm_fb:false;
+        combo ~warm_trim:true ~warm_fb:true ] }
+
+let run () : row list = List.map row_of apps
+
+let print () =
+  let rows = run () in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    (Common.header "Table 4: E2E latencies (s) when triggering fallback");
+  Buffer.add_string b
+    (Printf.sprintf "  %-18s %11s %11s | %9s %9s %9s %9s\n" ""
+       "Orig c/w" "Trim c/w" "c->cold" "c->warm" "w->cold" "w->warm");
+  List.iter
+    (fun r ->
+       let cell i = (List.nth r.cells i).e2e_s in
+       Buffer.add_string b
+         (Printf.sprintf
+            "  %-18s %5.2f/%5.2f %5.2f/%5.2f | %9.2f %9.2f %9.2f %9.2f\n" r.app
+            r.baseline_cold_s r.baseline_warm_s r.trim_cold_s r.trim_warm_s
+            (cell 0) (cell 1) (cell 2) (cell 3)))
+    rows;
+  Buffer.add_string b
+    "  (c->cold = cold trimmed start falling back to a cold original, etc.)\n";
+  Buffer.contents b
+
+let csv () =
+  "app,baseline_cold_s,baseline_warm_s,trim_cold_s,trim_warm_s,\
+   cc_s,cw_s,wc_s,ww_s\n"
+  ^ String.concat ""
+      (List.map
+         (fun r ->
+            let cell i = (List.nth r.cells i).e2e_s in
+            Printf.sprintf "%s,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n"
+              r.app r.baseline_cold_s r.baseline_warm_s r.trim_cold_s
+              r.trim_warm_s (cell 0) (cell 1) (cell 2) (cell 3))
+         (run ()))

@@ -1,0 +1,1 @@
+lib/minipy/ast.ml: Float List Loc Option String

@@ -1,0 +1,1 @@
+lib/minipy/builtins.ml: Array Float Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/minipy/builtins.mli: Value

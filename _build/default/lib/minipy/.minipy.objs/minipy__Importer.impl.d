@@ -1,0 +1,1 @@
+lib/minipy/importer.ml: Ast List String Vfs

@@ -1,0 +1,1 @@
+lib/minipy/importer.mli: Ast Vfs

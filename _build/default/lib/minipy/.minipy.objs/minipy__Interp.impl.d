@@ -1,0 +1,1 @@
+lib/minipy/interp.ml: Array Ast Buffer Builtins Float Hashtbl Importer Json_support Lexer List Loc Option Parser Pretty Printf String Value Vfs

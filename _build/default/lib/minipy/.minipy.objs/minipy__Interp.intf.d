@@ -1,0 +1,1 @@
+lib/minipy/interp.mli: Ast Buffer Hashtbl Value Vfs

@@ -1,0 +1,1 @@
+lib/minipy/json_support.ml: Array Buffer Char Float List Printf String Value

@@ -1,0 +1,1 @@
+lib/minipy/json_support.mli: Value

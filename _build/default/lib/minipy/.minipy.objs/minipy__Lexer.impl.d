@@ -1,0 +1,1 @@
+lib/minipy/lexer.ml: Buffer Fmt List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/minipy/lexer.mli: Loc Token

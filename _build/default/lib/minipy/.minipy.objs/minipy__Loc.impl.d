@@ -1,0 +1,1 @@
+lib/minipy/loc.ml: Fmt

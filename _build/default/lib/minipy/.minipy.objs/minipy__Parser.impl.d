@@ -1,0 +1,1 @@
+lib/minipy/parser.ml: Array Ast Fmt Lexer List Loc String Token

@@ -1,0 +1,1 @@
+lib/minipy/pretty.ml: Ast Buffer List Printf String

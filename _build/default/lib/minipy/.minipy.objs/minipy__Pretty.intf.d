@@ -1,0 +1,1 @@
+lib/minipy/pretty.mli: Ast

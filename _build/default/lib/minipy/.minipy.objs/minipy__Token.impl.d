@@ -1,0 +1,1 @@
+lib/minipy/token.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/minipy/value.ml: Array Ast Float Fmt Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/minipy/value.mli: Ast Format Hashtbl

@@ -1,0 +1,1 @@
+lib/minipy/vfs.ml: Hashtbl List Printf String

@@ -1,0 +1,257 @@
+(* Builtin functions and exception constructors installed into every
+   interpreter. Exceptions are modelled as callables that build [Vexc]
+   values carrying their class name, which `except E` matches by name. *)
+
+open Value
+
+let exception_names =
+  [ "Exception"; "ValueError"; "TypeError"; "KeyError"; "AttributeError";
+    "NameError"; "ImportError"; "ModuleNotFoundError"; "ZeroDivisionError";
+    "IndexError"; "RuntimeError"; "NotImplementedError"; "AssertionError";
+    "OSError"; "FileNotFoundError"; "StopIteration"; "SyntaxError";
+    "ConnectionError"; "TimeoutError" ]
+
+let iterable_values v : value list =
+  match v with
+  | Vlist l -> Array.to_list l.items
+  | Vtuple a -> Array.to_list a
+  | Vstr s -> List.init (String.length s) (fun i -> Vstr (String.make 1 s.[i]))
+  | Vdict d -> List.map fst d.pairs
+  | _ -> py_error "TypeError" "'%s' object is not iterable" (type_name v)
+
+let as_int = function
+  | Vint i -> i
+  | Vbool true -> 1
+  | Vbool false -> 0
+  | v -> py_error "TypeError" "expected an int, got %s" (type_name v)
+
+let install ~output ~charge_time ~charge_bytes (ns : namespace) =
+  ignore charge_time;
+  let def name f = Hashtbl.replace ns name (Vbuiltin { bname = name; bcall = f }) in
+  let alloc v =
+    charge_bytes (bytes_of_alloc v);
+    v
+  in
+
+  def "print" (fun args kwargs ->
+      let sep =
+        match List.assoc_opt "sep" kwargs with
+        | Some (Vstr s) -> s
+        | Some v -> py_error "TypeError" "sep must be str, not %s" (type_name v)
+        | None -> " "
+      in
+      let end_ =
+        match List.assoc_opt "end" kwargs with
+        | Some (Vstr s) -> s
+        | Some Vnone | None -> "\n"
+        | Some v -> py_error "TypeError" "end must be str, not %s" (type_name v)
+      in
+      output (String.concat sep (List.map to_display args) ^ end_);
+      Vnone);
+
+  def "len" (fun args _ ->
+      match args with
+      | [ Vstr s ] -> Vint (String.length s)
+      | [ Vlist l ] -> Vint (Array.length l.items)
+      | [ Vtuple a ] -> Vint (Array.length a)
+      | [ Vdict d ] -> Vint (List.length d.pairs)
+      | [ v ] -> py_error "TypeError" "object of type '%s' has no len()" (type_name v)
+      | _ -> py_error "TypeError" "len() takes exactly one argument");
+
+  def "range" (fun args _ ->
+      let lo, hi, step =
+        match args with
+        | [ n ] -> (0, as_int n, 1)
+        | [ a; b ] -> (as_int a, as_int b, 1)
+        | [ a; b; c ] -> (as_int a, as_int b, as_int c)
+        | _ -> py_error "TypeError" "range expected 1 to 3 arguments"
+      in
+      if step = 0 then py_error "ValueError" "range() arg 3 must not be zero";
+      let count =
+        if step > 0 then max 0 ((hi - lo + step - 1) / step)
+        else max 0 ((lo - hi - step - 1) / -step)
+      in
+      alloc (Vlist { items = Array.init count (fun i -> Vint (lo + (i * step))) }));
+
+  def "str" (fun args _ ->
+      match args with
+      | [] -> Vstr ""
+      | [ v ] -> alloc (Vstr (to_display v))
+      | _ -> py_error "TypeError" "str() takes at most one argument");
+
+  def "repr" (fun args _ ->
+      match args with
+      | [ v ] -> alloc (Vstr (to_repr v))
+      | _ -> py_error "TypeError" "repr() takes one argument");
+
+  def "int" (fun args _ ->
+      match args with
+      | [ Vint i ] -> Vint i
+      | [ Vfloat f ] -> Vint (int_of_float f)
+      | [ Vbool b ] -> Vint (if b then 1 else 0)
+      | [ Vstr s ] ->
+        (match int_of_string_opt (String.trim s) with
+         | Some i -> Vint i
+         | None ->
+           py_error "ValueError" "invalid literal for int() with base 10: '%s'" s)
+      | [ v ] -> py_error "TypeError" "int() argument must be a number, not '%s'"
+                   (type_name v)
+      | _ -> py_error "TypeError" "int() takes one argument");
+
+  def "float" (fun args _ ->
+      match args with
+      | [ Vint i ] -> Vfloat (float_of_int i)
+      | [ Vfloat f ] -> Vfloat f
+      | [ Vstr s ] ->
+        (match float_of_string_opt (String.trim s) with
+         | Some f -> Vfloat f
+         | None -> py_error "ValueError" "could not convert string to float: '%s'" s)
+      | _ -> py_error "TypeError" "float() takes one numeric argument");
+
+  def "bool" (fun args _ ->
+      match args with
+      | [] -> Vbool false
+      | [ v ] -> Vbool (truthy v)
+      | _ -> py_error "TypeError" "bool() takes at most one argument");
+
+  def "abs" (fun args _ ->
+      match args with
+      | [ Vint i ] -> Vint (abs i)
+      | [ Vfloat f ] -> Vfloat (Float.abs f)
+      | _ -> py_error "TypeError" "bad operand type for abs()");
+
+  def "round" (fun args _ ->
+      match args with
+      | [ Vfloat f ] -> Vint (int_of_float (Float.round f))
+      | [ Vint i ] -> Vint i
+      | [ Vfloat f; Vint digits ] ->
+        let m = Float.pow 10.0 (float_of_int digits) in
+        Vfloat (Float.round (f *. m) /. m)
+      | _ -> py_error "TypeError" "round: bad arguments");
+
+  def "min" (fun args _ ->
+      let vs = match args with
+        | [ single ] -> iterable_values single
+        | [] -> py_error "TypeError" "min expected at least 1 argument"
+        | many -> many
+      in
+      (match vs with
+       | [] -> py_error "ValueError" "min() arg is an empty sequence"
+       | first :: rest ->
+         List.fold_left (fun acc v -> if compare_values v acc < 0 then v else acc)
+           first rest));
+
+  def "max" (fun args _ ->
+      let vs = match args with
+        | [ single ] -> iterable_values single
+        | [] -> py_error "TypeError" "max expected at least 1 argument"
+        | many -> many
+      in
+      (match vs with
+       | [] -> py_error "ValueError" "max() arg is an empty sequence"
+       | first :: rest ->
+         List.fold_left (fun acc v -> if compare_values v acc > 0 then v else acc)
+           first rest));
+
+  def "sum" (fun args _ ->
+      match args with
+      | [ v ] ->
+        List.fold_left
+          (fun acc v ->
+             match acc, v with
+             | Vint a, Vint b -> Vint (a + b)
+             | (Vint _ | Vfloat _), (Vint _ | Vfloat _) ->
+               let f = function
+                 | Vint i -> float_of_int i
+                 | Vfloat f -> f
+                 | _ -> assert false
+               in
+               Vfloat (f acc +. f v)
+             | _ -> py_error "TypeError" "unsupported operand type(s) for +")
+          (Vint 0) (iterable_values v)
+      | _ -> py_error "TypeError" "sum() takes one argument");
+
+  def "sorted" (fun args _ ->
+      match args with
+      | [ v ] ->
+        let arr = Array.of_list (iterable_values v) in
+        Array.sort compare_values arr;
+        alloc (Vlist { items = arr })
+      | _ -> py_error "TypeError" "sorted() takes one argument");
+
+  def "list" (fun args _ ->
+      match args with
+      | [] -> alloc (Vlist { items = [||] })
+      | [ v ] -> alloc (Vlist { items = Array.of_list (iterable_values v) })
+      | _ -> py_error "TypeError" "list() takes at most one argument");
+
+  def "tuple" (fun args _ ->
+      match args with
+      | [] -> alloc (Vtuple [||])
+      | [ v ] -> alloc (Vtuple (Array.of_list (iterable_values v)))
+      | _ -> py_error "TypeError" "tuple() takes at most one argument");
+
+  def "dict" (fun args kwargs ->
+      match args with
+      | [] ->
+        let d = { pairs = List.map (fun (k, v) -> (Vstr k, v)) kwargs } in
+        alloc (Vdict d)
+      | [ Vdict d ] -> alloc (Vdict { pairs = d.pairs })
+      | _ -> py_error "TypeError" "dict() takes keyword arguments");
+
+  def "enumerate" (fun args _ ->
+      match args with
+      | [ v ] ->
+        let items =
+          List.mapi (fun i x -> Vtuple [| Vint i; x |]) (iterable_values v)
+        in
+        alloc (Vlist { items = Array.of_list items })
+      | _ -> py_error "TypeError" "enumerate() takes one argument");
+
+  def "zip" (fun args _ ->
+      let lists = List.map iterable_values args in
+      let rec go lists acc =
+        if List.exists (fun l -> l = []) lists || lists = [] then List.rev acc
+        else
+          let heads = List.map List.hd lists in
+          go (List.map List.tl lists) (Vtuple (Array.of_list heads) :: acc)
+      in
+      alloc (Vlist { items = Array.of_list (go lists []) }));
+
+  def "type" (fun args _ ->
+      match args with
+      | [ v ] -> Vstr (type_name v)
+      | _ -> py_error "TypeError" "type() takes one argument");
+
+  def "isinstance" (fun args _ ->
+      match args with
+      | [ v; Vclass c ] ->
+        (match v with
+         | Vinstance i -> Vbool (is_subclass i.icls c.cname)
+         | _ -> Vbool false)
+      | [ v; Vbuiltin b ] ->
+        (* isinstance(x, str/int/...) where the builtin constructor stands in *)
+        Vbool (String.equal (type_name v) b.bname
+               || (b.bname = "int" && type_name v = "bool"))
+      | _ -> py_error "TypeError" "isinstance: bad arguments");
+
+  def "hasattr" (fun args _ ->
+      match args with
+      | [ Vmodule m; Vstr name ] -> Vbool (Hashtbl.mem m.mattrs name)
+      | [ Vinstance i; Vstr name ] ->
+        Vbool (Hashtbl.mem i.iattrs name || class_lookup i.icls name <> None)
+      | [ Vclass c; Vstr name ] -> Vbool (class_lookup c name <> None)
+      | [ _; Vstr _ ] -> Vbool false
+      | _ -> py_error "TypeError" "hasattr: bad arguments");
+
+  List.iter
+    (fun exc_name ->
+       def exc_name (fun args _ ->
+           let msg =
+             match args with
+             | [] -> ""
+             | [ v ] -> to_display v
+             | vs -> String.concat ", " (List.map to_display vs)
+           in
+           Vexc { exc_class = exc_name; exc_msg = msg }))
+    exception_names

@@ -1,0 +1,70 @@
+(** Tree-walking evaluator with the pieces λ-trim instruments:
+
+    - a module cache and full import machinery with before/after import
+      hooks — the profiler measures marginal import time and memory through
+      these hooks exactly as §5.2 patches CPython's loader;
+    - a virtual clock and byte ledger: every statement costs interpreter
+      time, every allocation is charged, and library init code expresses
+      native work through the builtin [simrt] module;
+    - stdout capture and external-call recording, which the debloating
+      oracle compares (§5.3).
+
+    Builtin modules provided without filesystem backing: [simrt] (cost
+    model), [json] (encode/decode), [cloud] (intercepted remote services). *)
+
+(** Raised when the step budget is exhausted (runaway loop). *)
+exception Timeout of string
+
+type import_hook = {
+  on_before : string -> unit;  (** dotted module name, before body exec *)
+  on_after : string -> unit;   (** after body exec (also on failure) *)
+}
+
+type t = {
+  vfs : Vfs.t;
+  modules : (string, Value.module_obj) Hashtbl.t;
+      (** the module cache ("sys.modules"), keyed by dotted name *)
+  stdout_buf : Buffer.t;
+  mutable vtime_ms : float;   (** virtual elapsed CPU time *)
+  mutable heap_bytes : int;   (** monotone footprint ledger *)
+  mutable steps : int;
+  max_steps : int;
+  mutable import_hooks : import_hook list;
+  mutable import_stack : string list;
+  builtins : Value.namespace;
+  mutable external_calls : string list;  (** newest first; see {!external_calls} *)
+  remote_store : (string, Value.value) Hashtbl.t;
+}
+
+val default_max_steps : int
+
+(** Fresh interpreter over an image. Starts at a ~3 MB runtime footprint. *)
+val create : ?max_steps:int -> Vfs.t -> t
+
+val heap_mb : t -> float
+val stdout_contents : t -> string
+
+(** Intercepted remote-service operations, in issue order. *)
+val external_calls : t -> string list
+
+(** Register a measurement hook on the import machinery (§5.2). *)
+val add_import_hook : t -> import_hook -> unit
+
+type env = {
+  locals : Value.namespace;
+  globals : Value.namespace;
+  global_decls : (string, unit) Hashtbl.t;
+}
+
+(** The module-level environment (locals = globals = the namespace). *)
+val module_env : Value.module_obj -> env
+
+(** Evaluate one expression. May raise [Value.Py_error] or {!Timeout}. *)
+val eval : t -> env -> Ast.expr -> Value.value
+
+(** Execute a top-level program as [__main__]; returns its namespace. *)
+val exec_main : t -> Ast.program -> Value.namespace
+
+(** Call a function bound in a namespace (the Lambda handler entry point). *)
+val call_in_namespace :
+  t -> Value.namespace -> string -> Value.value list -> Value.value

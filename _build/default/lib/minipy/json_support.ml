@@ -1,0 +1,178 @@
+(* JSON encoding/decoding between minipy values and text — backing the
+   builtin [json] module (serverless events and responses are JSON). *)
+
+open Value
+
+exception Decode_error of string
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec dumps (v : value) : string =
+  match v with
+  | Vnone -> "null"
+  | Vbool true -> "true"
+  | Vbool false -> "false"
+  | Vint i -> string_of_int i
+  | Vfloat f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.12g" f
+  | Vstr s -> "\"" ^ escape s ^ "\""
+  | Vlist l ->
+    "[" ^ String.concat ", " (Array.to_list (Array.map dumps l.items)) ^ "]"
+  | Vtuple a ->
+    "[" ^ String.concat ", " (Array.to_list (Array.map dumps a)) ^ "]"
+  | Vdict d ->
+    let pair (k, v) =
+      match k with
+      | Vstr s -> "\"" ^ escape s ^ "\": " ^ dumps v
+      | other ->
+        py_error "TypeError" "keys must be str, got %s" (type_name other)
+    in
+    "{" ^ String.concat ", " (List.map pair d.pairs) ^ "}"
+  | (Vfunc _ | Vbuiltin _ | Vclass _ | Vinstance _ | Vmodule _ | Vexc _) as v ->
+    py_error "TypeError" "Object of type %s is not JSON serializable"
+      (type_name v)
+
+(* --- decoder ------------------------------------------------------------- *)
+
+type dstate = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') -> st.pos <- st.pos + 1; skip_ws st
+  | _ -> ()
+
+let fail st msg =
+  raise (Decode_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let expect st c =
+  if peek st = Some c then st.pos <- st.pos + 1
+  else fail st (Printf.sprintf "expected %C" c)
+
+let literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word
+  then begin st.pos <- st.pos + n; v end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let decode_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' ->
+      st.pos <- st.pos + 1;
+      (match peek st with
+       | Some 'n' -> Buffer.add_char buf '\n'
+       | Some 't' -> Buffer.add_char buf '\t'
+       | Some 'r' -> Buffer.add_char buf '\r'
+       | Some '"' -> Buffer.add_char buf '"'
+       | Some '\\' -> Buffer.add_char buf '\\'
+       | Some '/' -> Buffer.add_char buf '/'
+       | Some 'u' ->
+         (* decode BMP escapes as a single byte when <256, else '?' *)
+         if st.pos + 4 >= String.length st.src then fail st "bad \\u escape";
+         let hex = String.sub st.src (st.pos + 1) 4 in
+         (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 256 -> Buffer.add_char buf (Char.chr code)
+          | Some _ -> Buffer.add_char buf '?'
+          | None -> fail st "bad \\u escape");
+         st.pos <- st.pos + 4
+       | _ -> fail st "bad escape");
+      st.pos <- st.pos + 1;
+      go ()
+    | Some c -> Buffer.add_char buf c; st.pos <- st.pos + 1; go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let decode_number st =
+  let start = st.pos in
+  let is_num_char c =
+    (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  while (match peek st with Some c when is_num_char c -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Vint i
+  | None ->
+    (match float_of_string_opt text with
+     | Some f -> Vfloat f
+     | None -> fail st "invalid number")
+
+let rec decode_value st : value =
+  skip_ws st;
+  match peek st with
+  | Some 'n' -> literal st "null" Vnone
+  | Some 't' -> literal st "true" (Vbool true)
+  | Some 'f' -> literal st "false" (Vbool false)
+  | Some '"' -> Vstr (decode_string st)
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin st.pos <- st.pos + 1; Vlist { items = [||] } end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        items := decode_value st :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' -> st.pos <- st.pos + 1; go ()
+        | Some ']' -> st.pos <- st.pos + 1
+        | _ -> fail st "expected ',' or ']'"
+      in
+      go ();
+      Vlist { items = Array.of_list (List.rev !items) }
+    end
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin st.pos <- st.pos + 1; Vdict { pairs = [] } end
+    else begin
+      let pairs = ref [] in
+      let rec go () =
+        skip_ws st;
+        let k = decode_string st in
+        skip_ws st;
+        expect st ':';
+        let v = decode_value st in
+        pairs := (Vstr k, v) :: !pairs;
+        skip_ws st;
+        match peek st with
+        | Some ',' -> st.pos <- st.pos + 1; go ()
+        | Some '}' -> st.pos <- st.pos + 1
+        | _ -> fail st "expected ',' or '}'"
+      in
+      go ();
+      Vdict { pairs = List.rev !pairs }
+    end
+  | Some _ -> decode_number st
+  | None -> fail st "unexpected end of input"
+
+let loads (s : string) : value =
+  let st = { src = s; pos = 0 } in
+  let v = decode_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v

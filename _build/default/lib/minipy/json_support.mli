@@ -1,0 +1,12 @@
+(** JSON encoding/decoding between minipy values and text — backing the
+    builtin [json] module (serverless events and responses are JSON). *)
+
+exception Decode_error of string
+
+(** Python-style JSON text. Tuples encode as arrays; non-string dict keys
+    and non-data values raise a minipy [TypeError]. *)
+val dumps : Value.value -> string
+
+(** Parse JSON into minipy values (objects → dicts with string keys).
+    @raise Decode_error on malformed input. *)
+val loads : string -> Value.value

@@ -1,0 +1,11 @@
+(** Indentation-aware lexer following the CPython tokenizer structure: a
+    stack of indentation levels producing [Indent]/[Dedent] tokens, implicit
+    line joining inside brackets, ['#'] comments, ['\']-continued lines, and
+    single/double/triple-quoted strings with escapes. *)
+
+exception Error of string * Loc.t
+
+(** Tokenize a whole source string. The stream always ends with [Eof]; a
+    [Newline] precedes it when the file does not end in one; all open
+    indentation levels are closed with [Dedent]s. *)
+val tokenize : file:string -> string -> (Token.t * Loc.t) list

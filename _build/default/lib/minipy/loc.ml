@@ -1,0 +1,15 @@
+(* Source positions for error reporting across the lexer/parser/interpreter. *)
+
+type t = {
+  file : string;
+  line : int;  (* 1-based *)
+  col : int;   (* 0-based *)
+}
+
+let make ~file ~line ~col = { file; line; col }
+
+let dummy = { file = "<unknown>"; line = 0; col = 0 }
+
+let pp ppf { file; line; col } = Fmt.pf ppf "%s:%d:%d" file line col
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for minipy.
+
+    Precedence (low to high): lambda < ternary < or < and < not < comparison
+    < +,- < *,/,//,% < unary -,+ < ** < trailers (call, attribute, subscript,
+    slice) < atom. *)
+
+exception Error of string * Loc.t
+
+(** Parse a whole module. [file] is used in locations and error messages. *)
+val parse : file:string -> string -> Ast.program
+
+(** Parse a single expression (test-case events are expression sources). *)
+val parse_expression : file:string -> string -> Ast.expr

@@ -1,0 +1,15 @@
+(** Pretty-printer emitting valid minipy source.
+
+    [Parser.parse (program_to_string p)] is structurally equal to [p]
+    (property-tested); the debloater relies on this round-trip when writing
+    rewritten modules back to the virtual filesystem. *)
+
+val binop_str : Ast.binop -> string
+val const_str : Ast.const -> string
+val expr_str : ?ctx:int -> Ast.expr -> string
+val target_str : Ast.target -> string
+
+(** Canonical source text; an empty program prints as ["pass\n"]. *)
+val program_to_string : Ast.program -> string
+
+val expr_to_string : Ast.expr -> string

@@ -1,0 +1,37 @@
+(* Tokens produced by the indentation-aware lexer. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Name of string
+  | Keyword of string   (* one of [keywords] below *)
+  | Op of string        (* operators and punctuation *)
+  | Newline
+  | Indent
+  | Dedent
+  | Eof
+
+let keywords =
+  [ "def"; "class"; "return"; "if"; "elif"; "else"; "while"; "for"; "in";
+    "import"; "from"; "as"; "pass"; "break"; "continue"; "raise"; "try";
+    "except"; "finally"; "and"; "or"; "not"; "True"; "False"; "None";
+    "lambda"; "global"; "del"; "assert"; "with" ]
+
+let is_keyword s = List.mem s keywords
+
+let pp ppf = function
+  | Int i -> Fmt.pf ppf "INT(%d)" i
+  | Float f -> Fmt.pf ppf "FLOAT(%g)" f
+  | Str s -> Fmt.pf ppf "STR(%S)" s
+  | Name s -> Fmt.pf ppf "NAME(%s)" s
+  | Keyword s -> Fmt.pf ppf "KW(%s)" s
+  | Op s -> Fmt.pf ppf "OP(%s)" s
+  | Newline -> Fmt.pf ppf "NEWLINE"
+  | Indent -> Fmt.pf ppf "INDENT"
+  | Dedent -> Fmt.pf ppf "DEDENT"
+  | Eof -> Fmt.pf ppf "EOF"
+
+let to_string t = Fmt.str "%a" pp t
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,56 @@
+(* In-memory virtual filesystem holding a serverless application image:
+   the handler file plus a site-packages tree of library sources.
+
+   Paths are '/'-separated, relative, e.g. "site-packages/torch/__init__.py".
+   The debloater copies the vfs, rewrites files, and re-runs the app, which
+   mirrors λ-trim's manipulation of the real site-packages directory (§7). *)
+
+type t = {
+  files : (string, string) Hashtbl.t;
+  (* phantom entries: binary payloads (shared objects, model weights)
+     represented by size only — they contribute to the image footprint but
+     are never read as source *)
+  phantoms : (string, int) Hashtbl.t;
+}
+
+let create () = { files = Hashtbl.create 64; phantoms = Hashtbl.create 4 }
+
+let add_file t path content = Hashtbl.replace t.files path content
+
+let add_phantom t path ~bytes = Hashtbl.replace t.phantoms path bytes
+
+let remove_file t path = Hashtbl.remove t.files path
+
+let read t path = Hashtbl.find_opt t.files path
+
+let read_exn t path =
+  match read t path with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Vfs.read_exn: no such file %S" path)
+
+let exists t path = Hashtbl.mem t.files path
+
+let copy t =
+  let t' = create () in
+  Hashtbl.iter (fun p c -> Hashtbl.replace t'.files p c) t.files;
+  Hashtbl.iter (fun p b -> Hashtbl.replace t'.phantoms p b) t.phantoms;
+  t'
+
+let paths t = Hashtbl.fold (fun p _ acc -> p :: acc) t.files [] |> List.sort compare
+
+let file_count t = Hashtbl.length t.files
+
+(* Total image size in bytes: source plus a per-file packaging overhead
+   standing in for bytecode caches and package metadata. *)
+let image_bytes t =
+  Hashtbl.fold (fun _ c acc -> acc + String.length c + 512) t.files 0
+  + Hashtbl.fold (fun _ b acc -> acc + b) t.phantoms 0
+
+let image_mb t = float_of_int (image_bytes t) /. (1024.0 *. 1024.0)
+
+(* Paths under a directory prefix, e.g. files_under t "site-packages/torch". *)
+let files_under t prefix =
+  let prefix = if String.length prefix > 0 then prefix ^ "/" else prefix in
+  List.filter (fun p -> String.length p >= String.length prefix
+                        && String.sub p 0 (String.length prefix) = prefix)
+    (paths t)

@@ -1,0 +1,40 @@
+(** In-memory virtual filesystem holding a serverless application image: the
+    handler file plus a site-packages tree of library sources.
+
+    Paths are '/'-separated and relative, e.g.
+    ["site-packages/torch/__init__.py"]. The debloater copies the vfs,
+    rewrites files, and re-runs the app — mirroring λ-trim's manipulation of
+    the real site-packages directory (§7). *)
+
+type t
+
+val create : unit -> t
+val add_file : t -> string -> string -> unit
+
+(** Register a binary payload (shared object, model weights) by size only:
+    it contributes to the image footprint but is never read as source. *)
+val add_phantom : t -> string -> bytes:int -> unit
+
+val remove_file : t -> string -> unit
+val read : t -> string -> string option
+
+(** @raise Invalid_argument when the path is absent. *)
+val read_exn : t -> string -> string
+
+val exists : t -> string -> bool
+
+(** A deep copy sharing no mutable state. *)
+val copy : t -> t
+
+(** Source paths, sorted (phantoms excluded). *)
+val paths : t -> string list
+
+val file_count : t -> int
+
+(** Image size: source bytes plus per-file packaging overhead plus phantoms. *)
+val image_bytes : t -> int
+
+val image_mb : t -> float
+
+(** Source paths under a directory prefix. *)
+val files_under : t -> string -> string list

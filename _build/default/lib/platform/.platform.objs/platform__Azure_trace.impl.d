@@ -1,0 +1,1 @@
+lib/platform/azure_trace.ml: Float List Metrics Printf Random Trace

@@ -1,0 +1,1 @@
+lib/platform/azure_trace.mli: Trace

@@ -1,0 +1,1 @@
+lib/platform/lambda_sim.ml: Buffer Deployment Hashtbl List Minipy Pricing Printf String

@@ -1,0 +1,1 @@
+lib/platform/lambda_sim.mli: Deployment Minipy Pricing

@@ -1,0 +1,71 @@
+(* Synthetic stand-in for the Microsoft Azure Functions trace (Shahrad et al.,
+   ATC'20) used by Figures 13 and 14.
+
+   The real dataset is not available offline, so we reproduce its headline
+   shape, which is what those figures depend on:
+   - invocation rates are heavily skewed: most functions are invoked rarely
+     (large inter-arrival times relative to keep-alive), a few are hot;
+     modelled with a log-normal over per-function mean inter-arrival times,
+     spanning seconds to many hours;
+   - per-function arrivals are Poisson (the trace's per-function processes
+     are well approximated by Poisson for the cost analysis here);
+   - memory footprints and execution durations follow log-normals centred on
+     a few hundred MB and a few hundred ms. *)
+
+type fn = {
+  fn_id : int;
+  memory_mb : float;
+  exec_ms : float;
+  trace : Trace.t;
+}
+
+type t = { functions : fn list; horizon_s : float }
+
+let lognormal rng ~mu ~sigma =
+  (* Box-Muller *)
+  let u1 = Random.State.float rng 1.0 +. 1e-12 in
+  let u2 = Random.State.float rng 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  exp (mu +. (sigma *. z))
+
+let generate ?(n_functions = 200) ?(horizon_s = 86_400.0) ~seed () : t =
+  let rng = Random.State.make [| seed |] in
+  let functions =
+    List.init n_functions (fun fn_id ->
+        (* mean inter-arrival: median ~2 min, spanning seconds (hot
+           functions that amortize their snapshot) to many hours *)
+        let mean_gap_s = lognormal rng ~mu:(log 120.0) ~sigma:2.5 in
+        let mean_gap_s = Float.max 2.0 (Float.min (horizon_s /. 2.0) mean_gap_s) in
+        let rate = 1.0 /. mean_gap_s in
+        let trace =
+          Trace.poisson ~seed:(seed + (fn_id * 7919)) ~rate_per_s:rate
+            ~duration_s:horizon_s
+            ~name:(Printf.sprintf "azure-fn-%d" fn_id)
+        in
+        let memory_mb = Float.max 128.0 (lognormal rng ~mu:(log 220.0) ~sigma:0.7) in
+        let exec_ms = Float.max 1.0 (lognormal rng ~mu:(log 500.0) ~sigma:1.5) in
+        { fn_id; memory_mb; exec_ms; trace })
+  in
+  { functions; horizon_s }
+
+(* Find the function whose (memory, duration) is nearest to the given app in
+   L2 norm — the matching rule of §8.6 for Figure 14. Both axes are
+   normalised by the trace's spread so neither dominates. *)
+let nearest_function (t : t) ~memory_mb ~exec_ms : fn =
+  match t.functions with
+  | [] -> invalid_arg "Azure_trace.nearest_function: empty trace"
+  | fns ->
+    let mem_scale =
+      Float.max 1.0 (Metrics.mean (List.map (fun f -> f.memory_mb) fns))
+    in
+    let dur_scale =
+      Float.max 1.0 (Metrics.mean (List.map (fun f -> f.exec_ms) fns))
+    in
+    let dist f =
+      let dm = (f.memory_mb -. memory_mb) /. mem_scale in
+      let dd = (f.exec_ms -. exec_ms) /. dur_scale in
+      (dm *. dm) +. (dd *. dd)
+    in
+    List.fold_left
+      (fun best f -> if dist f < dist best then f else best)
+      (List.hd fns) fns

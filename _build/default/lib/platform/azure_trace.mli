@@ -1,0 +1,22 @@
+(** Synthetic stand-in for the Microsoft Azure Functions trace (Shahrad et
+    al., ATC'20) used by Figures 13-14: heavy-tailed per-function invocation
+    rates (log-normal mean inter-arrival, seconds to hours), Poisson
+    arrivals, log-normal memory and duration. Deterministic per seed. *)
+
+type fn = {
+  fn_id : int;
+  memory_mb : float;
+  exec_ms : float;
+  trace : Trace.t;
+}
+
+type t = {
+  functions : fn list;
+  horizon_s : float;
+}
+
+val generate : ?n_functions:int -> ?horizon_s:float -> seed:int -> unit -> t
+
+(** The function nearest to (memory, duration) in normalised L2 distance —
+    the §8.6 matching rule for Figure 14. *)
+val nearest_function : t -> memory_mb:float -> exec_ms:float -> fn

@@ -1,0 +1,40 @@
+(* A deployable serverless application: the image (a virtual filesystem with
+   handler code and site-packages), the handler entry point, and the oracle
+   test cases that define observable correctness (§5: program inputs).
+
+   Test-case events and contexts are minipy expression sources — the same
+   role the paper's JSON oracle files play — evaluated in the application's
+   interpreter at invocation time. *)
+
+type test_case = {
+  tc_name : string;
+  tc_event : string;    (* minipy expression, e.g. {"body": "hi"} *)
+  tc_context : string;  (* minipy expression *)
+}
+
+type t = {
+  name : string;
+  vfs : Minipy.Vfs.t;
+  handler_file : string;   (* vfs path of the handler module *)
+  handler_name : string;   (* function name within that module *)
+  test_cases : test_case list;
+}
+
+let make ~name ~vfs ~handler_file ~handler_name ~test_cases =
+  { name; vfs; handler_file; handler_name; test_cases }
+
+let default_context = "{\"function_name\": \"f\", \"memory_limit_in_mb\": 1024}"
+
+let test_case ?(context = default_context) ~name event =
+  { tc_name = name; tc_event = event; tc_context = context }
+
+let image_mb t = Minipy.Vfs.image_mb t.vfs
+
+(* A copy sharing nothing mutable with the original — the debloater works on
+   copies so a failed DD iteration can never corrupt the deployed image. *)
+let copy t = { t with vfs = Minipy.Vfs.copy t.vfs }
+
+let handler_source t = Minipy.Vfs.read_exn t.vfs t.handler_file
+
+let parse_handler t =
+  Minipy.Parser.parse ~file:t.handler_file (handler_source t)

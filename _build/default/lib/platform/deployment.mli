@@ -1,0 +1,42 @@
+(** A deployable serverless application: the image (virtual filesystem with
+    handler code and site-packages), the handler entry point, and the oracle
+    test cases that define observable correctness (§5).
+
+    Test-case events and contexts are minipy expression sources — the role
+    the paper's JSON oracle files play — evaluated in the application's
+    interpreter at invocation time. *)
+
+type test_case = {
+  tc_name : string;
+  tc_event : string;    (** minipy expression, e.g. [{"body": "hi"}] *)
+  tc_context : string;  (** minipy expression *)
+}
+
+type t = {
+  name : string;
+  vfs : Minipy.Vfs.t;
+  handler_file : string;  (** vfs path of the handler module *)
+  handler_name : string;  (** entry-point function within that module *)
+  test_cases : test_case list;
+}
+
+val make :
+  name:string ->
+  vfs:Minipy.Vfs.t ->
+  handler_file:string ->
+  handler_name:string ->
+  test_cases:test_case list ->
+  t
+
+val default_context : string
+
+val test_case : ?context:string -> name:string -> string -> test_case
+
+val image_mb : t -> float
+
+(** A copy sharing nothing mutable: the debloater works on copies so a failed
+    DD iteration can never corrupt the deployed image. *)
+val copy : t -> t
+
+val handler_source : t -> string
+val parse_handler : t -> Minipy.Ast.program

@@ -1,0 +1,43 @@
+(* Summary statistics for experiment reporting: means, percentiles, CDFs. *)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    let v i = List.nth sorted (max 0 (min (n - 1) i)) in
+    (v lo *. (1.0 -. frac)) +. (v hi *. frac)
+
+let median xs = percentile 50.0 xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+(* CDF sample points: fraction of values <= x for each x in the sorted data. *)
+let cdf xs =
+  let sorted = List.sort compare xs in
+  let n = float_of_int (List.length sorted) in
+  List.mapi (fun i x -> (x, float_of_int (i + 1) /. n)) sorted
+
+(* Relative improvement of [after] over [before]: positive = better
+   (smaller). Reported as a percentage, as in Figures 8-10. *)
+let improvement_pct ~before ~after =
+  if before = 0.0 then 0.0 else (before -. after) /. before *. 100.0
+
+let speedup ~before ~after = if after = 0.0 then 0.0 else before /. after

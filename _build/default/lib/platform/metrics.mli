@@ -1,0 +1,17 @@
+(** Summary statistics for experiment reporting. *)
+
+val mean : float list -> float
+
+(** Linear-interpolated percentile; [percentile 50.0] is the median. *)
+val percentile : float -> float list -> float
+
+val median : float list -> float
+val stddev : float list -> float
+
+(** CDF sample points: (value, fraction ≤ value) over the sorted data. *)
+val cdf : float list -> (float * float) list
+
+(** Relative improvement in percent; positive = [after] is smaller. *)
+val improvement_pct : before:float -> after:float -> float
+
+val speedup : before:float -> after:float -> float

@@ -1,0 +1,132 @@
+(* Invocation traces: arrival-time generation and analytic cold/warm replay.
+
+   The replay does not need to execute application code: given sorted arrival
+   times and a keep-alive window, a start is cold exactly when the gap since
+   the previous request's completion exceeds the keep-alive (single-instance
+   model — λ-trim's evaluation invokes serially). *)
+
+type t = {
+  trace_name : string;
+  arrivals_s : float list;   (* sorted arrival times, seconds *)
+}
+
+let make ~name arrivals_s =
+  { trace_name = name; arrivals_s = List.sort compare arrivals_s }
+
+let length t = List.length t.arrivals_s
+
+let duration_s t =
+  match List.rev t.arrivals_s with last :: _ -> last | [] -> 0.0
+
+(* --- generators (all deterministic given the seed) ---------------------- *)
+
+let poisson ~seed ~rate_per_s ~duration_s ~name =
+  let rng = Random.State.make [| seed |] in
+  let rec go acc now =
+    (* exponential inter-arrival times *)
+    let gap = -.log (1.0 -. Random.State.float rng 1.0) /. rate_per_s in
+    let now = now +. gap in
+    if now > duration_s then List.rev acc else go (now :: acc) now
+  in
+  make ~name (go [] 0.0)
+
+(* Bursty on/off arrivals: bursts of [burst_size] requests at [burst_rate],
+   separated by idle gaps of mean [idle_gap_s] — the scale-out pattern §1
+   cites as a cold-start driver. *)
+let bursty ~seed ~burst_size ~burst_rate_per_s ~idle_gap_s ~bursts ~name =
+  let rng = Random.State.make [| seed |] in
+  let rec gen_bursts acc now b =
+    if b >= bursts then List.rev acc
+    else
+      let rec gen_burst acc now i =
+        if i >= burst_size then (acc, now)
+        else
+          let gap = -.log (1.0 -. Random.State.float rng 1.0) /. burst_rate_per_s in
+          let now = now +. gap in
+          gen_burst (now :: acc) now (i + 1)
+      in
+      let acc, now = gen_burst acc now 0 in
+      let idle = idle_gap_s *. (0.5 +. Random.State.float rng 1.0) in
+      gen_bursts acc (now +. idle) (b + 1)
+  in
+  make ~name (gen_bursts [] 0.0 0)
+
+let periodic ~period_s ~count ~name =
+  make ~name (List.init count (fun i -> float_of_int i *. period_s))
+
+(* --- analytic replay ----------------------------------------------------- *)
+
+type replay = {
+  cold_starts : int;
+  warm_starts : int;
+  (* total seconds during which a warm instance is kept alive (cache time for
+     SnapStart-style storage costs, resident time for keep-alive costs) *)
+  resident_s : float;
+}
+
+(* [exec_s] approximates the per-request busy time used to extend the
+   keep-alive timer from request completion. *)
+let replay ?(exec_s = 0.0) t ~keep_alive_s : replay =
+  let rec go cold warm resident expires = function
+    | [] -> { cold_starts = cold; warm_starts = warm; resident_s = resident }
+    | arrival :: rest ->
+      let is_warm = arrival <= expires in
+      let completion = arrival +. exec_s in
+      let new_expires = completion +. keep_alive_s in
+      let resident =
+        if is_warm then resident +. (new_expires -. expires)
+        else resident +. (new_expires -. arrival)
+      in
+      if is_warm then go cold (warm + 1) resident new_expires rest
+      else go (cold + 1) warm resident new_expires rest
+  in
+  go 0 0 0.0 neg_infinity t.arrivals_s
+
+let cold_fraction r =
+  let total = r.cold_starts + r.warm_starts in
+  if total = 0 then 0.0 else float_of_int r.cold_starts /. float_of_int total
+
+(* --- concurrent replay ----------------------------------------------------
+
+   The single-instance replay above matches the paper's serial invocations;
+   real bursts overlap, and each overflow request forces a parallel cold
+   start (§1's "scale-out architectures that lead to very bursty
+   workloads"). The pool model: a request is warm iff some instance is both
+   idle (its previous request finished) and within keep-alive; otherwise a
+   new instance cold-starts. *)
+
+type concurrent_replay = {
+  c_cold_starts : int;
+  c_warm_starts : int;
+  c_peak_instances : int;
+}
+
+let replay_concurrent ?(exec_s = 0.0) ?(cold_extra_s = 0.0) t ~keep_alive_s :
+  concurrent_replay =
+  (* each live instance: (busy_until, expires_at) *)
+  let instances : (float * float) list ref = ref [] in
+  let cold = ref 0 and warm = ref 0 and peak = ref 0 in
+  List.iter
+    (fun arrival ->
+       (* drop expired instances *)
+       instances :=
+         List.filter (fun (_, expires) -> expires >= arrival) !instances;
+       (* find an idle warm instance *)
+       let rec pick acc = function
+         | [] -> None
+         | (busy_until, _) :: rest when busy_until <= arrival ->
+           Some (acc @ rest)
+         | inst :: rest -> pick (inst :: acc) rest
+       in
+       (match pick [] !instances with
+        | Some others ->
+          incr warm;
+          let completion = arrival +. exec_s in
+          instances := (completion, completion +. keep_alive_s) :: others
+        | None ->
+          incr cold;
+          let completion = arrival +. cold_extra_s +. exec_s in
+          instances := (completion, completion +. keep_alive_s) :: !instances);
+       peak := max !peak (List.length !instances))
+    t.arrivals_s;
+  { c_cold_starts = !cold; c_warm_starts = !warm; c_peak_instances = !peak }

@@ -1,0 +1,62 @@
+(** Invocation traces: deterministic arrival-time generators and the analytic
+    cold/warm replay used by Figures 13-14. A start is cold exactly when the
+    gap since the previous request's completion exceeds the keep-alive
+    (single-instance model, matching the paper's serial invocations). *)
+
+type t = {
+  trace_name : string;
+  arrivals_s : float list;  (** sorted arrival times, seconds *)
+}
+
+val make : name:string -> float list -> t
+val length : t -> int
+val duration_s : t -> float
+
+(** Poisson arrivals with exponential inter-arrival times. *)
+val poisson :
+  seed:int -> rate_per_s:float -> duration_s:float -> name:string -> t
+
+(** On/off bursts — the scale-out pattern §1 cites as a cold-start driver. *)
+val bursty :
+  seed:int ->
+  burst_size:int ->
+  burst_rate_per_s:float ->
+  idle_gap_s:float ->
+  bursts:int ->
+  name:string ->
+  t
+
+val periodic : period_s:float -> count:int -> name:string -> t
+
+type replay = {
+  cold_starts : int;
+  warm_starts : int;
+  resident_s : float;
+      (** total seconds a warm instance (or cached snapshot) stays alive *)
+}
+
+(** [replay ?exec_s t ~keep_alive_s]: every arrival is classified cold/warm;
+    [exec_s] extends the keep-alive timer from request completion. *)
+val replay : ?exec_s:float -> t -> keep_alive_s:float -> replay
+
+val cold_fraction : replay -> float
+
+(** {1 Concurrent replay} *)
+
+type concurrent_replay = {
+  c_cold_starts : int;
+  c_warm_starts : int;
+  c_peak_instances : int;  (** maximum simultaneous live instances *)
+}
+
+(** Pool model: a request is warm iff some instance is idle and within
+    keep-alive; overlapping requests force parallel cold starts — the bursty
+    scale-out behaviour §1 identifies as a cold-start driver. [cold_extra_s]
+    is the additional initialization latency a cold start pays before
+    executing. *)
+val replay_concurrent :
+  ?exec_s:float ->
+  ?cold_extra_s:float ->
+  t ->
+  keep_alive_s:float ->
+  concurrent_replay

@@ -1,0 +1,1 @@
+lib/trim/attrs.ml: Hashtbl List Minipy Option Set String

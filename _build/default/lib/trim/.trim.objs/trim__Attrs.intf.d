@@ -1,0 +1,1 @@
+lib/trim/attrs.mli: Minipy Set

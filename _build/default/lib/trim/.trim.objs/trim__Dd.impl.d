@@ -1,0 +1,1 @@
+lib/trim/dd.ml: Array Fun Hashtbl List String

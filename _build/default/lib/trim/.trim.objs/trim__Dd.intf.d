@@ -1,0 +1,1 @@
+lib/trim/dd.mli:

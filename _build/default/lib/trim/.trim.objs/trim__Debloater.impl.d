@@ -1,0 +1,1 @@
+lib/trim/debloater.ml: Array Attrs Callgraph Dd Fmt List Minipy Platform

@@ -1,0 +1,1 @@
+lib/trim/debloater.mli: Callgraph Dd Format Platform

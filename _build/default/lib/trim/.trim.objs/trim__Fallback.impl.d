@@ -1,0 +1,1 @@
+lib/trim/fallback.ml: Minipy Platform Printf

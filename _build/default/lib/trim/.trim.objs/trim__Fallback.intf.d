@@ -1,0 +1,1 @@
+lib/trim/fallback.mli: Minipy Platform

@@ -1,0 +1,1 @@
+lib/trim/oracle.ml: List Minipy Platform Printf String

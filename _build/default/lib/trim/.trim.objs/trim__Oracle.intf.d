@@ -1,0 +1,1 @@
+lib/trim/oracle.mli: Platform

@@ -1,0 +1,1 @@
+lib/trim/pipeline.ml: Attrs Debloater List Logs Minipy Oracle Platform Profiler Scoring Static_analyzer String Unix

@@ -1,0 +1,1 @@
+lib/trim/pipeline.mli: Debloater Logs Platform Profiler Scoring Static_analyzer

@@ -1,0 +1,1 @@
+lib/trim/profiler.ml: List Minipy Platform String

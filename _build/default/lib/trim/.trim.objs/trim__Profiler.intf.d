@@ -1,0 +1,1 @@
+lib/trim/profiler.mli: Platform

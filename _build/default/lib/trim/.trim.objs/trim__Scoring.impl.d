@@ -1,0 +1,1 @@
+lib/trim/scoring.ml: Hashtbl List Profiler

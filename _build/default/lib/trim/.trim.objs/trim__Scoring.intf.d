@@ -1,0 +1,1 @@
+lib/trim/scoring.mli: Profiler

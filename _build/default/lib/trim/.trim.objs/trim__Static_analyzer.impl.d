@@ -1,0 +1,1 @@
+lib/trim/static_analyzer.ml: Callgraph Filename List Minipy Platform String

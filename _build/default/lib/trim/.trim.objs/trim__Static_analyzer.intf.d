@@ -1,0 +1,1 @@
+lib/trim/static_analyzer.mli: Callgraph Platform

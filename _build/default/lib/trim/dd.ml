@@ -1,0 +1,206 @@
+(* Delta Debugging — Algorithm 1 of the paper (the ddmin variant of Zeller &
+   Hildebrandt adapted for debloating by Heo et al.).
+
+   Given a component list A and an oracle O over component subsets, find a
+   1-minimal passing subset A-star of A:
+
+     n ← 2
+     repeat
+       split A into n partitions a_1 … a_n
+       if ∃i. O(a_i) = T          then (A, n) ← (a_i, 2)
+       else if ∃i. O(A \ a_i) = T then (A, n) ← (A \ a_i, n − 1)
+       else                            n ← 2n
+     until n > |A|
+
+   1-minimality: removing any single component from the result makes the
+   oracle return F (checked by the property tests). Oracle queries are
+   memoized — DD revisits subsets across granularity changes. The search
+   runs over component *indices*; items are mapped back at the boundary. *)
+
+type stats = {
+  mutable oracle_queries : int;     (* distinct subsets actually tested *)
+  mutable cache_hits : int;
+  mutable iterations : int;         (* granularity rounds *)
+}
+
+type 'a step = {
+  step_candidate : 'a list;   (* subset under test *)
+  step_passed : bool;
+}
+
+(* Split [items] into [n] contiguous partitions of near-equal size. *)
+let partitions items n =
+  let len = List.length items in
+  let arr = Array.of_list items in
+  let base = len / n and extra = len mod n in
+  let rec go i start acc =
+    if i >= n then List.rev acc
+    else
+      let size = base + (if i < extra then 1 else 0) in
+      let part = Array.to_list (Array.sub arr start size) in
+      go (i + 1) (start + size) (part :: acc)
+  in
+  List.filter (fun p -> p <> []) (go 0 0 [])
+
+let complement ~of_:all part = List.filter (fun x -> not (List.mem x part)) all
+
+(* [minimize ~oracle items] assumes [oracle items = true] (the full program
+   passes its own test cases) and returns a 1-minimal passing subset. The
+   optional [on_step] observer receives every oracle query, enabling the
+   Figure-6-style walkthrough in the quickstart example. *)
+let minimize ?(on_step = fun (_ : 'a step) -> ()) ~oracle items =
+  let stats = { oracle_queries = 0; cache_hits = 0; iterations = 0 } in
+  let arr = Array.of_list items in
+  let cache : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let to_items idxs = List.map (fun i -> arr.(i)) idxs in
+  let test idxs =
+    let k = String.concat "," (List.map string_of_int idxs) in
+    match Hashtbl.find_opt cache k with
+    | Some r ->
+      stats.cache_hits <- stats.cache_hits + 1;
+      r
+    | None ->
+      stats.oracle_queries <- stats.oracle_queries + 1;
+      let subset = to_items idxs in
+      let r = oracle subset in
+      Hashtbl.replace cache k r;
+      on_step { step_candidate = subset; step_passed = r };
+      r
+  in
+  let rec loop current n =
+    stats.iterations <- stats.iterations + 1;
+    let len = List.length current in
+    (* unlike crash-minimisation, debloating admits an empty keep-set: a
+       singleton is only 1-minimal if the empty set fails *)
+    if len <= 1 then (if len = 1 && test [] then [] else current)
+    else begin
+      let parts = partitions current n in
+      match List.find_opt test parts with
+      | Some winner -> loop winner 2
+      | None ->
+        (* complements coincide with partitions at n = 2; skip re-testing *)
+        let complements =
+          if n = 2 then []
+          else List.map (fun p -> complement ~of_:current p) parts
+        in
+        (match List.find_opt test complements with
+         | Some winner -> loop winner (max 2 (n - 1))
+         | None ->
+           if n >= len then current
+           else loop current (min (2 * n) len))
+    end
+  in
+  let all_idxs = List.init (Array.length arr) Fun.id in
+  let result = if items = [] then [] else loop all_idxs 2 in
+  (to_items result, stats)
+
+(* Check 1-minimality of [subset] under [oracle]: the subset passes and no
+   single-element removal does. Exposed for tests and EXPERIMENTS.md. *)
+let is_one_minimal ~oracle subset =
+  oracle subset
+  && List.for_all
+       (fun x -> not (oracle (List.filter (fun y -> y != x) subset)))
+       subset
+
+(* --- §9 extensions ------------------------------------------------------- *)
+
+type parallel_stats = {
+  p_oracle_queries : int;   (* total oracle evaluations *)
+  p_rounds : int;           (* batches of concurrent evaluations *)
+  p_max_batch : int;        (* widest batch issued *)
+}
+
+(* Intra-module parallel DD (§9: "multiple sets of attributes of the same
+   module in parallel"). Algorithm 1's partition tests within one iteration
+   are independent, so a worker pool evaluates each phase as ⌈tests/workers⌉
+   rounds. The search is the same — each phase still commits to the first
+   passing candidate in partition order, so the result equals the sequential
+   algorithm's — but the critical-path length drops from #queries to #rounds. *)
+let minimize_parallel ?(workers = 8) ~oracle items =
+  if workers < 1 then invalid_arg "Dd.minimize_parallel: workers < 1";
+  let stats = { p_oracle_queries = 0; p_rounds = 0; p_max_batch = 0 } in
+  let stats = ref stats in
+  let cache : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let arr = Array.of_list items in
+  let to_items idxs = List.map (fun i -> arr.(i)) idxs in
+  (* evaluate a batch of candidate subsets "concurrently" *)
+  let test_batch idxs_list =
+    let fresh =
+      List.filter
+        (fun idxs ->
+           not (Hashtbl.mem cache (String.concat "," (List.map string_of_int idxs))))
+        idxs_list
+    in
+    if fresh <> [] then begin
+      let n = List.length fresh in
+      stats :=
+        { p_oracle_queries = !stats.p_oracle_queries + n;
+          p_rounds =
+            !stats.p_rounds + ((n + workers - 1) / workers);
+          p_max_batch = max !stats.p_max_batch (min n workers) };
+      List.iter
+        (fun idxs ->
+           let k = String.concat "," (List.map string_of_int idxs) in
+           Hashtbl.replace cache k (oracle (to_items idxs)))
+        fresh
+    end;
+    List.map
+      (fun idxs ->
+         (idxs, Hashtbl.find cache (String.concat "," (List.map string_of_int idxs))))
+      idxs_list
+  in
+  let rec loop current n =
+    let len = List.length current in
+    if len <= 1 then begin
+      if len = 1 then begin
+        match test_batch [ [] ] with
+        | [ (_, true) ] -> []
+        | _ -> current
+      end
+      else current
+    end
+    else begin
+      let parts = partitions current n in
+      let results = test_batch parts in
+      match List.find_opt snd results with
+      | Some (winner, _) -> loop winner 2
+      | None ->
+        let complements =
+          if n = 2 then []
+          else List.map (fun p -> complement ~of_:current p) parts
+        in
+        let cresults = if complements = [] then [] else test_batch complements in
+        (match List.find_opt snd cresults with
+         | Some (winner, _) -> loop winner (max 2 (n - 1))
+         | None -> if n >= len then current else loop current (min (2 * n) len))
+    end
+  in
+  let all_idxs = List.init (Array.length arr) Fun.id in
+  let result = if items = [] then [] else loop all_idxs 2 in
+  (to_items result, !stats)
+
+(* Seeded DD (§9 continuous pipeline; Heo et al.'s learned prediction): test
+   the predicted keep-set first — if it already passes, minimize inside it,
+   skipping the whole coarse-granularity descent. Falls back to plain DD when
+   the prediction is stale. The result is still 1-minimal w.r.t. the oracle
+   restricted to the seed (or the full set on fallback). *)
+let minimize_with_seed ?on_step ~oracle ~seed items =
+  let seed = List.filter (fun x -> List.mem x items) seed in
+  let seed_distinct = List.sort_uniq compare seed in
+  if seed_distinct <> List.sort_uniq compare items && oracle seed then begin
+    let kept, stats = minimize ?on_step ~oracle seed in
+    (* +1 for the seed test itself *)
+    stats.oracle_queries <- stats.oracle_queries + 1;
+    (kept, stats, true)
+  end
+  else begin
+    let kept, stats = minimize ?on_step ~oracle items in
+    let stats =
+      if seed_distinct <> List.sort_uniq compare items then begin
+        stats.oracle_queries <- stats.oracle_queries + 1;
+        stats
+      end
+      else stats
+    in
+    (kept, stats, false)
+  end

@@ -1,0 +1,69 @@
+(** Delta Debugging — Algorithm 1 of the paper.
+
+    Given a list of program components and an oracle over component subsets,
+    [minimize] returns a 1-minimal subset that still satisfies the oracle:
+    the subset passes, and removing any single component makes it fail.
+    Oracle queries are memoized across granularity changes. *)
+
+type stats = {
+  mutable oracle_queries : int;  (** distinct subsets actually tested *)
+  mutable cache_hits : int;      (** repeated subsets answered from cache *)
+  mutable iterations : int;      (** granularity rounds of the main loop *)
+}
+
+type 'a step = {
+  step_candidate : 'a list;  (** the subset under test *)
+  step_passed : bool;        (** the oracle's verdict *)
+}
+
+(** [partitions items n] splits [items] into at most [n] contiguous,
+    non-empty partitions of near-equal size, covering [items] exactly. *)
+val partitions : 'a list -> int -> 'a list list
+
+(** [complement ~of_ part] is [of_] without the elements of [part]. *)
+val complement : of_:'a list -> 'a list -> 'a list
+
+(** [minimize ~oracle items] runs Algorithm 1. Assumes [oracle items = true]
+    (the full program passes its own test cases — §5's precondition).
+    [on_step] observes every actual (non-cached) oracle query, enabling the
+    Figure-6 walkthrough of [examples/quickstart.ml]. Unlike crash
+    minimisation, the empty subset is a legal result: a singleton is tested
+    against [[]] before being returned. *)
+val minimize :
+  ?on_step:('a step -> unit) ->
+  oracle:('a list -> bool) ->
+  'a list ->
+  'a list * stats
+
+(** [is_one_minimal ~oracle subset]: [subset] passes and no single-element
+    removal does. The property tests check [minimize]'s output with this. *)
+val is_one_minimal : oracle:('a list -> bool) -> 'a list -> bool
+
+(** {1 §9 extensions} *)
+
+type parallel_stats = {
+  p_oracle_queries : int;  (** total oracle evaluations *)
+  p_rounds : int;          (** critical-path length in worker batches *)
+  p_max_batch : int;       (** widest batch issued *)
+}
+
+(** Intra-module parallel DD: partition (and complement) tests within one
+    iteration are independent, so a pool of [workers] evaluates each phase in
+    ⌈tests/workers⌉ rounds. Returns the same subset as [minimize]; the
+    speed-up is [p_rounds] vs a sequential query count. *)
+val minimize_parallel :
+  ?workers:int ->
+  oracle:('a list -> bool) ->
+  'a list ->
+  'a list * parallel_stats
+
+(** Seeded DD for the continuous pipeline: tests the predicted keep-set
+    [seed] first; on a pass, minimises inside it (skipping the coarse
+    descent), otherwise falls back to full DD. The returned flag is [true]
+    iff the seed passed. *)
+val minimize_with_seed :
+  ?on_step:('a step -> unit) ->
+  oracle:('a list -> bool) ->
+  seed:'a list ->
+  'a list ->
+  'a list * stats * bool

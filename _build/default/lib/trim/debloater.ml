@@ -1,0 +1,190 @@
+(* The DD-based debloater (§5.3, §6.3).
+
+   For each module in the profiler's top-K:
+     1. load the module to enumerate its attributes;
+     2. back up its __init__ file so every DD iteration starts clean;
+     3. candidates = attributes − PyCG-protected − magic;
+     4. run Algorithm 1: each query rewrites the file on a copy of the
+        deployment and re-runs the oracle test cases in a fresh interpreter.
+
+   The output is a deployment whose image contains the 1-minimal module. *)
+
+module String_set = Callgraph.Pycg.String_set
+
+type module_result = {
+  dm_module : string;            (* dotted module name *)
+  dm_file : string;              (* rewritten vfs path *)
+  attrs_before : int;
+  attrs_after : int;
+  removed_attrs : string list;
+  protected : string list;       (* PyCG exclusions *)
+  oracle_queries : int;
+  cache_hits : int;
+  dd_iterations : int;
+}
+
+let pp_module_result ppf r =
+  Fmt.pf ppf "%s: %d/%d attrs kept (%d removed, %d protected, %d queries)"
+    r.dm_module r.attrs_after r.attrs_before
+    (List.length r.removed_attrs) (List.length r.protected) r.oracle_queries
+
+(* Rewrite [file] inside a copy of [d] keeping exactly [keep]. *)
+let with_restricted (d : Platform.Deployment.t) ~file ~keep =
+  let d' = Platform.Deployment.copy d in
+  let source = Minipy.Vfs.read_exn d'.Platform.Deployment.vfs file in
+  let keep_set =
+    List.fold_left (fun s n -> Attrs.String_set.add n s) Attrs.String_set.empty keep
+  in
+  let rewritten = Attrs.rewrite_source ~file source ~keep:keep_set in
+  Minipy.Vfs.add_file d'.Platform.Deployment.vfs file rewritten;
+  d'
+
+(* Debloat one module of [d]; returns the updated deployment (sharing no
+   mutable state with the input) and the per-module report. [oracle] judges
+   candidate deployments; [protected] attributes are never offered to DD. *)
+let debloat_module ?(on_step = fun (_ : string Dd.step) -> ())
+    ~(oracle : Platform.Deployment.t -> bool) ~(protected : String_set.t)
+    (d : Platform.Deployment.t) ~module_name : Platform.Deployment.t * module_result
+  =
+  match Minipy.Importer.init_file_of d.Platform.Deployment.vfs module_name with
+  | None ->
+    (* not file-backed (builtin) — nothing to debloat *)
+    ( d,
+      { dm_module = module_name; dm_file = "<none>"; attrs_before = 0;
+        attrs_after = 0; removed_attrs = []; protected = [];
+        oracle_queries = 0; cache_hits = 0; dd_iterations = 0 } )
+  | Some file ->
+    let source = Minipy.Vfs.read_exn d.Platform.Deployment.vfs file in
+    let prog = Minipy.Parser.parse ~file source in
+    let all_attrs = Attrs.attrs_of_program prog in
+    let protected_list =
+      List.filter (fun a -> String_set.mem a protected) all_attrs
+    in
+    let candidates =
+      List.filter (fun a -> not (String_set.mem a protected)) all_attrs
+    in
+    (* O(subset) = oracle passes when the module keeps protected ∪ subset *)
+    let dd_oracle subset =
+      oracle (with_restricted d ~file ~keep:(protected_list @ subset))
+    in
+    let kept, stats = Dd.minimize ~on_step ~oracle:dd_oracle candidates in
+    let final_keep = protected_list @ kept in
+    let d' = with_restricted d ~file ~keep:final_keep in
+    let removed =
+      List.filter (fun a -> not (List.mem a final_keep)) all_attrs
+    in
+    ( d',
+      { dm_module = module_name;
+        dm_file = file;
+        attrs_before = List.length all_attrs;
+        attrs_after = List.length final_keep;
+        removed_attrs = removed;
+        protected = protected_list;
+        oracle_queries = stats.Dd.oracle_queries;
+        cache_hits = stats.Dd.cache_hits;
+        dd_iterations = stats.Dd.iterations } )
+
+(* --- statement-granularity variant (§6.1 ablation) ------------------------ *)
+
+let with_restricted_statements (d : Platform.Deployment.t) ~file ~keep =
+  let d' = Platform.Deployment.copy d in
+  let source = Minipy.Vfs.read_exn d'.Platform.Deployment.vfs file in
+  let prog = Minipy.Parser.parse ~file source in
+  let rewritten =
+    Minipy.Pretty.program_to_string (Attrs.restrict_statements prog ~keep)
+  in
+  Minipy.Vfs.add_file d'.Platform.Deployment.vfs file rewritten;
+  d'
+
+(* DD over whole statements instead of attributes. Statements binding a
+   PyCG-protected name are excluded from the candidate list. *)
+let debloat_module_statements ~(oracle : Platform.Deployment.t -> bool)
+    ~(protected : String_set.t) (d : Platform.Deployment.t) ~module_name :
+  Platform.Deployment.t * module_result =
+  match Minipy.Importer.init_file_of d.Platform.Deployment.vfs module_name with
+  | None ->
+    ( d,
+      { dm_module = module_name; dm_file = "<none>"; attrs_before = 0;
+        attrs_after = 0; removed_attrs = []; protected = [];
+        oracle_queries = 0; cache_hits = 0; dd_iterations = 0 } )
+  | Some file ->
+    let source = Minipy.Vfs.read_exn d.Platform.Deployment.vfs file in
+    let prog = Minipy.Parser.parse ~file source in
+    let prog_arr = Array.of_list prog in
+    let components = Attrs.statement_components prog in
+    let stmt_protected i =
+      List.exists (fun n -> String_set.mem n protected)
+        (Attrs.bound_names prog_arr.(i))
+    in
+    let always_keep = List.filter stmt_protected components in
+    let candidates = List.filter (fun i -> not (stmt_protected i)) components in
+    let dd_oracle subset =
+      oracle (with_restricted_statements d ~file ~keep:(always_keep @ subset))
+    in
+    let kept, stats = Dd.minimize ~oracle:dd_oracle candidates in
+    let final_keep = always_keep @ kept in
+    let d' = with_restricted_statements d ~file ~keep:final_keep in
+    let all_attrs = Attrs.attrs_of_program prog in
+    let surviving =
+      Attrs.attrs_of_program (Attrs.restrict_statements prog ~keep:final_keep)
+    in
+    ( d',
+      { dm_module = module_name;
+        dm_file = file;
+        attrs_before = List.length all_attrs;
+        attrs_after = List.length surviving;
+        removed_attrs =
+          List.filter (fun a -> not (List.mem a surviving)) all_attrs;
+        protected =
+          List.filter (fun a -> String_set.mem a protected) all_attrs;
+        oracle_queries = stats.Dd.oracle_queries;
+        cache_hits = stats.Dd.cache_hits;
+        dd_iterations = stats.Dd.iterations } )
+
+(* --- seeded variant for the continuous pipeline (§9) ---------------------- *)
+
+(* Like [debloat_module], but primes DD with the keep-set from a previous
+   run. When the application changed little, the seed passes immediately and
+   DD only has to re-verify 1-minimality inside it. *)
+let debloat_module_seeded ~(oracle : Platform.Deployment.t -> bool)
+    ~(protected : String_set.t) ~(seed_keep : string list)
+    (d : Platform.Deployment.t) ~module_name :
+  Platform.Deployment.t * module_result * bool =
+  match Minipy.Importer.init_file_of d.Platform.Deployment.vfs module_name with
+  | None ->
+    ( d,
+      { dm_module = module_name; dm_file = "<none>"; attrs_before = 0;
+        attrs_after = 0; removed_attrs = []; protected = [];
+        oracle_queries = 0; cache_hits = 0; dd_iterations = 0 },
+      false )
+  | Some file ->
+    let source = Minipy.Vfs.read_exn d.Platform.Deployment.vfs file in
+    let prog = Minipy.Parser.parse ~file source in
+    let all_attrs = Attrs.attrs_of_program prog in
+    let protected_list =
+      List.filter (fun a -> String_set.mem a protected) all_attrs
+    in
+    let candidates =
+      List.filter (fun a -> not (String_set.mem a protected)) all_attrs
+    in
+    let dd_oracle subset =
+      oracle (with_restricted d ~file ~keep:(protected_list @ subset))
+    in
+    let seed = List.filter (fun a -> List.mem a candidates) seed_keep in
+    let kept, stats, seed_hit =
+      Dd.minimize_with_seed ~oracle:dd_oracle ~seed candidates
+    in
+    let final_keep = protected_list @ kept in
+    let d' = with_restricted d ~file ~keep:final_keep in
+    ( d',
+      { dm_module = module_name;
+        dm_file = file;
+        attrs_before = List.length all_attrs;
+        attrs_after = List.length final_keep;
+        removed_attrs =
+          List.filter (fun a -> not (List.mem a final_keep)) all_attrs;
+        protected = protected_list;
+        oracle_queries = stats.Dd.oracle_queries;
+        cache_hits = stats.Dd.cache_hits;
+        dd_iterations = stats.Dd.iterations },
+      seed_hit )

@@ -1,0 +1,59 @@
+(** The DD-based debloater (§5.3, §6.3): for each top-K module, enumerate its
+    attributes, exclude PyCG-protected and magic ones, and run Algorithm 1 —
+    every query rewrites the module on a copy of the deployment and re-runs
+    the oracle test cases in a fresh interpreter. *)
+
+module String_set = Callgraph.Pycg.String_set
+
+type module_result = {
+  dm_module : string;        (** dotted module name *)
+  dm_file : string;          (** rewritten vfs path, or ["<none>"] *)
+  attrs_before : int;
+  attrs_after : int;
+  removed_attrs : string list;
+  protected : string list;   (** PyCG exclusions present in the module *)
+  oracle_queries : int;
+  cache_hits : int;
+  dd_iterations : int;
+}
+
+val pp_module_result : Format.formatter -> module_result -> unit
+
+(** Rewrite [file] inside a copy of the deployment keeping exactly [keep]
+    (plus magic names). Exposed for the ablation harness and tests. *)
+val with_restricted :
+  Platform.Deployment.t ->
+  file:string ->
+  keep:string list ->
+  Platform.Deployment.t
+
+(** Debloat one module. The result shares no mutable state with the input
+    deployment. Builtin (non-file-backed) modules are a no-op. *)
+val debloat_module :
+  ?on_step:(string Dd.step -> unit) ->
+  oracle:(Platform.Deployment.t -> bool) ->
+  protected:String_set.t ->
+  Platform.Deployment.t ->
+  module_name:string ->
+  Platform.Deployment.t * module_result
+
+(** {1 Variants} *)
+
+(** Statement-granularity DD — the coarser alternative §6.1 argues against;
+    used by the granularity ablation. *)
+val debloat_module_statements :
+  oracle:(Platform.Deployment.t -> bool) ->
+  protected:String_set.t ->
+  Platform.Deployment.t ->
+  module_name:string ->
+  Platform.Deployment.t * module_result
+
+(** Seeded debloating for the continuous pipeline (§9): primes DD with a
+    previous run's keep-set. The flag is [true] iff the seed passed. *)
+val debloat_module_seeded :
+  oracle:(Platform.Deployment.t -> bool) ->
+  protected:String_set.t ->
+  seed_keep:string list ->
+  Platform.Deployment.t ->
+  module_name:string ->
+  Platform.Deployment.t * module_result * bool

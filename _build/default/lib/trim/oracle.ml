@@ -1,0 +1,67 @@
+(* The correctness oracle (§5.3): a candidate program passes iff, for every
+   test case in the oracle specification, it produces the same observable
+   output as the original program.
+
+   Observable output = captured stdout plus the handler's return value (or
+   the raised exception). Each test case runs in a fresh interpreter — the
+   paper's per-process module isolation (§7) — so module caching can never
+   leak state between oracle queries. Interpreter timeouts and init-time
+   crashes count as failures. *)
+
+type observation = {
+  per_test : (string * string) list;  (* test-case name -> canonical output *)
+}
+
+let canonical_of_record (r : Platform.Lambda_sim.record) =
+  let calls =
+    match r.Platform.Lambda_sim.external_calls with
+    | [] -> ""
+    | cs -> "CALLS:[" ^ String.concat "; " cs ^ "]"
+  in
+  match r.Platform.Lambda_sim.outcome with
+  | Platform.Lambda_sim.Ok v ->
+    Printf.sprintf "%sRET:%s%s" r.Platform.Lambda_sim.stdout
+      (Minipy.Value.to_repr v) calls
+  | Platform.Lambda_sim.Error e ->
+    Printf.sprintf "%sERR:%s:%s%s" r.Platform.Lambda_sim.stdout
+      e.Minipy.Value.exc_class e.Minipy.Value.exc_msg calls
+
+(* Observe one deployment across its test cases. Any non-Python-level crash
+   (timeout, stack overflow) yields a distinguished CRASH observation. *)
+let observe (d : Platform.Deployment.t) : observation =
+  let per_test =
+    List.map
+      (fun (tc : Platform.Deployment.test_case) ->
+         let sim = Platform.Lambda_sim.create d in
+         let out =
+           try
+             let r =
+               Platform.Lambda_sim.invoke sim ~now_s:0.0
+                 ~event:tc.Platform.Deployment.tc_event
+                 ~context:tc.Platform.Deployment.tc_context ()
+             in
+             canonical_of_record r
+           with
+           | Minipy.Value.Py_error e ->
+             (* initialization-time failure *)
+             Printf.sprintf "INITERR:%s" e.Minipy.Value.exc_class
+           | Minipy.Interp.Timeout _ -> "CRASH:timeout"
+           | Stack_overflow -> "CRASH:stack-overflow"
+         in
+         (tc.Platform.Deployment.tc_name, out))
+      d.Platform.Deployment.test_cases
+  in
+  { per_test }
+
+let equivalent (a : observation) (b : observation) =
+  List.length a.per_test = List.length b.per_test
+  && List.for_all2
+       (fun (n1, o1) (n2, o2) -> String.equal n1 n2 && String.equal o1 o2)
+       a.per_test b.per_test
+
+(* Build the oracle predicate for DD: candidate deployments pass iff they
+   reproduce the reference observation. The reference runs once. *)
+let for_reference (reference : Platform.Deployment.t) :
+  (Platform.Deployment.t -> bool) * observation =
+  let expected = observe reference in
+  ((fun candidate -> equivalent (observe candidate) expected), expected)

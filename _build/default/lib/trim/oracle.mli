@@ -1,0 +1,27 @@
+(** The correctness oracle (§5.3).
+
+    A candidate program passes iff, for every test case in the oracle
+    specification, it reproduces the original's observable output: captured
+    stdout, the handler's return value (or raised exception), and the
+    sequence of intercepted external-service calls. Each test case runs in a
+    fresh interpreter — the per-process module isolation of §7. *)
+
+type observation = {
+  per_test : (string * string) list;
+      (** test-case name → canonical output string *)
+}
+
+(** Canonical output of one invocation record: stdout, then [RET:]/[ERR:],
+    then [CALLS:] when external calls were made. *)
+val canonical_of_record : Platform.Lambda_sim.record -> string
+
+(** Observe a deployment across its test cases. Init-time crashes appear as
+    [INITERR:<class>]; interpreter timeouts as [CRASH:timeout]. *)
+val observe : Platform.Deployment.t -> observation
+
+val equivalent : observation -> observation -> bool
+
+(** [for_reference d] runs [d] once and returns the DD oracle (candidates
+    pass iff they reproduce the reference observation) plus the reference. *)
+val for_reference :
+  Platform.Deployment.t -> (Platform.Deployment.t -> bool) * observation

@@ -1,0 +1,169 @@
+(* The end-to-end λ-trim pipeline (Figure 3):
+
+     input app ──> static analyzer ──> profiler ──> debloater ──> output app
+
+   The optimized deployment is directly runnable on the platform simulator
+   and carries no dependency on the pipeline. *)
+
+type options = {
+  k : int;                        (* modules to debloat (§8.4: default 20) *)
+  scoring : Scoring.method_;
+  log : bool;
+}
+
+let default_options = { k = 20; scoring = Scoring.Combined; log = false }
+
+type report = {
+  app_name : string;
+  original : Platform.Deployment.t;
+  optimized : Platform.Deployment.t;
+  analysis : Static_analyzer.t;
+  profile : Profiler.result;
+  ranked : string list;               (* top-K module names, best first *)
+  module_results : Debloater.module_result list;
+  debloat_wall_s : float;             (* host wall-clock spent debloating *)
+  total_oracle_queries : int;
+}
+
+let src = Logs.Src.create "lambda-trim" ~doc:"lambda-trim pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let run ?(options = default_options) (app : Platform.Deployment.t) : report =
+  let wall_start = Unix.gettimeofday () in
+  (* Stage 1: static analysis *)
+  let analysis = Static_analyzer.analyze app in
+  if options.log then
+    Log.info (fun m ->
+        m "static analysis: %d imported roots"
+          (List.length analysis.Static_analyzer.imported_roots));
+  (* Stage 2: profiling + top-K ranking by marginal monetary cost *)
+  let profile = Profiler.profile app in
+  let top = Scoring.top_k options.scoring profile ~k:options.k in
+  let ranked = List.map (fun mp -> mp.Profiler.mp_name) top in
+  if options.log then
+    Log.info (fun m -> m "profiler ranked top-%d: %s" options.k
+                 (String.concat ", " ranked));
+  (* Stage 3: DD-based debloating, module by module. The oracle's reference
+     observation comes from the *input* app and stays fixed; each module is
+     debloated against the deployment produced so far, so later modules see
+     earlier trims (the paper debloats the top-K sequentially). *)
+  let oracle, _expected = Oracle.for_reference app in
+  let optimized, module_results =
+    List.fold_left
+      (fun (d, results) module_name ->
+         let protected = Static_analyzer.protected_attrs analysis ~module_name in
+         let d', r =
+           Debloater.debloat_module ~oracle ~protected d ~module_name
+         in
+         if options.log then
+           Log.info (fun m -> m "%a" Debloater.pp_module_result r);
+         (d', r :: results))
+      (app, []) ranked
+  in
+  let module_results = List.rev module_results in
+  { app_name = app.Platform.Deployment.name;
+    original = app;
+    optimized;
+    analysis;
+    profile;
+    ranked;
+    module_results;
+    debloat_wall_s = Unix.gettimeofday () -. wall_start;
+    total_oracle_queries =
+      List.fold_left (fun acc r -> acc + r.Debloater.oracle_queries) 0
+        module_results }
+
+(* Total attributes removed across all debloated modules. *)
+let attrs_removed (r : report) =
+  List.fold_left
+    (fun acc m -> acc + List.length m.Debloater.removed_attrs)
+    0 r.module_results
+
+(* The module with the largest attribute count — Table 3's "example module"
+   column picks a representative this way. *)
+let representative_module (r : report) : Debloater.module_result option =
+  List.fold_left
+    (fun best m ->
+       match best with
+       | None -> Some m
+       | Some b ->
+         if m.Debloater.attrs_before > b.Debloater.attrs_before then Some m
+         else best)
+    None r.module_results
+
+(* --- continuous debloating (§9) -------------------------------------------
+
+   After a function update, re-debloating from scratch repeats almost all
+   oracle queries. The continuous pipeline reuses the previous run's per-
+   module keep-sets as DD seeds: when the update did not change what a module
+   must provide, the seed passes its single confirmation query and DD only
+   re-verifies minimality inside it. *)
+
+type continuous_report = {
+  base : report;
+  seed_hits : int;          (* modules whose previous keep-set still passed *)
+  seeded_modules : int;
+}
+
+let run_continuous ?(options = default_options)
+    ~(previous : report) (app : Platform.Deployment.t) : continuous_report =
+  let wall_start = Unix.gettimeofday () in
+  let analysis = Static_analyzer.analyze app in
+  let profile = Profiler.profile app in
+  let top = Scoring.top_k options.scoring profile ~k:options.k in
+  let ranked = List.map (fun mp -> mp.Profiler.mp_name) top in
+  let oracle, _expected = Oracle.for_reference app in
+  (* previous keep-set per module: everything it did NOT remove *)
+  let seed_for module_name =
+    match
+      List.find_opt
+        (fun m -> String.equal m.Debloater.dm_module module_name)
+        previous.module_results
+    with
+    | Some m ->
+      let removed = m.Debloater.removed_attrs in
+      (* read the module as deployed now and drop previously-removed attrs *)
+      (match Minipy.Importer.init_file_of app.Platform.Deployment.vfs module_name with
+       | None -> []
+       | Some file ->
+         let prog =
+           Minipy.Parser.parse ~file
+             (Minipy.Vfs.read_exn app.Platform.Deployment.vfs file)
+         in
+         List.filter
+           (fun a -> not (List.mem a removed))
+           (Attrs.attrs_of_program prog))
+    | None -> []
+  in
+  let optimized, module_results, seed_hits, seeded =
+    List.fold_left
+      (fun (d, results, hits, seeded) module_name ->
+         let protected = Static_analyzer.protected_attrs analysis ~module_name in
+         let seed_keep = seed_for module_name in
+         if seed_keep = [] then
+           let d', r = Debloater.debloat_module ~oracle ~protected d ~module_name in
+           (d', r :: results, hits, seeded)
+         else
+           let d', r, hit =
+             Debloater.debloat_module_seeded ~oracle ~protected ~seed_keep d
+               ~module_name
+           in
+           (d', r :: results, (if hit then hits + 1 else hits), seeded + 1))
+      (app, [], 0, 0) ranked
+  in
+  let module_results = List.rev module_results in
+  { base =
+      { app_name = app.Platform.Deployment.name;
+        original = app;
+        optimized;
+        analysis;
+        profile;
+        ranked;
+        module_results;
+        debloat_wall_s = Unix.gettimeofday () -. wall_start;
+        total_oracle_queries =
+          List.fold_left (fun acc r -> acc + r.Debloater.oracle_queries) 0
+            module_results };
+    seed_hits;
+    seeded_modules = seeded }

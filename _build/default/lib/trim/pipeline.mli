@@ -1,0 +1,52 @@
+(** The end-to-end λ-trim pipeline (Figure 3):
+
+    {v input app -> static analyzer -> profiler -> debloater -> output app v}
+
+    The optimized deployment runs on the platform simulator directly and
+    carries no dependency on the pipeline. *)
+
+type options = {
+  k : int;                   (** modules to debloat; §8.4's default is 20 *)
+  scoring : Scoring.method_;
+  log : bool;                (** emit progress through [Logs] *)
+}
+
+val default_options : options
+
+type report = {
+  app_name : string;
+  original : Platform.Deployment.t;
+  optimized : Platform.Deployment.t;
+  analysis : Static_analyzer.t;
+  profile : Profiler.result;
+  ranked : string list;   (** top-K module names, best first *)
+  module_results : Debloater.module_result list;  (** in debloating order *)
+  debloat_wall_s : float; (** host wall-clock spent in the pipeline *)
+  total_oracle_queries : int;
+}
+
+val src : Logs.src
+
+val run : ?options:options -> Platform.Deployment.t -> report
+
+(** Total attributes removed across all debloated modules. *)
+val attrs_removed : report -> int
+
+(** The module with the most attributes — Table 3's representative. *)
+val representative_module : report -> Debloater.module_result option
+
+(** {1 Continuous debloating (§9)} *)
+
+type continuous_report = {
+  base : report;
+  seed_hits : int;       (** modules whose previous keep-set still passed *)
+  seeded_modules : int;  (** modules that had a seed available *)
+}
+
+(** Re-debloat an updated application, seeding each module's DD with the
+    keep-set from [previous]. Far fewer oracle queries when little changed. *)
+val run_continuous :
+  ?options:options ->
+  previous:report ->
+  Platform.Deployment.t ->
+  continuous_report

@@ -1,0 +1,93 @@
+(* The static analysis stage (§5.1): one AST pass over the input program to
+   identify imported modules, plus a PyCG call-graph pass marking attributes
+   that are definitely accessed — these are excluded from DD, which both
+   speeds up debloating and guarantees they survive it. *)
+
+module String_set = Callgraph.Pycg.String_set
+
+type t = {
+  imported_roots : string list;          (* top-level external modules *)
+  imported_dotted : string list;         (* every dotted path imported *)
+  pycg : Callgraph.Pycg.result;          (* analysis of the handler file *)
+  image_pycg : (string * Callgraph.Pycg.result) list;
+      (* per-file analyses of library code, keyed by vfs path *)
+}
+
+let analyze (d : Platform.Deployment.t) : t =
+  let handler_prog = Platform.Deployment.parse_handler d in
+  let pycg = Callgraph.Pycg.analyze handler_prog in
+  (* Other libraries also access this module's attributes (pandas uses numpy);
+     analyse every parseable file in the image so those accesses can be
+     protected too. *)
+  (* derive each file's dotted module name so its relative imports resolve *)
+  let module_of_path path =
+    let stripped =
+      if String.length path > 14 && String.sub path 0 14 = "site-packages/"
+      then String.sub path 14 (String.length path - 14)
+      else path
+    in
+    let no_ext =
+      if Filename.check_suffix stripped ".py" then
+        Filename.chop_suffix stripped ".py"
+      else stripped
+    in
+    match List.rev (String.split_on_char '/' no_ext) with
+    | "__init__" :: rev_pkg ->
+      (String.concat "." (List.rev rev_pkg), true)
+    | parts -> (String.concat "." (List.rev parts), false)
+  in
+  let image_pycg =
+    List.filter_map
+      (fun path ->
+         if String.equal path d.Platform.Deployment.handler_file then None
+         else
+           match Minipy.Vfs.read d.Platform.Deployment.vfs path with
+           | None -> None
+           | Some src ->
+             (match Minipy.Parser.parse ~file:path src with
+              | prog ->
+                let current_module, is_package = module_of_path path in
+                Some
+                  (path,
+                   Callgraph.Pycg.analyze ~current_module ~is_package prog)
+              | exception (Minipy.Parser.Error _ | Minipy.Lexer.Error _) -> None))
+      (Minipy.Vfs.paths d.Platform.Deployment.vfs)
+  in
+  { imported_roots = Callgraph.Import_scan.root_modules handler_prog;
+    imported_dotted = Callgraph.Import_scan.dotted_modules handler_prog;
+    pycg;
+    image_pycg }
+
+(* vfs directory prefix of the package that owns [module_name]'s root. *)
+let package_prefix module_name =
+  let root = List.hd (String.split_on_char '.' module_name) in
+  "site-packages/" ^ root ^ "/"
+
+(* Attributes of [module_name] (dotted) that the application or *another*
+   package definitely accesses; DD must keep them. Accesses from files inside
+   the module's own package are deliberately not counted: a package's
+   internal wiring (its __init__ re-exporting from private submodules) is
+   exactly what DD is allowed to dismantle — the oracle still protects any
+   internal dependency that matters. *)
+let protected_attrs (t : t) ~module_name : String_set.t =
+  let own_prefix = package_prefix module_name in
+  let own path =
+    String.length path >= String.length own_prefix
+    && String.sub path 0 (String.length own_prefix) = own_prefix
+  in
+  let union_from r = Callgraph.Pycg.accessed_under r module_name in
+  List.fold_left
+    (fun acc (path, r) ->
+       if own path then acc else String_set.union acc (union_from r))
+    (union_from t.pycg) t.image_pycg
+
+(* Conservative variant for oracle-less tools (the FaaSLight baseline):
+   attributes accessed by ANY file other than the one being rewritten —
+   including the module's own package — are protected. *)
+let protected_attrs_excluding_file (t : t) ~module_name ~file : String_set.t =
+  let union_from r = Callgraph.Pycg.accessed_under r module_name in
+  List.fold_left
+    (fun acc (path, r) ->
+       if String.equal path file then acc
+       else String_set.union acc (union_from r))
+    (union_from t.pycg) t.image_pycg

@@ -1,0 +1,1 @@
+lib/workloads/codegen.ml: Apps Buffer Libspec List Minipy Platform Printf

@@ -1,0 +1,1 @@
+lib/workloads/libspec.ml: Buffer Float List Minipy Printf String

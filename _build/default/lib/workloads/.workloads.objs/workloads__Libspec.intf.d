@@ -1,0 +1,1 @@
+lib/workloads/libspec.mli: Minipy

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Apps Codegen Libspec List Platform

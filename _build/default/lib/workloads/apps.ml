@@ -1,0 +1,469 @@
+(* The 21 benchmark applications of Table 1, synthesized as minipy projects.
+
+   Each entry records the paper's measurements (image size, import time,
+   execution time, E2E) and a library mix whose virtual costs are calibrated
+   to them. Removable-fraction knobs encode how much of each library's init
+   an oracle-preserving debloater can discard — chosen to reproduce the
+   per-app improvement shapes of Figure 8 / Table 2 (e.g. lightgbm and
+   skimage trim heavily; ffmpeg and image-resize barely move because their
+   cost sits in execution, wrapping external binaries). *)
+
+type paper_metrics = {
+  p_size_mb : float;
+  p_import_s : float;
+  p_exec_s : float;
+  p_e2e_s : float;
+}
+
+type spec = {
+  name : string;
+  origin : string;                     (* FaaSLight / RainbowCake / New *)
+  libs : Libspec.t list;               (* first library is primary *)
+  extra_init_ms : float;               (* untrimmable app-level init (e.g.
+                                          spacy's language-model load) *)
+  post_init_mb : float;                (* calibrated footprint after init *)
+  tests : (string * string) list;      (* oracle set: name, event expr *)
+  logic : string list;                 (* domain-specific handler lines
+                                          (indent level 1), computing a
+                                          `detail` value from the event *)
+  paper : paper_metrics;
+}
+
+let default_tests =
+  [ ("t1", "{\"x\": 1}"); ("t2", "{\"x\": 5}") ]
+
+let lib = Libspec.spec
+
+(* Footprint calibration: distribute [post_init_mb] minus the 3 MB runtime
+   floor over the libraries proportionally to their weights. *)
+let alloc_share ~total_mb weights =
+  let sum = List.fold_left ( +. ) 0.0 weights in
+  List.map (fun w -> (total_mb -. 3.0) *. w /. sum) weights
+
+let mk ~name ~origin ~libs ?(extra_init_ms = 0.0) ~post_init_mb
+    ?(tests = default_tests) ?(logic = []) ~paper () =
+  { name; origin; libs; extra_init_ms; post_init_mb; tests; logic; paper }
+
+let paper ~size ~import ~exec ~e2e =
+  { p_size_mb = size; p_import_s = import; p_exec_s = exec; p_e2e_s = e2e }
+
+(* --- FaaSLight applications --------------------------------------------- *)
+
+let huggingface =
+  let allocs = alloc_share ~total_mb:750.0 [ 0.62; 0.38 ] in
+  mk ~name:"huggingface" ~origin:"FaaSLight"
+    ~libs:
+      [ lib ~name:"torch" ~import_ms:3500.0
+          ~alloc_mb:(List.nth allocs 0) ~image_mb:500.0 ~attrs:140
+          ~needed_funcs:5 ~removable_time_frac:0.10 ~removable_mem_frac:0.03
+          ~heavy_subs:4 ~exec_ms:860.0 ();
+        lib ~name:"transformers" ~import_ms:2020.0
+          ~alloc_mb:(List.nth allocs 1) ~image_mb:299.0 ~attrs:120
+          ~needed_funcs:4 ~removable_time_frac:0.12 ~removable_mem_frac:0.03
+          ~heavy_subs:5 () ]
+    ~post_init_mb:750.0
+    ~logic:
+    [
+      "prompt = event.get(\"prompt\", \"the quick fox\")";
+      "scores = [(len(w) * 7 + acc) % 10 for w in prompt.split(\" \")]";
+      "label = \"positive\" if sum(scores) % 2 == 0 else \"negative\"";
+      "detail = {\"label\": label, \"scores\": scores}";
+    ]
+    ~paper:(paper ~size:799.38 ~import:5.52 ~exec:0.86 ~e2e:10.12) ()
+
+let image_resize =
+  let allocs = alloc_share ~total_mb:120.0 [ 0.5; 0.5 ] in
+  mk ~name:"image-resize" ~origin:"FaaSLight"
+    ~libs:
+      [ lib ~name:"wand" ~import_ms:250.0 ~alloc_mb:(List.nth allocs 0)
+          ~image_mb:42.0 ~attrs:50 ~needed_funcs:4 ~removable_time_frac:0.04
+          ~removable_mem_frac:0.05 ~heavy_subs:2 ~exec_ms:950.0 ();
+        lib ~name:"boto3" ~import_ms:170.0 ~alloc_mb:(List.nth allocs 1)
+          ~image_mb:60.0 ~attrs:45 ~needed_funcs:3 ~removable_time_frac:0.04
+          ~removable_mem_frac:0.04 ~heavy_subs:2 ~uses_cloud:true () ]
+    ~post_init_mb:120.0
+    ~logic:
+    [
+      "width = event.get(\"width\", 1024)";
+      "height = event.get(\"height\", 768)";
+      "target = event.get(\"target\", 256)";
+      "scale = target / max(width, height)";
+      "detail = {\"w\": int(width * scale), \"h\": int(height * scale)}";
+    ]
+    ~paper:(paper ~size:102.05 ~import:0.42 ~exec:0.95 ~e2e:1.88) ()
+
+let lightgbm =
+  let allocs = alloc_share ~total_mb:160.0 [ 0.7; 0.3 ] in
+  mk ~name:"lightgbm" ~origin:"FaaSLight"
+    ~libs:
+      [ lib ~name:"lightgbm" ~import_ms:420.0 ~alloc_mb:(List.nth allocs 0)
+          ~image_mb:95.0 ~attrs:45 ~needed_funcs:3 ~removable_time_frac:0.70
+          ~removable_mem_frac:0.60 ~heavy_subs:4 ~exec_ms:40.0 ();
+        lib ~name:"numpy" ~import_ms:150.0 ~alloc_mb:(List.nth allocs 1)
+          ~image_mb:25.0 ~attrs:90 ~needed_funcs:4 ~removable_time_frac:0.25
+          ~removable_mem_frac:0.25 ~heavy_subs:3 () ]
+    ~post_init_mb:160.0
+    ~logic:
+    [
+      "features = event.get(\"features\", [0.5, 1.5, 2.5])";
+      "score = sum(features) / len(features)";
+      "detail = {\"prediction\": 1 if score > 1.0 else 0, \"score\": score}";
+    ]
+    ~paper:(paper ~size:120.22 ~import:0.57 ~exec:0.04 ~e2e:1.14) ()
+
+let lxml =
+  let allocs = alloc_share ~total_mb:75.0 [ 0.6; 0.4 ] in
+  mk ~name:"lxml" ~origin:"FaaSLight"
+    ~libs:
+      [ lib ~name:"lxml" ~import_ms:140.0 ~alloc_mb:(List.nth allocs 0)
+          ~image_mb:38.0 ~attrs:40 ~needed_funcs:3 ~removable_time_frac:0.55
+          ~removable_mem_frac:0.10 ~heavy_subs:3 ~exec_ms:390.0 ();
+        lib ~name:"requests" ~import_ms:100.0 ~alloc_mb:(List.nth allocs 1)
+          ~image_mb:20.0 ~attrs:35 ~needed_funcs:2 ~removable_time_frac:0.25
+          ~removable_mem_frac:0.05 ~heavy_subs:2 () ]
+    ~post_init_mb:75.0
+    ~logic:
+    [
+      "doc = event.get(\"html\", \"<a><b></b></a>\")";
+      "opens = len([c for c in doc if c == \"<\"])";
+      "closers = len(doc.split(\"</\")) - 1";
+      "detail = {\"tags\": opens - closers, \"closers\": closers}";
+    ]
+    ~paper:(paper ~size:58.01 ~import:0.24 ~exec:0.39 ~e2e:1.12) ()
+
+let scikit =
+  mk ~name:"scikit" ~origin:"FaaSLight"
+    ~libs:
+      [ lib ~name:"sklearn" ~import_ms:300.0 ~alloc_mb:207.0 ~image_mb:177.0
+          ~attrs:70 ~needed_funcs:4 ~removable_time_frac:0.25
+          ~removable_mem_frac:0.12 ~heavy_subs:4 ~exec_ms:10.0 () ]
+    ~post_init_mb:210.0
+    ~logic:
+    [
+      "point = event.get(\"point\", [1.0, 2.0])";
+      "centroids = [[0.0, 0.0], [2.0, 2.0], [5.0, 1.0]]";
+      "dists = [sum([(a - b) ** 2 for a, b in zip(point, c)]) for c in centroids]";
+      "detail = {\"cluster\": dists.index(min(dists))}";
+    ]
+    ~paper:(paper ~size:177.01 ~import:0.30 ~exec:0.01 ~e2e:1.93) ()
+
+let skimage =
+  mk ~name:"skimage" ~origin:"FaaSLight"
+    ~libs:
+      [ lib ~name:"skimage" ~import_ms:1870.0 ~alloc_mb:177.0 ~image_mb:155.0
+          ~attrs:18 ~needed_funcs:2 ~removable_time_frac:0.48
+          ~removable_mem_frac:0.48 ~heavy_subs:5 ~exec_ms:100.0 () ]
+    ~post_init_mb:180.0
+    ~logic:
+    [
+      "pixels = event.get(\"pixels\", [10, 200, 30, 240, 90])";
+      "threshold = sum(pixels) / len(pixels)";
+      "detail = {\"above\": len([p for p in pixels if p > threshold])}";
+    ]
+    ~paper:(paper ~size:155.37 ~import:1.87 ~exec:0.10 ~e2e:2.76) ()
+
+let tensorflow =
+  let allocs = alloc_share ~total_mb:680.0 [ 0.85; 0.15 ] in
+  mk ~name:"tensorflow" ~origin:"FaaSLight"
+    ~libs:
+      [ lib ~name:"tensorflow" ~import_ms:4380.0 ~alloc_mb:(List.nth allocs 0)
+          ~image_mb:561.0 ~attrs:120 ~needed_funcs:5 ~removable_time_frac:0.17
+          ~removable_mem_frac:0.11 ~heavy_subs:6 ~exec_ms:40.0 ();
+        lib ~name:"numpy" ~import_ms:150.0 ~alloc_mb:(List.nth allocs 1)
+          ~image_mb:25.0 ~attrs:90 ~needed_funcs:4 ~removable_time_frac:0.25
+          ~removable_mem_frac:0.20 ~heavy_subs:3 () ]
+    ~post_init_mb:680.0
+    ~logic:
+    [
+      "logits = event.get(\"logits\", [1.0, 3.0, 2.0])";
+      "best = logits.index(max(logits))";
+      "detail = {\"class\": best, \"margin\": max(logits) - min(logits)}";
+    ]
+    ~paper:(paper ~size:586.13 ~import:4.53 ~exec:0.04 ~e2e:5.33) ()
+
+let wine =
+  let allocs = alloc_share ~total_mb:300.0 [ 0.2; 0.35; 0.3; 0.15 ] in
+  mk ~name:"wine" ~origin:"FaaSLight"
+    ~libs:
+      [ lib ~name:"pandas" ~import_ms:700.0 ~alloc_mb:(List.nth allocs 1)
+          ~image_mb:90.0 ~attrs:70 ~needed_funcs:4 ~removable_time_frac:0.18
+          ~removable_mem_frac:0.15 ~heavy_subs:4 ~exec_ms:290.0 ();
+        lib ~name:"numpy" ~import_ms:260.0 ~alloc_mb:(List.nth allocs 0)
+          ~image_mb:25.0 ~attrs:90 ~needed_funcs:6 ~removable_time_frac:0.08
+          ~removable_mem_frac:0.08 ~heavy_subs:3 ();
+        lib ~name:"sklearn" ~import_ms:800.0 ~alloc_mb:(List.nth allocs 2)
+          ~image_mb:100.0 ~attrs:70 ~needed_funcs:4 ~removable_time_frac:0.14
+          ~removable_mem_frac:0.12 ~heavy_subs:4 ();
+        lib ~name:"boto3" ~import_ms:200.0 ~alloc_mb:(List.nth allocs 3)
+          ~image_mb:56.0 ~attrs:45 ~needed_funcs:2 ~removable_time_frac:0.12
+          ~removable_mem_frac:0.10 ~heavy_subs:2 ~uses_cloud:true () ]
+    ~post_init_mb:300.0
+    ~logic:
+    [
+      "sample = event.get(\"sample\", [7.2, 0.3, 3.2])";
+      "normalized = [round(v / 10.0, 2) for v in sample]";
+      "detail = {\"grade\": \"A\" if sum(normalized) > 1.0 else \"B\", \"norm\": normalized}";
+    ]
+    ~paper:(paper ~size:271.01 ~import:1.96 ~exec:0.29 ~e2e:2.81) ()
+
+(* --- RainbowCake applications ------------------------------------------- *)
+
+let dna_visualization =
+  mk ~name:"dna-visualization" ~origin:"RainbowCake"
+    ~libs:
+      [ lib ~name:"squiggle" ~import_ms:180.0 ~alloc_mb:67.0 ~image_mb:57.0
+          ~attrs:90 ~needed_funcs:2 ~removable_time_frac:0.50
+          ~removable_mem_frac:0.35 ~heavy_subs:4 ~exec_ms:20.0 () ]
+    ~post_init_mb:70.0
+    ~tests:
+      [ ("t1", "{\"x\": 2, \"sequence\": \"ACGT\"}");
+        ("t2", "{\"x\": 7, \"sequence\": \"TTGACA\"}") ]
+    ~logic:
+    [
+      "seq = event.get(\"sequence\", \"ACGT\")";
+      "heights = {\"A\": 1, \"C\": -1, \"G\": 2, \"T\": -2}";
+      "walk = [heights.get(base, 0) for base in seq]";
+      "detail = {\"walk\": walk, \"gc\": len([b for b in seq if b == \"G\" or b == \"C\"])}";
+    ]
+    ~paper:(paper ~size:57.01 ~import:0.18 ~exec:0.02 ~e2e:0.72) ()
+
+let ffmpeg =
+  mk ~name:"ffmpeg" ~origin:"RainbowCake"
+    ~libs:
+      [ lib ~name:"ffmpeg" ~import_ms:60.0 ~alloc_mb:87.0 ~image_mb:297.0
+          ~attrs:46 ~needed_funcs:3 ~removable_time_frac:0.08
+          ~removable_mem_frac:0.02 ~heavy_subs:2 ~exec_ms:2500.0 () ]
+    ~post_init_mb:90.0
+    ~tests:[ ("t1", "{\"x\": 3}") ]
+    ~logic:
+    [
+      "duration = event.get(\"duration_s\", 120)";
+      "segments = [min(30, duration - start) for start in range(0, duration, 30)]";
+      "detail = {\"segments\": len(segments), \"last\": segments[-1] if segments else 0}";
+    ]
+    ~paper:(paper ~size:297.00 ~import:0.06 ~exec:2.50 ~e2e:3.07) ()
+
+let igraph =
+  mk ~name:"igraph" ~origin:"RainbowCake"
+    ~libs:
+      [ lib ~name:"igraph" ~import_ms:90.0 ~alloc_mb:57.0 ~image_mb:40.0
+          ~attrs:60 ~needed_funcs:3 ~removable_time_frac:0.40
+          ~removable_mem_frac:0.14 ~heavy_subs:3 ~exec_ms:10.0 () ]
+    ~post_init_mb:60.0
+    ~logic:
+    [
+      "edges = event.get(\"edges\", [[0, 1], [1, 2], [1, 3]])";
+      "degree = {}";
+      "for u, v in edges:";
+      "  degree[u] = degree.get(u, 0) + 1";
+      "  degree[v] = degree.get(v, 0) + 1";
+      "hubs = [n for n, d in degree.items() if d > 1]";
+      "detail = {\"nodes\": len(degree.keys()), \"hubs\": hubs}";
+    ]
+    ~paper:(paper ~size:40.00 ~import:0.09 ~exec:0.01 ~e2e:0.59) ()
+
+let markdown =
+  mk ~name:"markdown" ~origin:"RainbowCake"
+    ~libs:
+      [ lib ~name:"markdown" ~import_ms:40.0 ~alloc_mb:37.0 ~image_mb:32.0
+          ~attrs:28 ~needed_funcs:2 ~removable_time_frac:0.35
+          ~removable_mem_frac:0.09 ~heavy_subs:2 ~exec_ms:30.0 () ]
+    ~post_init_mb:40.0
+    ~tests:[ ("t1", "{\"x\": 1, \"text\": \"# title\"}") ]
+    ~logic:
+    [
+      "text = event.get(\"text\", \"plain\")";
+      "if text.startswith(\"# \"):";
+      "  detail = \"<h1>\" + text[2:] + \"</h1>\"";
+      "else:";
+      "  detail = \"<p>\" + text + \"</p>\"";
+    ]
+    ~paper:(paper ~size:32.21 ~import:0.04 ~exec:0.03 ~e2e:0.54) ()
+
+let resnet =
+  let allocs = alloc_share ~total_mb:620.0 [ 0.15; 0.75; 0.10 ] in
+  mk ~name:"resnet" ~origin:"RainbowCake"
+    ~libs:
+      [ lib ~name:"torch" ~import_ms:5300.0 ~alloc_mb:(List.nth allocs 1)
+          ~image_mb:600.0 ~attrs:140 ~needed_funcs:3 ~removable_time_frac:0.96
+          ~removable_mem_frac:0.17 ~heavy_subs:8 ~exec_ms:5300.0 ();
+        lib ~name:"numpy" ~import_ms:600.0 ~alloc_mb:(List.nth allocs 0)
+          ~image_mb:25.0 ~attrs:90 ~needed_funcs:3 ~removable_time_frac:0.85
+          ~removable_mem_frac:0.15 ~heavy_subs:3 ();
+        lib ~name:"PIL" ~import_ms:400.0 ~alloc_mb:(List.nth allocs 2)
+          ~image_mb:118.0 ~attrs:50 ~needed_funcs:2 ~removable_time_frac:0.85
+          ~removable_mem_frac:0.15 ~heavy_subs:3 () ]
+    ~post_init_mb:620.0
+    ~logic:
+    [
+      "channels = event.get(\"channels\", [0.1, 0.9, 0.3])";
+      "top = channels.index(max(channels))";
+      "detail = {\"top1\": top, \"confidence\": round(max(channels), 2)}";
+    ]
+    ~paper:(paper ~size:742.56 ~import:6.30 ~exec:5.30 ~e2e:11.71) ()
+
+let textblob =
+  mk ~name:"textblob" ~origin:"RainbowCake"
+    ~libs:
+      [ lib ~name:"nltk" ~import_ms:420.0 ~alloc_mb:127.0 ~image_mb:104.0
+          ~attrs:90 ~needed_funcs:3 ~removable_time_frac:0.42
+          ~removable_mem_frac:0.12 ~heavy_subs:4 ~exec_ms:380.0 () ]
+    ~post_init_mb:130.0
+    ~tests:[ ("t1", "{\"x\": 1, \"text\": \"good day\"}") ]
+    ~logic:
+    [
+      "words = event.get(\"text\", \"\").lower().split(\" \")";
+      "positive = [\"good\", \"great\", \"fine\"]";
+      "negative = [\"bad\", \"poor\"]";
+      "score = sum([1 for w in words if w in positive]) - sum([1 for w in words if w in negative])";
+      "detail = {\"words\": len(words), \"sentiment\": score}";
+    ]
+    ~paper:(paper ~size:104.00 ~import:0.42 ~exec:0.38 ~e2e:1.28) ()
+
+(* --- new applications (PyPI) -------------------------------------------- *)
+
+let chdb_olap =
+  mk ~name:"chdb-olap" ~origin:"New"
+    ~libs:
+      [ lib ~name:"chdb" ~import_ms:1010.0 ~alloc_mb:247.0 ~image_mb:293.0
+          ~attrs:32 ~needed_funcs:3 ~removable_time_frac:0.32
+          ~removable_mem_frac:0.07 ~heavy_subs:3 ~exec_ms:80.0 () ]
+    ~post_init_mb:250.0
+    ~logic:
+    [
+      "rows = event.get(\"rows\", [{\"region\": \"eu\", \"v\": 4}, {\"region\": \"us\", \"v\": 6}, {\"region\": \"eu\", \"v\": 2}])";
+      "eu = [r[\"v\"] for r in rows if r[\"region\"] == \"eu\"]";
+      "detail = {\"count\": len(eu), \"total\": sum(eu)}";
+    ]
+    ~paper:(paper ~size:293.64 ~import:1.01 ~exec:0.08 ~e2e:1.77) ()
+
+let epub_pdf =
+  let allocs = alloc_share ~total_mb:150.0 [ 0.35; 0.25; 0.25; 0.15 ] in
+  mk ~name:"epub-pdf" ~origin:"New"
+    ~libs:
+      [ lib ~name:"reportlab" ~import_ms:260.0 ~alloc_mb:(List.nth allocs 0)
+          ~image_mb:50.0 ~attrs:55 ~needed_funcs:3 ~removable_time_frac:0.40
+          ~removable_mem_frac:0.12 ~heavy_subs:3 ~exec_ms:1430.0 ();
+        lib ~name:"pptx" ~import_ms:160.0 ~alloc_mb:(List.nth allocs 1)
+          ~image_mb:30.0 ~attrs:38 ~needed_funcs:2 ~removable_time_frac:0.42
+          ~removable_mem_frac:0.10 ~heavy_subs:3 ();
+        lib ~name:"docx" ~import_ms:120.0 ~alloc_mb:(List.nth allocs 2)
+          ~image_mb:24.0 ~attrs:35 ~needed_funcs:2 ~removable_time_frac:0.35
+          ~removable_mem_frac:0.08 ~heavy_subs:2 ();
+        lib ~name:"boto3" ~import_ms:80.0 ~alloc_mb:(List.nth allocs 3)
+          ~image_mb:40.0 ~attrs:45 ~needed_funcs:2 ~removable_time_frac:0.15
+          ~removable_mem_frac:0.05 ~heavy_subs:2 ~uses_cloud:true () ]
+    ~post_init_mb:150.0
+    ~logic:
+    [
+      "chapters = event.get(\"chapters\", [\"intro\", \"body\", \"end\"])";
+      "pages = [\"<page>\" + c.upper() + \"</page>\" for c in chapters]";
+      "detail = {\"pages\": len(pages), \"book\": \"\".join(pages)}";
+    ]
+    ~paper:(paper ~size:143.68 ~import:0.62 ~exec:1.43 ~e2e:2.54) ()
+
+let jsym =
+  mk ~name:"jsym" ~origin:"New"
+    ~libs:
+      [ lib ~name:"sympy" ~import_ms:560.0 ~alloc_mb:107.0 ~image_mb:83.0
+          ~attrs:120 ~needed_funcs:4 ~removable_time_frac:0.38
+          ~removable_mem_frac:0.14 ~heavy_subs:5 ~exec_ms:310.0 () ]
+    ~post_init_mb:110.0
+    ~logic:
+    [
+      "coeffs = event.get(\"coeffs\", [1, 0, -2])";
+      "x0 = event.get(\"at\", 3)";
+      "value = sum([c * x0 ** (len(coeffs) - 1 - i) for i, c in enumerate(coeffs)])";
+      "derivative = [c * (len(coeffs) - 1 - i) for i, c in enumerate(coeffs)][:-1]";
+      "detail = {\"value\": value, \"derivative\": derivative}";
+    ]
+    ~paper:(paper ~size:83.01 ~import:0.56 ~exec:0.31 ~e2e:1.36) ()
+
+let pandas_app =
+  let allocs = alloc_share ~total_mb:170.0 [ 0.65; 0.35 ] in
+  mk ~name:"pandas" ~origin:"New"
+    ~libs:
+      [ lib ~name:"pandas" ~import_ms:500.0 ~alloc_mb:(List.nth allocs 0)
+          ~image_mb:90.0 ~attrs:70 ~needed_funcs:4 ~removable_time_frac:0.35
+          ~removable_mem_frac:0.12 ~heavy_subs:4 ~exec_ms:10.0 ();
+        lib ~name:"numpy" ~import_ms:170.0 ~alloc_mb:(List.nth allocs 1)
+          ~image_mb:25.0 ~attrs:90 ~needed_funcs:4 ~removable_time_frac:0.25
+          ~removable_mem_frac:0.10 ~heavy_subs:3 () ]
+    ~post_init_mb:170.0
+    ~logic:
+    [
+      "column = event.get(\"column\", [3, 1, 4, 1, 5, 9])";
+      "ordered = sorted(column)";
+      "detail = {\"mean\": sum(column) / len(column), \"min\": ordered[0], \"max\": ordered[-1]}";
+    ]
+    ~paper:(paper ~size:114.27 ~import:0.67 ~exec:0.01 ~e2e:1.19) ()
+
+let qiskit_nature =
+  mk ~name:"qiskit-nature" ~origin:"New"
+    ~libs:
+      [ lib ~name:"qiskit_nature" ~import_ms:1960.0 ~alloc_mb:317.0
+          ~image_mb:281.0 ~attrs:49 ~needed_funcs:3 ~removable_time_frac:0.45
+          ~removable_mem_frac:0.10 ~heavy_subs:4 ~exec_ms:490.0 () ]
+    ~post_init_mb:320.0
+    ~logic:
+    [
+      "bits = event.get(\"bits\", \"1011\")";
+      "ones = len([b for b in bits if b == \"1\"])";
+      "detail = {\"parity\": ones % 2, \"ones\": ones}";
+    ]
+    ~paper:(paper ~size:281.15 ~import:1.96 ~exec:0.49 ~e2e:3.05) ()
+
+let shapely_numpy =
+  let allocs = alloc_share ~total_mb:85.0 [ 0.55; 0.45 ] in
+  mk ~name:"shapely-numpy" ~origin:"New"
+    ~libs:
+      [ lib ~name:"shapely" ~import_ms:120.0 ~alloc_mb:(List.nth allocs 0)
+          ~image_mb:33.0 ~attrs:60 ~needed_funcs:3 ~removable_time_frac:0.42
+          ~removable_mem_frac:0.16 ~heavy_subs:3 ~exec_ms:10.0 ();
+        lib ~name:"numpy" ~import_ms:80.0 ~alloc_mb:(List.nth allocs 1)
+          ~image_mb:25.0 ~attrs:90 ~needed_funcs:4 ~removable_time_frac:0.30
+          ~removable_mem_frac:0.12 ~heavy_subs:3 () ]
+    ~post_init_mb:85.0
+    ~logic:
+    [
+      "points = event.get(\"points\", [[0, 0], [2, 3], [1, 5]])";
+      "xs = [p[0] for p in points]";
+      "ys = [p[1] for p in points]";
+      "detail = {\"bbox\": [min(xs), min(ys), max(xs), max(ys)]}";
+    ]
+    ~paper:(paper ~size:58.42 ~import:0.20 ~exec:0.01 ~e2e:0.71) ()
+
+let spacy =
+  let allocs = alloc_share ~total_mb:400.0 [ 0.85; 0.15 ] in
+  mk ~name:"spacy" ~origin:"New"
+    ~libs:
+      [ lib ~name:"spacy" ~import_ms:1310.0 ~alloc_mb:(List.nth allocs 0)
+          ~image_mb:160.0 ~attrs:60 ~needed_funcs:3 ~removable_time_frac:0.85
+          ~removable_mem_frac:0.28 ~heavy_subs:5 ~exec_ms:20.0 ();
+        lib ~name:"boto3" ~import_ms:120.0 ~alloc_mb:(List.nth allocs 1)
+          ~image_mb:42.0 ~attrs:45 ~needed_funcs:2 ~removable_time_frac:0.20
+          ~removable_mem_frac:0.10 ~heavy_subs:2 ~uses_cloud:true () ]
+    ~extra_init_ms:630.0   (* language-model load: A-TRIM cannot trim this *)
+    ~post_init_mb:400.0
+    ~tests:[ ("t1", "{\"x\": 2, \"text\": \"hello world\"}") ]
+    ~logic:
+    [
+      "tokens = event.get(\"text\", \"\").split(\" \")";
+      "lengths = [len(tok) for tok in tokens]";
+      "detail = {\"tokens\": len(tokens), \"longest\": max(lengths) if lengths else 0}";
+    ]
+    ~paper:(paper ~size:202.00 ~import:2.06 ~exec:0.02 ~e2e:2.60) ()
+
+let all : spec list =
+  [ huggingface; image_resize; lightgbm; lxml; scikit; skimage; tensorflow;
+    wine; dna_visualization; ffmpeg; igraph; markdown; resnet; textblob;
+    chdb_olap; epub_pdf; jsym; pandas_app; qiskit_nature; shapely_numpy; spacy ]
+
+let faaslight_apps =
+  [ "huggingface"; "image-resize"; "lightgbm"; "lxml"; "scikit"; "skimage";
+    "tensorflow"; "wine" ]
+
+let find name =
+  match List.find_opt (fun s -> String.equal s.name name) all with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Workloads.Apps.find: unknown app %S" name)

@@ -1,0 +1,32 @@
+(** The 21 Table-1 benchmark applications as declarative specs: the paper's
+    measurements plus a calibrated library mix whose removable-fraction knobs
+    reproduce the per-app Figure-8 improvement shapes. *)
+
+type paper_metrics = {
+  p_size_mb : float;
+  p_import_s : float;
+  p_exec_s : float;
+  p_e2e_s : float;
+}
+
+type spec = {
+  name : string;
+  origin : string;            (** FaaSLight / RainbowCake / New *)
+  libs : Libspec.t list;      (** first library is primary (carries exec) *)
+  extra_init_ms : float;      (** untrimmable app-level init (spacy's
+                                  language-model load) *)
+  post_init_mb : float;       (** calibrated footprint after init *)
+  tests : (string * string) list;  (** oracle set: name, event expression *)
+  logic : string list;        (** domain-specific handler lines computing a
+                                  [detail] value from the event *)
+  paper : paper_metrics;
+}
+
+(** All 21 applications, Table-1 order. *)
+val all : spec list
+
+(** The 8 applications shared with FaaSLight's evaluation (Table 2). *)
+val faaslight_apps : string list
+
+(** @raise Invalid_argument on unknown names. *)
+val find : string -> spec

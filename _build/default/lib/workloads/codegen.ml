@@ -1,0 +1,60 @@
+(* Turn an application spec into a deployable image: synthesized library
+   packages plus a generated handler module in the Figure-4 shape (imports
+   and app-level setup above a `handler(event, context)` entry point). *)
+
+let handler_file = "handler.py"
+let handler_name = "handler"
+
+let handler_source (spec : Apps.spec) =
+  let b = Buffer.create 1024 in
+  let add = Buffer.add_string b in
+  if spec.Apps.extra_init_ms > 0.0 then begin
+    add "import simrt\n";
+    add (Printf.sprintf "simrt.cpu_ms(%.3f)\n" spec.Apps.extra_init_ms)
+  end;
+  List.iter
+    (fun (l : Libspec.t) -> add (Printf.sprintf "import %s\n" l.Libspec.l_name))
+    spec.Apps.libs;
+  (* A little dead application code: something for Vulture to find. *)
+  add "_debug_mode = False\n";
+  add "def _unused_debug_dump(payload):\n  print(\"debug:\", payload)\n  return payload\n";
+  add "def handler(event, context):\n";
+  add "  acc = event.get(\"x\", 1)\n";
+  List.iter
+    (fun (l : Libspec.t) ->
+       let n = l.Libspec.l_name in
+       for i = 0 to l.Libspec.l_needed_funcs - 1 do
+         add (Printf.sprintf "  acc = %s.f%d(acc)\n" n i)
+       done)
+    spec.Apps.libs;
+  (match spec.Apps.libs with
+   | primary :: _ ->
+     let n = primary.Libspec.l_name in
+     add (Printf.sprintf "  engine = %s.Engine(2)\n" n);
+     add "  acc = engine.apply(acc)\n";
+     add (Printf.sprintf "  result = %s.run_task(acc)\n" n)
+   | [] -> add "  result = acc\n");
+  (* domain-specific logic: computes a `detail` value from the event *)
+  (match spec.Apps.logic with
+   | [] -> add "  detail = None\n"
+   | lines -> List.iter (fun line -> add ("  " ^ line ^ "\n")) lines);
+  List.iter
+    (fun (l : Libspec.t) ->
+       if l.Libspec.l_uses_cloud then
+         add
+           (Printf.sprintf "  _ack = %s.upload(\"results/out\", str(result))\n"
+              l.Libspec.l_name))
+    spec.Apps.libs;
+  add (Printf.sprintf "  print(\"%s result:\", result, detail)\n" spec.Apps.name);
+  add "  return {\"statusCode\": 200, \"result\": result, \"detail\": detail}\n";
+  Buffer.contents b
+
+let deployment (spec : Apps.spec) : Platform.Deployment.t =
+  let vfs = Minipy.Vfs.create () in
+  List.iter (fun l -> Libspec.install l vfs) spec.Apps.libs;
+  Minipy.Vfs.add_file vfs handler_file (handler_source spec);
+  Platform.Deployment.make ~name:spec.Apps.name ~vfs ~handler_file ~handler_name
+    ~test_cases:
+      (List.map
+         (fun (tc_name, event) -> Platform.Deployment.test_case ~name:tc_name event)
+         spec.Apps.tests)

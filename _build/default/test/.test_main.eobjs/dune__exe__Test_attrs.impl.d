@@ -1,0 +1,1 @@
+test/test_attrs.ml: Alcotest Attrs List Minipy Trim

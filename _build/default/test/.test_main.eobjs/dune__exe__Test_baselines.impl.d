@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines List Minipy Platform Printf Str Trim Workloads

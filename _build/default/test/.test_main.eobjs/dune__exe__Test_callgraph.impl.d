@@ -1,0 +1,1 @@
+test/test_callgraph.ml: Alcotest Callgraph List Minipy

@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Checkpoint Platform Printf

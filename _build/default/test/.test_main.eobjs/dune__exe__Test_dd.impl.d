@@ -1,0 +1,1 @@
+test/test_dd.ml: Alcotest Dd Fun List Printf Trim

@@ -1,0 +1,1 @@
+test/test_dd_variants.ml: Alcotest Callgraph Dd Debloater Fun List Minipy Oracle Pipeline Platform Printf Static_analyzer Str Trim Workloads

@@ -1,0 +1,1 @@
+test/test_debloater.ml: Alcotest Attrs Callgraph Debloater List Minipy Oracle Platform Printf Static_analyzer Str Trim Workloads

@@ -1,0 +1,1 @@
+test/test_fallback.ml: Alcotest Lambda_sim Minipy Option Platform Str Trim Workloads

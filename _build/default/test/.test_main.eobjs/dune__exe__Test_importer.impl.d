@@ -1,0 +1,1 @@
+test/test_importer.ml: Alcotest Callgraph Hashtbl Importer Interp List Minipy Parser Platform Trim Value Vfs

@@ -1,0 +1,1 @@
+test/test_lang_ext.ml: Alcotest Ast Interp List Minipy Parser Platform Pretty Printf String Trim Value Vfs Workloads

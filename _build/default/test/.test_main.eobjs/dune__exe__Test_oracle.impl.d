@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest List Minipy Oracle Platform Str String Trim Workloads

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Lexer Loc Minipy Parser Pretty

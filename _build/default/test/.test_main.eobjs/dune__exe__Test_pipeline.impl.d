@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Debloater Float Lazy List Oracle Pipeline Platform Printf Trim Workloads

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Lambda_sim List Minipy Platform Workloads

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Minipy Parser Pretty Printexc

@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest Float List Minipy Option Platform Printf Profiler Trim Workloads

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Ast Float Fun Hashtbl Interp Json_support List Minipy Parser Platform Pretty Printf QCheck2 QCheck_alcotest String Token Trim Value Vfs Workloads

@@ -1,0 +1,1 @@
+test/test_scoring.ml: Alcotest List Profiler Scoring Trim Workloads

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Ast Interp Minipy Parser Pretty Value Vfs

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Azure_trace List Metrics Platform Printf Trace

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Minipy Platform Printf String Trim Workloads

@@ -1,0 +1,98 @@
+(* FaaSLight and Vulture baselines (Table 2). *)
+
+let tiny () = Workloads.Suite.tiny_app ()
+
+let cold d =
+  let sim = Platform.Lambda_sim.create d in
+  Platform.Lambda_sim.invoke sim ~now_s:0.0 ~event:"{\"x\": 1}" ()
+
+let faaslight =
+  [ Alcotest.test_case "output still passes the oracle" `Quick (fun () ->
+        let d = tiny () in
+        let oracle, _ = Trim.Oracle.for_reference d in
+        let d', _ = Baselines.Faaslight.optimize d in
+        Alcotest.(check bool) "passes" true (oracle d'));
+    Alcotest.test_case "removes statically-dead statements" `Quick (fun () ->
+        let d = tiny () in
+        let _, r = Baselines.Faaslight.optimize d in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d statements removed" r.Baselines.Faaslight.fl_statements_removed)
+          true
+          (r.Baselines.Faaslight.fl_statements_removed > 0));
+    Alcotest.test_case "improves init time but less than lambda-trim" `Quick
+      (fun () ->
+        let d = tiny () in
+        let fl, _ = Baselines.Faaslight.optimize d in
+        let lt = (Trim.Pipeline.run d).Trim.Pipeline.optimized in
+        let base = (cold d).Platform.Lambda_sim.init_ms in
+        let fl_init = (cold fl).Platform.Lambda_sim.init_ms in
+        let lt_init = (cold lt).Platform.Lambda_sim.init_ms in
+        Alcotest.(check bool)
+          (Printf.sprintf "base %.1f > fl %.1f" base fl_init)
+          true (fl_init < base);
+        Alcotest.(check bool)
+          (Printf.sprintf "fl %.1f > lt %.1f (DD beats static)" fl_init lt_init)
+          true (lt_init < fl_init));
+    Alcotest.test_case "dead-branch references block FaaSLight only" `Quick
+      (fun () ->
+        (* heavy_0 is referenced in the dead gpu branch: FaaSLight must keep
+           its re-export, lambda-trim removes it *)
+        let d = tiny () in
+        let fl, _ = Baselines.Faaslight.optimize d in
+        let lt = (Trim.Pipeline.run d).Trim.Pipeline.optimized in
+        let init_src dep =
+          Minipy.Vfs.read_exn dep.Platform.Deployment.vfs
+            "site-packages/tinylib/__init__.py"
+        in
+        let has_heavy0 src =
+          let re = Str.regexp_string "_heavy_0" in
+          try ignore (Str.search_forward re src 0); true with Not_found -> false
+        in
+        Alcotest.(check bool) "faaslight keeps heavy_0" true (has_heavy0 (init_src fl));
+        Alcotest.(check bool) "lambda-trim drops heavy_0" false (has_heavy0 (init_src lt)));
+    Alcotest.test_case "safeguard backups ship in the image" `Quick (fun () ->
+        let d = tiny () in
+        let d', r = Baselines.Faaslight.optimize d in
+        List.iter
+          (fun p ->
+             Alcotest.(check bool) (p ^ " exists") true
+               (Minipy.Vfs.exists d'.Platform.Deployment.vfs p))
+          r.Baselines.Faaslight.fl_backup_paths;
+        Alcotest.(check bool) "image not smaller than original" true
+          (Platform.Deployment.image_mb d' >= Platform.Deployment.image_mb d)) ]
+
+let vulture =
+  [ Alcotest.test_case "finds the dead handler helper" `Quick (fun () ->
+        let d = tiny () in
+        let _, r = Baselines.Vulture.optimize d in
+        Alcotest.(check bool) "found _unused_debug_dump" true
+          (List.mem "_unused_debug_dump" r.Baselines.Vulture.v_dead_names));
+    Alcotest.test_case "output still passes the oracle" `Quick (fun () ->
+        let d = tiny () in
+        let oracle, _ = Trim.Oracle.for_reference d in
+        let d', _ = Baselines.Vulture.optimize d in
+        Alcotest.(check bool) "passes" true (oracle d'));
+    Alcotest.test_case "keeps the handler" `Quick (fun () ->
+        let d = tiny () in
+        let d', _ = Baselines.Vulture.optimize d in
+        let r = cold d' in
+        match r.Platform.Lambda_sim.outcome with
+        | Platform.Lambda_sim.Ok _ -> ()
+        | Platform.Lambda_sim.Error e ->
+          Alcotest.failf "broken: %s" e.Minipy.Value.exc_class);
+    Alcotest.test_case "library bloat untouched (marginal gains)" `Quick
+      (fun () ->
+        let d = tiny () in
+        let d', _ = Baselines.Vulture.optimize d in
+        let b = cold d and a = cold d' in
+        let impr =
+          Platform.Metrics.improvement_pct
+            ~before:b.Platform.Lambda_sim.init_ms
+            ~after:a.Platform.Lambda_sim.init_ms
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "init improvement %.2f%% < 5%%" impr)
+          true (impr < 5.0)) ]
+
+let suite =
+  [ ("baselines.faaslight", faaslight); ("baselines.vulture", vulture) ]

@@ -1,0 +1,184 @@
+(* §9 extensions: parallel DD, seeded DD, continuous pipeline, and the
+   statement-granularity ablation. *)
+
+open Trim
+module SS = Callgraph.Pycg.String_set
+
+let needs needed subset = List.for_all (fun x -> List.mem x subset) needed
+
+let parallel =
+  [ Alcotest.test_case "parallel result equals sequential" `Quick (fun () ->
+        List.iter
+          (fun needed ->
+             let items = List.init 40 Fun.id in
+             let seq, _ = Dd.minimize ~oracle:(needs needed) items in
+             let par, _ =
+               Dd.minimize_parallel ~workers:8 ~oracle:(needs needed) items
+             in
+             Alcotest.(check (list int)) "same" (List.sort compare seq)
+               (List.sort compare par))
+          [ []; [ 0 ]; [ 7; 23 ]; [ 1; 2; 3 ]; List.init 40 Fun.id ]);
+    Alcotest.test_case "rounds shrink with more workers" `Quick (fun () ->
+        let items = List.init 64 Fun.id in
+        let oracle = needs [ 5; 33; 60 ] in
+        let _, s1 = Dd.minimize_parallel ~workers:1 ~oracle items in
+        let _, s8 = Dd.minimize_parallel ~workers:8 ~oracle items in
+        Alcotest.(check bool)
+          (Printf.sprintf "rounds %d (w=8) < %d (w=1)" s8.Dd.p_rounds
+             s1.Dd.p_rounds)
+          true
+          (s8.Dd.p_rounds < s1.Dd.p_rounds);
+        Alcotest.(check int) "w=1 rounds = queries" s1.Dd.p_oracle_queries
+          s1.Dd.p_rounds);
+    Alcotest.test_case "batch width bounded by workers" `Quick (fun () ->
+        let items = List.init 32 Fun.id in
+        let _, s = Dd.minimize_parallel ~workers:4 ~oracle:(needs [ 3 ]) items in
+        Alcotest.(check bool) "max batch <= 4" true (s.Dd.p_max_batch <= 4)) ]
+
+let seeded =
+  [ Alcotest.test_case "good seed cuts queries" `Quick (fun () ->
+        let items = List.init 60 Fun.id in
+        let oracle = needs [ 10; 20 ] in
+        let _, fresh = Dd.minimize ~oracle items in
+        let kept, with_seed, hit =
+          Dd.minimize_with_seed ~oracle ~seed:[ 10; 20; 30 ] items
+        in
+        Alcotest.(check bool) "seed hit" true hit;
+        Alcotest.(check (list int)) "same minimal set" [ 10; 20 ]
+          (List.sort compare kept);
+        Alcotest.(check bool)
+          (Printf.sprintf "seeded %d < fresh %d" with_seed.Dd.oracle_queries
+             fresh.Dd.oracle_queries)
+          true
+          (with_seed.Dd.oracle_queries < fresh.Dd.oracle_queries));
+    Alcotest.test_case "stale seed falls back to full DD" `Quick (fun () ->
+        let items = List.init 20 Fun.id in
+        let oracle = needs [ 5 ] in
+        let kept, _, hit =
+          Dd.minimize_with_seed ~oracle ~seed:[ 1; 2 ] items
+        in
+        Alcotest.(check bool) "no hit" false hit;
+        Alcotest.(check (list int)) "still correct" [ 5 ] (List.sort compare kept));
+    Alcotest.test_case "empty seed behaves like plain DD" `Quick (fun () ->
+        let items = List.init 12 Fun.id in
+        let oracle = needs [ 2 ] in
+        let kept, _, hit = Dd.minimize_with_seed ~oracle ~seed:[] items in
+        Alcotest.(check bool) "empty seed passing counts as hit" true
+          (hit = (oracle [] && true) || not hit);
+        Alcotest.(check (list int)) "correct" [ 2 ] (List.sort compare kept)) ]
+
+let continuous =
+  [ Alcotest.test_case "re-run after no change uses far fewer queries" `Quick
+      (fun () ->
+        let app = Workloads.Suite.tiny_app () in
+        let first = Pipeline.run ~options:{ Pipeline.default_options with k = 4 } app in
+        let second =
+          Pipeline.run_continuous
+            ~options:{ Pipeline.default_options with k = 4 }
+            ~previous:first app
+        in
+        Alcotest.(check bool) "some modules seeded" true
+          (second.Pipeline.seed_hits > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "continuous %d < fresh %d"
+             second.Pipeline.base.Pipeline.total_oracle_queries
+             first.Pipeline.total_oracle_queries)
+          true
+          (second.Pipeline.base.Pipeline.total_oracle_queries
+           < first.Pipeline.total_oracle_queries);
+        let oracle, _ = Oracle.for_reference app in
+        Alcotest.(check bool) "still passes" true
+          (oracle second.Pipeline.base.Pipeline.optimized));
+    Alcotest.test_case "handler update: result still correct" `Quick (fun () ->
+        let app = Workloads.Suite.tiny_app () in
+        let first = Pipeline.run ~options:{ Pipeline.default_options with k = 4 } app in
+        (* the update makes the handler use one more function (f1 -> f0 chain
+           extended); previous keep-set still covers it *)
+        let updated = Platform.Deployment.copy app in
+        let src = Platform.Deployment.handler_source updated in
+        let src' =
+          Str.global_replace
+            (Str.regexp_string "  result = tinylib.run_task(acc)")
+            "  acc = tinylib.f0(acc)\n  result = tinylib.run_task(acc)" src
+        in
+        Minipy.Vfs.add_file updated.Platform.Deployment.vfs "handler.py" src';
+        let second =
+          Pipeline.run_continuous
+            ~options:{ Pipeline.default_options with k = 4 }
+            ~previous:first updated
+        in
+        let oracle, _ = Oracle.for_reference updated in
+        Alcotest.(check bool) "correct after update" true
+          (oracle second.Pipeline.base.Pipeline.optimized)) ]
+
+let granularity =
+  [ Alcotest.test_case "statement DD passes the oracle" `Quick (fun () ->
+        let app = Workloads.Suite.tiny_app () in
+        let oracle, _ = Oracle.for_reference app in
+        let analysis = Static_analyzer.analyze app in
+        let protected = Static_analyzer.protected_attrs analysis
+            ~module_name:"tinylib"
+        in
+        let d', _ =
+          Debloater.debloat_module_statements ~oracle ~protected app
+            ~module_name:"tinylib"
+        in
+        Alcotest.(check bool) "passes" true (oracle d'));
+    Alcotest.test_case "attribute granularity removes at least as much" `Quick
+      (fun () ->
+        (* §6.1: finer from-import handling means attribute-level DD can
+           never keep more than statement-level DD on the same module *)
+        let app = Workloads.Suite.tiny_app () in
+        let oracle, _ = Oracle.for_reference app in
+        let analysis = Static_analyzer.analyze app in
+        let protected = Static_analyzer.protected_attrs analysis
+            ~module_name:"tinylib"
+        in
+        let _, attr_r =
+          Debloater.debloat_module ~oracle ~protected app ~module_name:"tinylib"
+        in
+        let _, stmt_r =
+          Debloater.debloat_module_statements ~oracle ~protected app
+            ~module_name:"tinylib"
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "attr kept %d <= stmt kept %d" attr_r.Debloater.attrs_after
+             stmt_r.Debloater.attrs_after)
+          true
+          (attr_r.Debloater.attrs_after <= stmt_r.Debloater.attrs_after));
+    Alcotest.test_case "mixed from-import shows the difference" `Quick (fun () ->
+        (* a module whose single from-import mixes one needed and several
+           unneeded names: statement granularity must keep all of them *)
+        let vfs = Minipy.Vfs.create () in
+        Minipy.Vfs.add_file vfs "site-packages/m/_impl.py"
+          "def used(x=0):\n  return x + 1\n\
+           def unused_a():\n  return 0\n\
+           def unused_b():\n  return 0\n";
+        Minipy.Vfs.add_file vfs "site-packages/m/__init__.py"
+          "from m._impl import used, unused_a, unused_b\n";
+        Minipy.Vfs.add_file vfs "handler.py"
+          "import m\ndef handler(event, context):\n  return m.used(1)\n";
+        let app =
+          Platform.Deployment.make ~name:"mixed" ~vfs ~handler_file:"handler.py"
+            ~handler_name:"handler"
+            ~test_cases:[ Platform.Deployment.test_case ~name:"t" "{}" ]
+        in
+        let oracle, _ = Oracle.for_reference app in
+        let _, attr_r =
+          Debloater.debloat_module ~oracle ~protected:SS.empty app
+            ~module_name:"m"
+        in
+        let _, stmt_r =
+          Debloater.debloat_module_statements ~oracle ~protected:SS.empty app
+            ~module_name:"m"
+        in
+        Alcotest.(check int) "attribute level keeps only `used`" 1
+          attr_r.Debloater.attrs_after;
+        Alcotest.(check int) "statement level keeps all three" 3
+          stmt_r.Debloater.attrs_after) ]
+
+let suite =
+  [ ("dd_variants.parallel", parallel);
+    ("dd_variants.seeded", seeded);
+    ("dd_variants.continuous", continuous);
+    ("dd_variants.granularity", granularity) ]

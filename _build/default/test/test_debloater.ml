@@ -1,0 +1,122 @@
+(* Debloater: attribute-level DD against the oracle on real deployments. *)
+
+open Trim
+module SS = Callgraph.Pycg.String_set
+
+let debloat_tiny () =
+  let tiny = Workloads.Suite.tiny_app () in
+  let oracle, _ = Oracle.for_reference tiny in
+  let analysis = Static_analyzer.analyze tiny in
+  let protected = Static_analyzer.protected_attrs analysis ~module_name:"tinylib" in
+  Debloater.debloat_module ~oracle ~protected tiny ~module_name:"tinylib"
+
+let cases =
+  [ Alcotest.test_case "removes unused attributes" `Quick (fun () ->
+        let _, r = debloat_tiny () in
+        Alcotest.(check bool)
+          (Printf.sprintf "removed %d of %d" (List.length r.Debloater.removed_attrs)
+             r.Debloater.attrs_before)
+          true
+          (List.length r.Debloater.removed_attrs > r.Debloater.attrs_before / 3));
+    Alcotest.test_case "debloated app still passes the oracle" `Quick (fun () ->
+        let tiny = Workloads.Suite.tiny_app () in
+        let oracle, _ = Oracle.for_reference tiny in
+        let analysis = Static_analyzer.analyze tiny in
+        let protected =
+          Static_analyzer.protected_attrs analysis ~module_name:"tinylib"
+        in
+        let d', _ = Debloater.debloat_module ~oracle ~protected tiny
+            ~module_name:"tinylib"
+        in
+        Alcotest.(check bool) "passes" true (oracle d'));
+    Alcotest.test_case "handler-used attributes survive" `Quick (fun () ->
+        let d', r = debloat_tiny () in
+        ignore r;
+        let src =
+          Minipy.Vfs.read_exn d'.Platform.Deployment.vfs
+            "site-packages/tinylib/__init__.py"
+        in
+        let prog = Minipy.Parser.parse ~file:"<m>" src in
+        let attrs = Attrs.attrs_of_program prog in
+        List.iter
+          (fun needed ->
+             Alcotest.(check bool) (needed ^ " kept") true (List.mem needed attrs))
+          [ "f0"; "f1"; "run_task"; "Engine" ]);
+    Alcotest.test_case "heavy re-exports are removed" `Quick (fun () ->
+        let d', _ = debloat_tiny () in
+        let src =
+          Minipy.Vfs.read_exn d'.Platform.Deployment.vfs
+            "site-packages/tinylib/__init__.py"
+        in
+        Alcotest.(check bool) "no heavy imports left" false
+          (let re = Str.regexp_string "_heavy_" in
+           try ignore (Str.search_forward re src 0); true
+           with Not_found -> false));
+    Alcotest.test_case "debloating reduces init time and memory" `Quick
+      (fun () ->
+        let tiny = Workloads.Suite.tiny_app () in
+        let d', _ = debloat_tiny () in
+        let cold d =
+          let sim = Platform.Lambda_sim.create d in
+          Platform.Lambda_sim.invoke sim ~now_s:0.0 ~event:"{\"x\": 1}" ()
+        in
+        let before = cold tiny and after = cold d' in
+        Alcotest.(check bool)
+          (Printf.sprintf "init %.1f -> %.1f"
+             before.Platform.Lambda_sim.init_ms after.Platform.Lambda_sim.init_ms)
+          true
+          (after.Platform.Lambda_sim.init_ms
+           < 0.6 *. before.Platform.Lambda_sim.init_ms);
+        Alcotest.(check bool)
+          (Printf.sprintf "mem %.1f -> %.1f"
+             before.Platform.Lambda_sim.peak_memory_mb
+             after.Platform.Lambda_sim.peak_memory_mb)
+          true
+          (after.Platform.Lambda_sim.peak_memory_mb
+           < before.Platform.Lambda_sim.peak_memory_mb));
+    Alcotest.test_case "result is 1-minimal wrt the oracle" `Quick (fun () ->
+        let tiny = Workloads.Suite.tiny_app ~attrs:14 () in
+        let oracle, _ = Oracle.for_reference tiny in
+        let analysis = Static_analyzer.analyze tiny in
+        let protected =
+          Static_analyzer.protected_attrs analysis ~module_name:"tinylib"
+        in
+        let file = "site-packages/tinylib/__init__.py" in
+        let d', r = Debloater.debloat_module ~oracle ~protected tiny
+            ~module_name:"tinylib"
+        in
+        (* removing any single kept non-protected attr must fail the oracle *)
+        let src = Minipy.Vfs.read_exn d'.Platform.Deployment.vfs file in
+        let kept =
+          List.filter
+            (fun a -> not (List.mem a r.Debloater.protected))
+            (Attrs.attrs_of_program (Minipy.Parser.parse ~file src))
+        in
+        List.iter
+          (fun attr ->
+             let keep =
+               List.filter (fun a -> a <> attr)
+                 (Attrs.attrs_of_program (Minipy.Parser.parse ~file src))
+             in
+             let candidate = Debloater.with_restricted d' ~file ~keep in
+             Alcotest.(check bool)
+               (Printf.sprintf "removing %s fails" attr)
+               false (oracle candidate))
+          kept);
+    Alcotest.test_case "protected attrs never offered to DD" `Quick (fun () ->
+        let _, r = debloat_tiny () in
+        List.iter
+          (fun p ->
+             Alcotest.(check bool) (p ^ " not removed") false
+               (List.mem p r.Debloater.removed_attrs))
+          r.Debloater.protected);
+    Alcotest.test_case "builtin module is a no-op" `Quick (fun () ->
+        let tiny = Workloads.Suite.tiny_app () in
+        let oracle, _ = Oracle.for_reference tiny in
+        let _, r =
+          Debloater.debloat_module ~oracle ~protected:SS.empty tiny
+            ~module_name:"simrt"
+        in
+        Alcotest.(check int) "no attrs" 0 r.Debloater.attrs_before) ]
+
+let suite = [ ("debloater.dd", cases) ]

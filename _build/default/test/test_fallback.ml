@@ -1,0 +1,106 @@
+(* Fallback wrapper (§5.4, Table 4). *)
+
+open Platform
+
+(* A deliberately over-trimmed tiny app: remove an attribute the handler
+   needs so the wrapper must fall back. *)
+let over_trimmed () =
+  let d = Workloads.Suite.tiny_app () in
+  let d' = Platform.Deployment.copy d in
+  let file = "site-packages/tinylib/__init__.py" in
+  let src = Minipy.Vfs.read_exn d'.Platform.Deployment.vfs file in
+  let src' =
+    Str.global_replace (Str.regexp_string ", run_task, Engine") ", Engine" src
+  in
+  Minipy.Vfs.add_file d'.Platform.Deployment.vfs file src';
+  (d, d')
+
+let cases =
+  [ Alcotest.test_case "normal operation: no fallback" `Quick (fun () ->
+        let d = Workloads.Suite.tiny_app () in
+        let trimmed_sim = Lambda_sim.create d in
+        let original_sim = Lambda_sim.create d in
+        let r =
+          Trim.Fallback.invoke ~event:"{\"x\": 1}" ~trimmed_sim ~original_sim
+            ~now_s:0.0 ()
+        in
+        Alcotest.(check bool) "no fallback" false r.Trim.Fallback.used_fallback;
+        Alcotest.(check (option string)) "no notification" None
+          r.Trim.Fallback.notification);
+    Alcotest.test_case "missing attribute triggers fallback" `Quick (fun () ->
+        let orig, trimmed = over_trimmed () in
+        let trimmed_sim = Lambda_sim.create trimmed in
+        let original_sim = Lambda_sim.create orig in
+        let r =
+          Trim.Fallback.invoke ~event:"{\"x\": 1}" ~trimmed_sim ~original_sim
+            ~now_s:0.0 ()
+        in
+        Alcotest.(check bool) "fallback used" true r.Trim.Fallback.used_fallback;
+        (match r.Trim.Fallback.outcome with
+         | Lambda_sim.Ok _ -> ()
+         | Lambda_sim.Error e ->
+           Alcotest.failf "fallback should succeed: %s" e.Minipy.Value.exc_class);
+        Alcotest.(check bool) "notifies the user" true
+          (r.Trim.Fallback.notification <> None));
+    Alcotest.test_case "fallback returns the original's answer" `Quick (fun () ->
+        let orig, trimmed = over_trimmed () in
+        let baseline =
+          let sim = Lambda_sim.create orig in
+          Lambda_sim.invoke sim ~now_s:0.0 ~event:"{\"x\": 1}" ()
+        in
+        let r =
+          Trim.Fallback.invoke ~event:"{\"x\": 1}"
+            ~trimmed_sim:(Lambda_sim.create trimmed)
+            ~original_sim:(Lambda_sim.create orig) ~now_s:0.0 ()
+        in
+        match baseline.Lambda_sim.outcome, r.Trim.Fallback.outcome with
+        | Lambda_sim.Ok a, Lambda_sim.Ok b ->
+          Alcotest.(check string) "same answer" (Minipy.Value.to_repr a)
+            (Minipy.Value.to_repr b)
+        | _ -> Alcotest.fail "expected Ok outcomes");
+    Alcotest.test_case "cold fallback dominates E2E (table 4)" `Quick (fun () ->
+        let orig, trimmed = over_trimmed () in
+        let r =
+          Trim.Fallback.invoke ~event:"{\"x\": 1}"
+            ~trimmed_sim:(Lambda_sim.create trimmed)
+            ~original_sim:(Lambda_sim.create orig) ~now_s:0.0 ()
+        in
+        let fb = Option.get r.Trim.Fallback.fallback_record in
+        Alcotest.(check string) "fallback cold" "cold"
+          (Lambda_sim.start_kind_name fb.Lambda_sim.kind);
+        Alcotest.(check bool) "e2e > 1.8x trimmed alone" true
+          (r.Trim.Fallback.e2e_ms
+           > 1.8 *. r.Trim.Fallback.trimmed_record.Lambda_sim.e2e_ms));
+    Alcotest.test_case "warm fallback is much cheaper" `Quick (fun () ->
+        let orig, trimmed = over_trimmed () in
+        let original_sim = Lambda_sim.create orig in
+        (* pre-warm the fallback instance *)
+        let _ = Lambda_sim.invoke original_sim ~now_s:0.0 ~event:"{\"x\": 1}" () in
+        let cold_orig, trimmed2 = over_trimmed () in
+        let cold_fb =
+          Trim.Fallback.invoke ~event:"{\"x\": 1}"
+            ~trimmed_sim:(Lambda_sim.create trimmed2)
+            ~original_sim:(Lambda_sim.create cold_orig) ~now_s:0.0 ()
+        in
+        let warm_fb =
+          Trim.Fallback.invoke ~event:"{\"x\": 1}"
+            ~trimmed_sim:(Lambda_sim.create trimmed) ~original_sim ~now_s:10.0 ()
+        in
+        Alcotest.(check bool) "warm < cold" true
+          (warm_fb.Trim.Fallback.e2e_ms < cold_fb.Trim.Fallback.e2e_ms));
+    Alcotest.test_case "non-removal errors do not trigger fallback" `Quick
+      (fun () ->
+        let d = Workloads.Suite.tiny_app () in
+        let r =
+          Trim.Fallback.invoke ~event:"{\"x\": \"bad\"}"
+            ~trimmed_sim:(Lambda_sim.create d)
+            ~original_sim:(Lambda_sim.create d) ~now_s:0.0 ()
+        in
+        Alcotest.(check bool) "no fallback on TypeError" false
+          r.Trim.Fallback.used_fallback;
+        match r.Trim.Fallback.outcome with
+        | Lambda_sim.Error e ->
+          Alcotest.(check string) "TypeError" "TypeError" e.Minipy.Value.exc_class
+        | Lambda_sim.Ok _ -> Alcotest.fail "expected error") ]
+
+let suite = [ ("fallback.wrapper", cases) ]

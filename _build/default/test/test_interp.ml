@@ -1,0 +1,263 @@
+(* Interpreter semantics: expressions, statements, classes, exceptions,
+   stdout capture, and the virtual time/memory ledger. *)
+
+open Minipy
+
+let run ?(vfs = Vfs.create ()) src =
+  let t = Interp.create vfs in
+  let prog = Parser.parse ~file:"<test>" src in
+  ignore (Interp.exec_main t prog);
+  Interp.stdout_contents t
+
+let check_out name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected (run src))
+
+let check_raises name src exc_class =
+  Alcotest.test_case name `Quick (fun () ->
+      match run src with
+      | _ -> Alcotest.failf "%s: expected %s, got success" name exc_class
+      | exception Value.Py_error e ->
+        Alcotest.(check string) name exc_class e.Value.exc_class)
+
+let arithmetic =
+  [ check_out "int add" "print(1 + 2)" "3\n";
+    check_out "precedence" "print(1 + 2 * 3)" "7\n";
+    check_out "parens" "print((1 + 2) * 3)" "9\n";
+    check_out "float div" "print(7 / 2)" "3.5\n";
+    check_out "floor div" "print(7 // 2)" "3\n";
+    check_out "neg floor div" "print(-7 // 2)" "-4\n";
+    check_out "mod" "print(7 % 3)" "1\n";
+    check_out "neg mod" "print(-7 % 3)" "2\n";
+    check_out "pow" "print(2 ** 10)" "1024\n";
+    check_out "pow right assoc" "print(2 ** 3 ** 2)" "512\n";
+    check_out "unary minus" "print(-3 + 1)" "-2\n";
+    check_out "float print" "print(1.5)" "1.5\n";
+    check_out "float int print" "print(2.0)" "2.0\n";
+    check_out "mixed arith" "print(1 + 0.5)" "1.5\n";
+    check_out "str concat" "print(\"a\" + \"b\")" "ab\n";
+    check_out "str mult" "print(\"ab\" * 3)" "ababab\n";
+    check_raises "div by zero" "print(1 / 0)" "ZeroDivisionError";
+    check_raises "bad add" "print(1 + \"a\")" "TypeError" ]
+
+let comparisons =
+  [ check_out "eq" "print(1 == 1, 1 == 2)" "True False\n";
+    check_out "ne" "print(1 != 2)" "True\n";
+    check_out "lt chain fold" "print(1 < 2)" "True\n";
+    check_out "str compare" "print(\"a\" < \"b\")" "True\n";
+    check_out "in list" "print(2 in [1, 2, 3])" "True\n";
+    check_out "not in" "print(5 not in [1, 2])" "True\n";
+    check_out "in str" "print(\"bc\" in \"abcd\")" "True\n";
+    check_out "in dict" "print(\"k\" in {\"k\": 1})" "True\n";
+    check_out "and short circuit" "print(False and undefined_name)" "False\n";
+    check_out "or short circuit" "print(True or undefined_name)" "True\n";
+    check_out "and value" "print(1 and 2)" "2\n";
+    check_out "or value" "print(0 or 3)" "3\n";
+    check_out "not" "print(not 0, not 1)" "True False\n" ]
+
+let control_flow =
+  [ check_out "if else"
+      "x = 3\nif x > 2:\n  print(\"big\")\nelse:\n  print(\"small\")" "big\n";
+    check_out "elif"
+      "x = 2\nif x == 1:\n  print(\"one\")\nelif x == 2:\n  print(\"two\")\nelse:\n  print(\"other\")"
+      "two\n";
+    check_out "while"
+      "i = 0\nwhile i < 3:\n  print(i)\n  i = i + 1" "0\n1\n2\n";
+    check_out "for range" "for i in range(3):\n  print(i)" "0\n1\n2\n";
+    check_out "for range start stop" "for i in range(2, 5):\n  print(i)" "2\n3\n4\n";
+    check_out "for range step" "for i in range(0, 10, 3):\n  print(i)" "0\n3\n6\n9\n";
+    check_out "break"
+      "for i in range(10):\n  if i == 2:\n    break\n  print(i)" "0\n1\n";
+    check_out "continue"
+      "for i in range(4):\n  if i % 2 == 0:\n    continue\n  print(i)" "1\n3\n";
+    check_out "nested loops"
+      "for i in range(2):\n  for j in range(2):\n    print(i, j)"
+      "0 0\n0 1\n1 0\n1 1\n";
+    check_out "ternary" "x = 5\nprint(\"big\" if x > 3 else \"small\")" "big\n";
+    check_out "tuple unpack" "a, b = 1, 2\nprint(a, b)" "1 2\n";
+    check_out "tuple swap" "a, b = 1, 2\na, b = b, a\nprint(a, b)" "2 1\n";
+    check_out "augassign" "x = 1\nx += 4\nprint(x)" "5\n";
+    check_out "inline if" "x = 1\nif x: print(\"yes\")" "yes\n" ]
+
+let functions =
+  [ check_out "def and call" "def f(x):\n  return x * 2\nprint(f(21))" "42\n";
+    check_out "default arg" "def f(x, y=10):\n  return x + y\nprint(f(1), f(1, 2))"
+      "11 3\n";
+    check_out "kwarg call" "def f(a, b):\n  return a - b\nprint(f(b=1, a=5))" "4\n";
+    check_out "recursion"
+      "def fib(n):\n  if n < 2:\n    return n\n  return fib(n - 1) + fib(n - 2)\nprint(fib(10))"
+      "55\n";
+    check_out "closure over globals"
+      "base = 10\ndef add(x):\n  return base + x\nprint(add(5))" "15\n";
+    check_out "global statement"
+      "count = 0\ndef bump():\n  global count\n  count = count + 1\nbump()\nbump()\nprint(count)"
+      "2\n";
+    check_out "lambda" "f = lambda x, y: x * y\nprint(f(6, 7))" "42\n";
+    check_out "no return is None" "def f():\n  pass\nprint(f())" "None\n";
+    check_out "early return"
+      "def f(x):\n  if x > 0:\n    return \"pos\"\n  return \"nonpos\"\nprint(f(1), f(-1))"
+      "pos nonpos\n";
+    check_raises "missing arg" "def f(x):\n  return x\nf()" "TypeError";
+    check_raises "extra arg" "def f(x):\n  return x\nf(1, 2)" "TypeError";
+    check_raises "unknown kwarg" "def f(x):\n  return x\nf(x=1, z=2)" "TypeError" ]
+
+let data_structures =
+  [ check_out "list index" "xs = [10, 20, 30]\nprint(xs[1], xs[-1])" "20 30\n";
+    check_out "list set" "xs = [1, 2]\nxs[0] = 9\nprint(xs)" "[9, 2]\n";
+    check_out "list append" "xs = []\nxs.append(1)\nxs.append(2)\nprint(xs)" "[1, 2]\n";
+    check_out "list pop" "xs = [1, 2, 3]\nprint(xs.pop(), xs)" "3 [1, 2]\n";
+    check_out "list extend" "xs = [1]\nxs.extend([2, 3])\nprint(xs)" "[1, 2, 3]\n";
+    check_out "list sort" "xs = [3, 1, 2]\nxs.sort()\nprint(xs)" "[1, 2, 3]\n";
+    check_out "list index method" "print([\"a\", \"b\"].index(\"b\"))" "1\n";
+    check_out "len" "print(len([1, 2, 3]), len(\"abcd\"), len({\"a\": 1}))" "3 4 1\n";
+    check_out "dict get" "d = {\"a\": 1}\nprint(d[\"a\"], d.get(\"b\"), d.get(\"b\", 0))"
+      "1 None 0\n";
+    check_out "dict set" "d = {}\nd[\"x\"] = 5\nprint(d)" "{'x': 5}\n";
+    check_out "dict keys values"
+      "d = {\"a\": 1, \"b\": 2}\nprint(d.keys(), d.values())" "['a', 'b'] [1, 2]\n";
+    check_out "dict items iteration"
+      "d = {\"a\": 1, \"b\": 2}\nfor k, v in d.items():\n  print(k, v)" "a 1\nb 2\n";
+    check_out "dict update" "d = {\"a\": 1}\nd.update({\"b\": 2})\nprint(d)"
+      "{'a': 1, 'b': 2}\n";
+    check_out "tuple index" "t = (1, 2, 3)\nprint(t[0], t[-1])" "1 3\n";
+    check_out "nested" "m = {\"xs\": [1, {\"y\": 2}]}\nprint(m[\"xs\"][1][\"y\"])" "2\n";
+    check_out "str methods"
+      "print(\"Hello\".upper(), \"WORLD\".lower(), \" x \".strip())" "HELLO world x\n";
+    check_out "str split join"
+      "parts = \"a,b,c\".split(\",\")\nprint(\"-\".join(parts))" "a-b-c\n";
+    check_out "str startswith" "print(\"hello\".startswith(\"he\"))" "True\n";
+    check_out "str replace" "print(\"aXbXc\".replace(\"X\", \"-\"))" "a-b-c\n";
+    check_out "sum min max" "xs = [3, 1, 4, 1, 5]\nprint(sum(xs), min(xs), max(xs))"
+      "14 1 5\n";
+    check_out "sorted" "print(sorted([3, 1, 2]))" "[1, 2, 3]\n";
+    check_out "enumerate" "for i, x in enumerate([\"a\", \"b\"]):\n  print(i, x)"
+      "0 a\n1 b\n";
+    check_out "zip" "for a, b in zip([1, 2], [\"x\", \"y\"]):\n  print(a, b)"
+      "1 x\n2 y\n";
+    check_out "del dict key" "d = {\"a\": 1, \"b\": 2}\ndel d[\"a\"]\nprint(d)"
+      "{'b': 2}\n";
+    check_raises "index error" "xs = [1]\nprint(xs[5])" "IndexError";
+    check_raises "key error" "d = {}\nprint(d[\"missing\"])" "KeyError" ]
+
+let classes =
+  [ check_out "class init and method"
+      "class Point:\n\
+      \  def __init__(self, x, y):\n\
+      \    self.x = x\n\
+      \    self.y = y\n\
+      \  def norm1(self):\n\
+      \    return abs(self.x) + abs(self.y)\n\
+       p = Point(3, -4)\n\
+       print(p.x, p.norm1())"
+      "3 7\n";
+    check_out "class attribute"
+      "class Config:\n  version = 3\nprint(Config.version)" "3\n";
+    check_out "inheritance"
+      "class Base:\n\
+      \  def kind(self):\n\
+      \    return \"base\"\n\
+       class Child(Base):\n\
+      \  pass\n\
+       c = Child()\n\
+       print(c.kind())"
+      "base\n";
+    check_out "override"
+      "class Base:\n\
+      \  def kind(self):\n\
+      \    return \"base\"\n\
+       class Child(Base):\n\
+      \  def kind(self):\n\
+      \    return \"child\"\n\
+       print(Child().kind())"
+      "child\n";
+    check_out "callable instance"
+      "class Linear:\n\
+      \  def __init__(self, n):\n\
+      \    self.n = n\n\
+      \  def __call__(self, x):\n\
+      \    return self.n * x\n\
+       model = Linear(3)\n\
+       print(model(7))"
+      "21\n";
+    check_out "isinstance"
+      "class A:\n  pass\nclass B(A):\n  pass\nb = B()\nprint(isinstance(b, A), isinstance(b, B))"
+      "True True\n";
+    check_out "setattr on instance"
+      "class Box:\n  pass\nb = Box()\nb.value = 9\nprint(b.value)" "9\n";
+    check_raises "missing attribute"
+      "class Box:\n  pass\nb = Box()\nprint(b.missing)" "AttributeError" ]
+
+let exceptions =
+  [ check_out "try except"
+      "try:\n  raise ValueError(\"bad\")\nexcept ValueError as e:\n  print(\"caught\", e)"
+      "caught ValueError('bad')\n";
+    check_out "except wrong class propagates to bare"
+      "try:\n  raise KeyError(\"k\")\nexcept ValueError:\n  print(\"no\")\nexcept:\n  print(\"bare\")"
+      "bare\n";
+    check_out "exception catch-all Exception"
+      "try:\n  raise KeyError(\"k\")\nexcept Exception:\n  print(\"caught\")" "caught\n";
+    check_out "finally runs on success"
+      "try:\n  print(\"body\")\nfinally:\n  print(\"fin\")" "body\nfin\n";
+    check_out "finally runs on error"
+      "try:\n\
+      \  try:\n\
+      \    raise ValueError(\"x\")\n\
+      \  finally:\n\
+      \    print(\"fin\")\n\
+       except ValueError:\n\
+      \  print(\"outer\")"
+      "fin\nouter\n";
+    check_out "builtin raised caught"
+      "try:\n  xs = []\n  xs[3]\nexcept IndexError:\n  print(\"idx\")" "idx\n";
+    check_out "attribute error caught"
+      "class A:\n  pass\ntry:\n  A().nope\nexcept AttributeError:\n  print(\"attr\")"
+      "attr\n";
+    check_out "assert pass" "assert 1 == 1\nprint(\"ok\")" "ok\n";
+    check_raises "assert fail" "assert 1 == 2, \"boom\"" "AssertionError";
+    check_raises "uncaught" "raise RuntimeError(\"die\")" "RuntimeError";
+    check_raises "name error" "print(nope)" "NameError" ]
+
+let resources =
+  [ Alcotest.test_case "virtual time advances" `Quick (fun () ->
+        let t = Interp.create (Vfs.create ()) in
+        let prog = Parser.parse ~file:"<t>" "x = 0\nfor i in range(100):\n  x = x + 1" in
+        ignore (Interp.exec_main t prog);
+        Alcotest.(check bool) "time > 0" true (t.Interp.vtime_ms > 0.0));
+    Alcotest.test_case "simrt.cpu_ms charges time" `Quick (fun () ->
+        let t = Interp.create (Vfs.create ()) in
+        let prog =
+          Parser.parse ~file:"<t>" "import simrt\nsimrt.cpu_ms(150)"
+        in
+        ignore (Interp.exec_main t prog);
+        Alcotest.(check bool) "time >= 150" true (t.Interp.vtime_ms >= 150.0));
+    Alcotest.test_case "simrt.alloc_mb charges memory" `Quick (fun () ->
+        let t = Interp.create (Vfs.create ()) in
+        let before = Interp.heap_mb t in
+        let prog = Parser.parse ~file:"<t>" "import simrt\nsimrt.alloc_mb(64)" in
+        ignore (Interp.exec_main t prog);
+        Alcotest.(check bool) "heap grew by >= 64MB" true
+          (Interp.heap_mb t -. before >= 64.0));
+    Alcotest.test_case "allocations charge the ledger" `Quick (fun () ->
+        let t = Interp.create (Vfs.create ()) in
+        let before = t.Interp.heap_bytes in
+        let prog =
+          Parser.parse ~file:"<t>" "xs = []\nfor i in range(1000):\n  xs.append(i)"
+        in
+        ignore (Interp.exec_main t prog);
+        Alcotest.(check bool) "bytes grew" true (t.Interp.heap_bytes > before));
+    Alcotest.test_case "step budget halts runaway loops" `Quick (fun () ->
+        let t = Interp.create ~max_steps:10_000 (Vfs.create ()) in
+        let prog = Parser.parse ~file:"<t>" "while True:\n  pass" in
+        match Interp.exec_main t prog with
+        | _ -> Alcotest.fail "expected Timeout"
+        | exception Interp.Timeout _ -> ()) ]
+
+let suite =
+  [ ("interp.arithmetic", arithmetic);
+    ("interp.comparisons", comparisons);
+    ("interp.control_flow", control_flow);
+    ("interp.functions", functions);
+    ("interp.data_structures", data_structures);
+    ("interp.classes", classes);
+    ("interp.exceptions", exceptions);
+    ("interp.resources", resources) ]

@@ -1,0 +1,76 @@
+(* Oracle: stdout+return equivalence across fresh-interpreter runs. *)
+
+open Trim
+
+let tiny = Workloads.Suite.tiny_app ()
+
+let observations =
+  [ Alcotest.test_case "observation is deterministic" `Quick (fun () ->
+        let o1 = Oracle.observe tiny in
+        let o2 = Oracle.observe tiny in
+        Alcotest.(check bool) "equivalent" true (Oracle.equivalent o1 o2));
+    Alcotest.test_case "one entry per test case" `Quick (fun () ->
+        let o = Oracle.observe tiny in
+        Alcotest.(check int) "entries" 2 (List.length o.Oracle.per_test));
+    Alcotest.test_case "unmodified copy passes its own oracle" `Quick (fun () ->
+        let oracle, _ = Oracle.for_reference tiny in
+        Alcotest.(check bool) "passes" true
+          (oracle (Platform.Deployment.copy tiny)));
+    Alcotest.test_case "breaking a needed function fails the oracle" `Quick
+      (fun () ->
+        let oracle, _ = Oracle.for_reference tiny in
+        let broken = Platform.Deployment.copy tiny in
+        let path = "site-packages/tinylib/_core.py" in
+        let src = Minipy.Vfs.read_exn broken.Platform.Deployment.vfs path in
+        (* change f0's arithmetic: output changes, oracle must notice *)
+        let src' =
+          Str.global_replace (Str.regexp_string "def f0(x=0):\n  return x * 2 + 1")
+            "def f0(x=0):\n  return x * 3 + 1" src
+        in
+        Minipy.Vfs.add_file broken.Platform.Deployment.vfs path src';
+        Alcotest.(check bool) "fails" false (oracle broken));
+    Alcotest.test_case "removing an unused heavy passes the oracle" `Quick
+      (fun () ->
+        let oracle, _ = Oracle.for_reference tiny in
+        let trimmed = Platform.Deployment.copy tiny in
+        let path = "site-packages/tinylib/__init__.py" in
+        let src = Minipy.Vfs.read_exn trimmed.Platform.Deployment.vfs path in
+        let lines = String.split_on_char '\n' src in
+        let kept =
+          List.filter
+            (fun l ->
+               not (String.length l >= 14
+                    && String.sub l 0 14 = "from ._heavy_0"))
+            lines
+        in
+        assert (List.length kept < List.length lines);
+        Minipy.Vfs.add_file trimmed.Platform.Deployment.vfs path
+          (String.concat "\n" kept);
+        Alcotest.(check bool) "passes" true (oracle trimmed));
+    Alcotest.test_case "init crash observed as an error" `Quick (fun () ->
+        let broken = Platform.Deployment.copy tiny in
+        Minipy.Vfs.add_file broken.Platform.Deployment.vfs
+          "site-packages/tinylib/__init__.py" "raise ValueError(\"boom\")\n";
+        let o = Oracle.observe broken in
+        List.iter
+          (fun (_, out) ->
+             Alcotest.(check string) "marker" "ERR:ValueError:boom" out)
+          o.Oracle.per_test);
+    Alcotest.test_case "handler error observed distinctly" `Quick (fun () ->
+        let broken = Platform.Deployment.copy tiny in
+        let src = Platform.Deployment.handler_source broken in
+        let src' =
+          Str.global_replace (Str.regexp_string "acc = tinylib.f0(acc)")
+            "acc = tinylib.missing_fn(acc)" src
+        in
+        Minipy.Vfs.add_file broken.Platform.Deployment.vfs "handler.py" src';
+        let o = Oracle.observe broken in
+        List.iter
+          (fun (_, out) ->
+             Alcotest.(check bool) "mentions AttributeError" true
+               (let re = Str.regexp_string "ERR:AttributeError" in
+                try ignore (Str.search_forward re out 0); true
+                with Not_found -> false))
+          o.Oracle.per_test) ]
+
+let suite = [ ("oracle.observations", observations) ]

@@ -1,0 +1,56 @@
+(* Pricing models: Eq. 1, billing granularity, memory floors. *)
+
+open Platform
+
+let aws = Pricing.aws
+
+let duration =
+  [ Alcotest.test_case "aws bills in 1ms increments" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "round up" 124.0
+          (Pricing.billed_duration_ms aws 123.2);
+        Alcotest.(check (float 1e-9)) "exact" 123.0
+          (Pricing.billed_duration_ms aws 123.0));
+    Alcotest.test_case "gcp rounds to 100ms" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "round" 200.0
+          (Pricing.billed_duration_ms Pricing.gcp 101.0));
+    Alcotest.test_case "azure rounds to 1s" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "round" 1000.0
+          (Pricing.billed_duration_ms Pricing.azure 1.0));
+    Alcotest.test_case "zero duration" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "zero" 0.0 (Pricing.billed_duration_ms aws 0.0)) ]
+
+let memory =
+  [ Alcotest.test_case "128MB floor" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "floor" 128.0
+          (Pricing.configured_memory_mb aws 17.0));
+    Alcotest.test_case "rounds up to whole MB" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "ceil" 301.0
+          (Pricing.configured_memory_mb aws 300.2));
+    Alcotest.test_case "10GB cap" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "cap" 10240.0
+          (Pricing.configured_memory_mb aws 99999.0)) ]
+
+let eq1 =
+  [ Alcotest.test_case "eq1 arithmetic" `Quick (fun () ->
+        (* 1024MB for 1000ms = 1 GB-s -> unit price + request fee *)
+        Alcotest.(check (float 1e-12)) "1 GB-s"
+          (aws.Pricing.unit_price_per_gb_s +. aws.Pricing.per_request_fee)
+          (Pricing.invocation_cost aws ~duration_ms:1000.0 ~memory_mb:1024.0));
+    Alcotest.test_case "monotone in duration" `Quick (fun () ->
+        let c d = Pricing.invocation_cost aws ~duration_ms:d ~memory_mb:512.0 in
+        Alcotest.(check bool) "increasing" true (c 100.0 < c 200.0));
+    Alcotest.test_case "monotone in memory" `Quick (fun () ->
+        let c m = Pricing.invocation_cost aws ~duration_ms:500.0 ~memory_mb:m in
+        Alcotest.(check bool) "increasing" true (c 256.0 < c 512.0));
+    Alcotest.test_case "below-floor memory costs the same" `Quick (fun () ->
+        let c m = Pricing.invocation_cost aws ~duration_ms:500.0 ~memory_mb:m in
+        Alcotest.(check (float 1e-15)) "floor hides small gains" (c 60.0) (c 100.0));
+    Alcotest.test_case "100K invocations scale linearly" `Quick (fun () ->
+        let one = Pricing.invocation_cost aws ~duration_ms:250.0 ~memory_mb:512.0 in
+        Alcotest.(check (float 1e-9)) "x100000" (one *. 100000.0)
+          (Pricing.cost_of_invocations aws ~n:100_000 ~duration_ms:250.0
+             ~memory_mb:512.0)) ]
+
+let suite =
+  [ ("pricing.duration", duration); ("pricing.memory", memory);
+    ("pricing.eq1", eq1) ]

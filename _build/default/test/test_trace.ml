@@ -1,0 +1,165 @@
+(* Traces: generators and analytic cold/warm replay. *)
+
+open Platform
+
+let generators =
+  [ Alcotest.test_case "poisson rate approximately honoured" `Quick (fun () ->
+        let t = Trace.poisson ~seed:1 ~rate_per_s:1.0 ~duration_s:2000.0 ~name:"p" in
+        let n = Trace.length t in
+        Alcotest.(check bool) (Printf.sprintf "%d in [1700, 2300]" n) true
+          (n >= 1700 && n <= 2300));
+    Alcotest.test_case "poisson deterministic per seed" `Quick (fun () ->
+        let t1 = Trace.poisson ~seed:7 ~rate_per_s:0.5 ~duration_s:100.0 ~name:"a" in
+        let t2 = Trace.poisson ~seed:7 ~rate_per_s:0.5 ~duration_s:100.0 ~name:"b" in
+        Alcotest.(check (list (float 1e-12))) "same arrivals"
+          t1.Trace.arrivals_s t2.Trace.arrivals_s);
+    Alcotest.test_case "arrivals sorted" `Quick (fun () ->
+        let t = Trace.bursty ~seed:3 ~burst_size:5 ~burst_rate_per_s:10.0
+            ~idle_gap_s:60.0 ~bursts:4 ~name:"b"
+        in
+        Alcotest.(check (list (float 1e-12))) "sorted"
+          (List.sort compare t.Trace.arrivals_s) t.Trace.arrivals_s);
+    Alcotest.test_case "bursty produces expected count" `Quick (fun () ->
+        let t = Trace.bursty ~seed:3 ~burst_size:5 ~burst_rate_per_s:10.0
+            ~idle_gap_s:60.0 ~bursts:4 ~name:"b"
+        in
+        Alcotest.(check int) "20 requests" 20 (Trace.length t));
+    Alcotest.test_case "periodic spacing" `Quick (fun () ->
+        let t = Trace.periodic ~period_s:10.0 ~count:5 ~name:"p" in
+        Alcotest.(check (list (float 1e-12))) "times"
+          [ 0.0; 10.0; 20.0; 30.0; 40.0 ] t.Trace.arrivals_s) ]
+
+let replay =
+  [ Alcotest.test_case "dense trace mostly warm" `Quick (fun () ->
+        let t = Trace.periodic ~period_s:10.0 ~count:100 ~name:"d" in
+        let r = Trace.replay t ~keep_alive_s:900.0 in
+        Alcotest.(check int) "one cold" 1 r.Trace.cold_starts;
+        Alcotest.(check int) "rest warm" 99 r.Trace.warm_starts);
+    Alcotest.test_case "sparse trace always cold" `Quick (fun () ->
+        let t = Trace.periodic ~period_s:2000.0 ~count:10 ~name:"s" in
+        let r = Trace.replay t ~keep_alive_s:900.0 in
+        Alcotest.(check int) "all cold" 10 r.Trace.cold_starts);
+    Alcotest.test_case "keep-alive boundary inclusive" `Quick (fun () ->
+        let t = Trace.periodic ~period_s:900.0 ~count:3 ~name:"edge" in
+        let r = Trace.replay t ~keep_alive_s:900.0 in
+        Alcotest.(check int) "warm at exactly keep-alive" 2 r.Trace.warm_starts);
+    Alcotest.test_case "longer keep-alive, never fewer warm starts" `Quick
+      (fun () ->
+        let t = Trace.poisson ~seed:11 ~rate_per_s:0.002 ~duration_s:86400.0 ~name:"x" in
+        let warm k = (Trace.replay t ~keep_alive_s:k).Trace.warm_starts in
+        Alcotest.(check bool) "monotone" true
+          (warm 60.0 <= warm 900.0 && warm 900.0 <= warm 6000.0));
+    Alcotest.test_case "resident time grows with keep-alive" `Quick (fun () ->
+        let t = Trace.periodic ~period_s:2000.0 ~count:10 ~name:"r" in
+        let res k = (Trace.replay t ~keep_alive_s:k).Trace.resident_s in
+        Alcotest.(check bool) "monotone" true (res 60.0 < res 900.0));
+    Alcotest.test_case "cold fraction" `Quick (fun () ->
+        let r = { Trace.cold_starts = 1; warm_starts = 3; resident_s = 0.0 } in
+        Alcotest.(check (float 1e-12)) "0.25" 0.25 (Trace.cold_fraction r)) ]
+
+let azure =
+  [ Alcotest.test_case "generates requested function count" `Quick (fun () ->
+        let t = Azure_trace.generate ~n_functions:50 ~seed:5 () in
+        Alcotest.(check int) "50 fns" 50 (List.length t.Azure_trace.functions));
+    Alcotest.test_case "deterministic per seed" `Quick (fun () ->
+        let t1 = Azure_trace.generate ~n_functions:20 ~seed:5 () in
+        let t2 = Azure_trace.generate ~n_functions:20 ~seed:5 () in
+        List.iter2
+          (fun (a : Azure_trace.fn) (b : Azure_trace.fn) ->
+             Alcotest.(check (float 1e-9)) "mem" a.Azure_trace.memory_mb
+               b.Azure_trace.memory_mb;
+             Alcotest.(check int) "trace len" (Trace.length a.Azure_trace.trace)
+               (Trace.length b.Azure_trace.trace))
+          t1.Azure_trace.functions t2.Azure_trace.functions);
+    Alcotest.test_case "rates are heavy-tailed" `Quick (fun () ->
+        let t = Azure_trace.generate ~n_functions:300 ~seed:5 () in
+        let lens =
+          List.map (fun f -> float_of_int (Trace.length f.Azure_trace.trace))
+            t.Azure_trace.functions
+        in
+        let mean = Metrics.mean lens and med = Metrics.median lens in
+        Alcotest.(check bool)
+          (Printf.sprintf "mean %.1f > 1.5 * median %.1f" mean med)
+          true (mean > 1.5 *. med));
+    Alcotest.test_case "nearest function minimises scaled L2" `Quick (fun () ->
+        let t = Azure_trace.generate ~n_functions:100 ~seed:9 () in
+        let target = Azure_trace.nearest_function t ~memory_mb:256.0 ~exec_ms:100.0 in
+        (* it must at least beat a random other function *)
+        let d (f : Azure_trace.fn) =
+          ((f.Azure_trace.memory_mb -. 256.0) /. 220.0) ** 2.0
+          +. ((f.Azure_trace.exec_ms -. 100.0) /. 300.0) ** 2.0
+        in
+        List.iter
+          (fun f ->
+             Alcotest.(check bool) "nearest" true (d target <= d f +. 5.0))
+          t.Azure_trace.functions) ]
+
+let metrics =
+  [ Alcotest.test_case "mean median" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "mean" 2.0 (Metrics.mean [ 1.0; 2.0; 3.0 ]);
+        Alcotest.(check (float 1e-9)) "median" 2.0 (Metrics.median [ 3.0; 1.0; 2.0 ]));
+    Alcotest.test_case "percentile interpolates" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "p50" 1.5
+          (Metrics.percentile 50.0 [ 1.0; 2.0 ]));
+    Alcotest.test_case "cdf" `Quick (fun () ->
+        Alcotest.(check (list (pair (float 1e-9) (float 1e-9)))) "points"
+          [ (1.0, 0.5); (2.0, 1.0) ]
+          (Metrics.cdf [ 2.0; 1.0 ]));
+    Alcotest.test_case "improvement pct" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "20%" 20.0
+          (Metrics.improvement_pct ~before:10.0 ~after:8.0));
+    Alcotest.test_case "speedup" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "2x" 2.0 (Metrics.speedup ~before:10.0 ~after:5.0)) ]
+
+
+
+let concurrent =
+  [ Alcotest.test_case "serial trace matches single-instance replay" `Quick
+      (fun () ->
+        let t = Trace.periodic ~period_s:100.0 ~count:20 ~name:"serial" in
+        let simple = Trace.replay t ~keep_alive_s:900.0 in
+        let conc = Trace.replay_concurrent t ~keep_alive_s:900.0 in
+        Alcotest.(check int) "cold" simple.Trace.cold_starts
+          conc.Trace.c_cold_starts;
+        Alcotest.(check int) "warm" simple.Trace.warm_starts
+          conc.Trace.c_warm_starts;
+        Alcotest.(check int) "one instance" 1 conc.Trace.c_peak_instances);
+    Alcotest.test_case "overlapping burst forces parallel cold starts" `Quick
+      (fun () ->
+        (* 5 requests in the same instant, each takes 10 s *)
+        let t = Trace.make ~name:"burst" [ 0.0; 0.01; 0.02; 0.03; 0.04 ] in
+        let conc = Trace.replay_concurrent ~exec_s:10.0 t ~keep_alive_s:900.0 in
+        Alcotest.(check int) "all cold" 5 conc.Trace.c_cold_starts;
+        Alcotest.(check int) "peak pool" 5 conc.Trace.c_peak_instances);
+    Alcotest.test_case "burst followed by burst reuses the pool" `Quick
+      (fun () ->
+        let t =
+          Trace.make ~name:"two-bursts"
+            [ 0.0; 0.1; 0.2; 100.0; 100.1; 100.2 ]
+        in
+        let conc = Trace.replay_concurrent ~exec_s:1.0 t ~keep_alive_s:900.0 in
+        Alcotest.(check int) "3 cold then 3 warm" 3 conc.Trace.c_cold_starts;
+        Alcotest.(check int) "warm" 3 conc.Trace.c_warm_starts);
+    Alcotest.test_case "cold_extra_s keeps instances busy longer" `Quick
+      (fun () ->
+        (* with a long cold start, a request arriving during init cannot
+           reuse the initializing instance *)
+        let t = Trace.make ~name:"init-overlap" [ 0.0; 1.0 ] in
+        let fast = Trace.replay_concurrent ~exec_s:0.1 ~cold_extra_s:0.0 t
+            ~keep_alive_s:900.0
+        in
+        let slow = Trace.replay_concurrent ~exec_s:0.1 ~cold_extra_s:5.0 t
+            ~keep_alive_s:900.0
+        in
+        Alcotest.(check int) "fast: second is warm" 1 fast.Trace.c_cold_starts;
+        Alcotest.(check int) "slow: second is cold too" 2 slow.Trace.c_cold_starts);
+    Alcotest.test_case "accounts for every arrival" `Quick (fun () ->
+        let t = Trace.poisson ~seed:5 ~rate_per_s:0.5 ~duration_s:2000.0 ~name:"p" in
+        let conc = Trace.replay_concurrent ~exec_s:3.0 t ~keep_alive_s:300.0 in
+        Alcotest.(check int) "total" (Trace.length t)
+          (conc.Trace.c_cold_starts + conc.Trace.c_warm_starts)) ]
+
+let suite =
+  [ ("trace.generators", generators); ("trace.replay", replay);
+    ("trace.concurrent", concurrent); ("trace.azure", azure);
+    ("trace.metrics", metrics) ]
