@@ -178,6 +178,44 @@ let experiment_tests =
              ~original_sim:(Platform.Lambda_sim.create (Lazy.force tiny))
              ~now_s:0.0 ())) ]
 
+(* A fleet configuration representative of the fleet experiment: a mid-size
+   app under a fixed-TTL pool with the fallback path enabled. *)
+let fleet_bench_config =
+  lazy
+    (let profile =
+       { Fleet.Router.exec_s = 0.2; func_init_s = 0.8; instance_init_s = 0.3;
+         memory_mb = 512.0 }
+     in
+     { (Fleet.Router.default_config ~profile
+          (Fleet.Pool.Fixed_ttl { keep_alive_s = 600.0 }))
+       with
+       Fleet.Router.fallback =
+         Some
+           (Fleet.Scenario.fallback ~rate:0.01 ~seed:7
+              ~original:{ profile with Fleet.Router.func_init_s = 1.6 } ()) })
+
+(* Simulator throughput in events/sec, printed once alongside the
+   micro-benchmarks: the fleet experiments sweep tens of configurations, so
+   raw event-loop speed bounds how far the sweeps can scale. *)
+let print_fleet_throughput () =
+  let trace =
+    Platform.Trace.poisson ~seed:21 ~rate_per_s:20.0 ~duration_s:5000.0
+      ~name:"fleet-throughput"
+  in
+  let cfg = Lazy.force fleet_bench_config in
+  ignore (Fleet.Router.run cfg trace);  (* warm up *)
+  let t0 = Sys.time () in
+  let reps = 10 in
+  let events = ref 0 in
+  for _ = 1 to reps do
+    events := !events + (Fleet.Router.run cfg trace).Fleet.Router.events_processed
+  done;
+  let dt = Sys.time () -. t0 in
+  Printf.printf
+    "\nfleet simulator throughput: %d events in %.3f s CPU = %.2f M events/s\n"
+    !events dt
+    (float_of_int !events /. dt /. 1e6)
+
 (* Kernels for the ablations and §9 extensions. *)
 let extension_tests =
   [ Test.make ~name:"abl.parallel_dd_8workers"
@@ -212,6 +250,30 @@ let extension_tests =
           fun () ->
             Platform.Trace.replay_concurrent ~exec_s:0.3 (Lazy.force trace)
               ~keep_alive_s:900.0));
+    Test.make ~name:"fleet.event_queue_push_pop_10k"
+      (Staged.stage (fun () ->
+           let q = Fleet.Events.create () in
+           for i = 0 to 9_999 do
+             Fleet.Events.push q
+               ~time:(float_of_int ((i * 7919) mod 10_000))
+               ~rank:(i mod 4) i
+           done;
+           let rec drain n =
+             match Fleet.Events.pop q with
+             | None -> n
+             | Some _ -> drain (n + 1)
+           in
+           drain 0));
+    Test.make ~name:"fleet.router_poisson_10k"
+      (Staged.stage
+         (let trace =
+            lazy
+              (Platform.Trace.poisson ~seed:21 ~rate_per_s:2.0
+                 ~duration_s:5000.0 ~name:"fleet-bench")
+          in
+          fun () ->
+            Fleet.Router.run (Lazy.force fleet_bench_config)
+              (Lazy.force trace)));
     Test.make ~name:"substrate.json_roundtrip"
       (Staged.stage
          (let v =
@@ -271,5 +333,6 @@ let () =
     print_string
       (Experiments.Common.header
          "Bechamel micro-benchmarks (one kernel per table/figure + substrate)");
-    print_results (benchmark (substrate_tests @ experiment_tests @ extension_tests))
+    print_results (benchmark (substrate_tests @ experiment_tests @ extension_tests));
+    print_fleet_throughput ()
   end

@@ -7,6 +7,7 @@
      ltrim profile <app>                 per-module marginal costs + ranking
      ltrim debloat <app> [-k N] [-s M]   run the full pipeline
      ltrim invoke <app> [--trimmed]      cold+warm invocation on the simulator
+     ltrim fleet <app> [--rate R] ...    multi-instance fleet simulation
      ltrim experiments [-o ID]           regenerate paper tables/figures *)
 
 open Cmdliner
@@ -153,6 +154,117 @@ let invoke_cmd =
     (Cmd.info "invoke" ~doc:"Invoke an application on the platform simulator.")
     Term.(const run $ app_arg $ trimmed_flag)
 
+(* --- fleet ---------------------------------------------------------------- *)
+
+let fleet_cmd =
+  let rate_arg =
+    Arg.(value & opt float 1.0 & info [ "r"; "rate" ] ~docv:"REQ_PER_S"
+           ~doc:"Poisson arrival rate in requests per second (default 1).")
+  in
+  let duration_arg =
+    Arg.(value & opt float 1800.0 & info [ "d"; "duration" ] ~docv:"SECONDS"
+           ~doc:"Trace duration in seconds (default 1800).")
+  in
+  let policy_arg =
+    Arg.(value & opt string "fixed" & info [ "p"; "policy" ] ~docv:"POLICY"
+           ~doc:"Eviction policy: fixed, lru, or adaptive.")
+  in
+  let keep_alive_arg =
+    Arg.(value & opt float 600.0 & info [ "keep-alive" ] ~docv:"SECONDS"
+           ~doc:"Keep-alive TTL for fixed/lru policies (default 600).")
+  in
+  let max_idle_arg =
+    Arg.(value & opt int 4 & info [ "max-idle" ] ~docv:"N"
+           ~doc:"Idle-instance cap for the lru policy (default 4).")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 0 & info [ "capacity" ] ~docv:"N"
+           ~doc:"Concurrency cap on live instances (default unbounded).")
+  in
+  let max_pending_arg =
+    Arg.(value & opt int 1024 & info [ "max-pending" ] ~docv:"N"
+           ~doc:"Pending-queue bound (default 1024).")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Pending-request timeout (default 60).")
+  in
+  let fb_rate_arg =
+    Arg.(value & opt float 0.01 & info [ "fb-rate" ] ~docv:"FRACTION"
+           ~doc:"Fraction of trimmed requests hitting removed code and \
+                 falling back to the original image (default 0.01).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 2025 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Trace and fallback-draw seed (default 2025).")
+  in
+  let run app rate duration policy keep_alive max_idle capacity max_pending
+      timeout fb_rate seed =
+    if rate <= 0.0 then begin
+      Printf.eprintf "--rate must be positive (got %g)\n" rate;
+      exit 2
+    end;
+    if duration < 0.0 then begin
+      Printf.eprintf "--duration must be non-negative (got %g)\n" duration;
+      exit 2
+    end;
+    let pol =
+      match policy with
+      | "fixed" -> Fleet.Pool.Fixed_ttl { keep_alive_s = keep_alive }
+      | "lru" -> Fleet.Pool.Lru { keep_alive_s = keep_alive; max_idle }
+      | "adaptive" ->
+        Fleet.Pool.Adaptive
+          { min_s = 60.0; max_s = keep_alive; percentile = 99.0 }
+      | p ->
+        Printf.eprintf "unknown policy %S (fixed, lru, adaptive)\n" p;
+        exit 2
+    in
+    let d = Workloads.Suite.deployment_of app in
+    let report = Trim.Pipeline.run d in
+    let original = Fleet.Scenario.profile_of_deployment d in
+    let trimmed =
+      Fleet.Scenario.profile_of_deployment report.Trim.Pipeline.optimized
+    in
+    let trace =
+      Platform.Trace.poisson ~seed ~rate_per_s:rate ~duration_s:duration
+        ~name:(Printf.sprintf "poisson-%g" rate)
+    in
+    let base = Fleet.Router.default_config ~profile:original pol in
+    let base =
+      { base with
+        Fleet.Router.max_instances =
+          (if capacity <= 0 then max_int else capacity);
+        max_pending;
+        pending_timeout_s = timeout }
+    in
+    let simulate label cfg =
+      Fleet.Report.summarize ~label cfg (Fleet.Router.run cfg trace)
+    in
+    Printf.printf
+      "Fleet: %s, poisson %g req/s for %g s (seed %d), policy %s\n\n" app rate
+      duration seed (Fleet.Pool.policy_name pol);
+    print_endline Fleet.Report.table_header;
+    print_endline (Fleet.Report.table_row (simulate "original" base));
+    let fb_cfg =
+      { base with
+        Fleet.Router.profile = trimmed;
+        fallback =
+          (if fb_rate > 0.0 then
+             Some
+               (Fleet.Scenario.fallback ~rate:fb_rate ~seed:(seed + 1)
+                  ~original ())
+           else None) }
+    in
+    print_endline (Fleet.Report.table_row (simulate "trimmed" fb_cfg))
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Simulate a fleet of instances serving an arrival trace, \
+             original vs lambda-trim-optimized.")
+    Term.(const run $ app_arg $ rate_arg $ duration_arg $ policy_arg
+          $ keep_alive_arg $ max_idle_arg $ capacity_arg $ max_pending_arg
+          $ timeout_arg $ fb_rate_arg $ seed_arg)
+
 (* --- calibrate ------------------------------------------------------------ *)
 
 (* Check every synthesized application against its paper metrics: the
@@ -268,7 +380,7 @@ let main =
   Cmd.group
     (Cmd.info "ltrim" ~version:"1.0.0"
        ~doc:"Cost-driven debloating for serverless applications (lambda-trim).")
-    [ list_cmd; analyze_cmd; profile_cmd; debloat_cmd; invoke_cmd;
+    [ list_cmd; analyze_cmd; profile_cmd; debloat_cmd; invoke_cmd; fleet_cmd;
       calibrate_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval main)

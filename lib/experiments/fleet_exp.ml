@@ -1,0 +1,110 @@
+(* Fleet experiment: cost and tail latency vs arrival rate and eviction
+   policy, original vs lambda-trim-optimized deployment.
+
+   Extends the paper's single-instance cost replay (Figures 13-14) to fleet
+   dynamics: Poisson arrivals are dispatched over an autoscaled instance
+   pool, so cold-start frequency is governed by concurrency and eviction
+   policy rather than one keep-alive timer. The trimmed variant carries the
+   Section-7 fallback: 1% of requests hit debloated-away code and re-invoke
+   the original image on its own pool. Fully deterministic per seed. *)
+
+let app = "resnet"
+let rates_per_s = [ 0.2; 1.0; 5.0 ]
+let duration_s = 1800.0
+let seed = 2025
+
+let policies =
+  [ ("fixed-ttl", Fleet.Pool.Fixed_ttl { keep_alive_s = 600.0 });
+    ("lru-cap4", Fleet.Pool.Lru { keep_alive_s = 600.0; max_idle = 4 });
+    ("adaptive",
+     Fleet.Pool.Adaptive { min_s = 60.0; max_s = 900.0; percentile = 99.0 }) ]
+
+type row = {
+  policy : string;
+  rate_per_s : float;
+  variant : string;  (* "original" | "trimmed" *)
+  summary : Fleet.Report.summary;
+}
+
+let run () : row list =
+  let t = Common.trimmed app in
+  let original = Fleet.Scenario.profile_of_record t.Common.original_m.Common.cold in
+  let trimmed = Fleet.Scenario.profile_of_record t.Common.trimmed_m.Common.cold in
+  List.concat_map
+    (fun (policy, pol) ->
+       List.concat_map
+         (fun rate_per_s ->
+            let trace =
+              Platform.Trace.poisson ~seed ~rate_per_s ~duration_s
+                ~name:(Printf.sprintf "poisson-%g" rate_per_s)
+            in
+            let make variant profile fallback =
+              let cfg =
+                { (Fleet.Router.default_config ~profile pol) with
+                  Fleet.Router.fallback }
+              in
+              let label =
+                Printf.sprintf "%s r=%g %s" policy rate_per_s variant
+              in
+              { policy; rate_per_s; variant;
+                summary =
+                  Fleet.Report.summarize ~label cfg
+                    (Fleet.Router.run cfg trace) }
+            in
+            [ make "original" original None;
+              make "trimmed" trimmed
+                (Some
+                   (Fleet.Scenario.fallback ~rate:0.01 ~seed:(seed + 1)
+                      ~original ())) ])
+         rates_per_s)
+    policies
+
+let print () =
+  let rows = run () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Common.header
+       (Printf.sprintf
+          "Fleet simulation (%s): cost and p99 vs arrival rate and eviction \
+           policy, original vs trimmed"
+          app));
+  Buffer.add_string b (Fleet.Report.table_header ^ "\n");
+  List.iter
+    (fun r -> Buffer.add_string b (Fleet.Report.table_row r.summary ^ "\n"))
+    rows;
+  (* headline: per (policy, rate), trimming's cost and p99 improvement *)
+  Buffer.add_string b "\n  cost/p99 saving from lambda-trim:\n";
+  List.iter
+    (fun (policy, _) ->
+       List.iter
+         (fun rate ->
+            let find variant =
+              (List.find
+                 (fun r ->
+                    r.policy = policy && r.rate_per_s = rate
+                    && r.variant = variant)
+                 rows)
+                .summary
+            in
+            let o = find "original" and t = find "trimmed" in
+            Buffer.add_string b
+              (Printf.sprintf
+                 "    %-10s r=%-4g cost %6.1f%%  p99 %6.1f%%  (peak %d -> %d)\n"
+                 policy rate
+                 (Common.pct ~before:o.Fleet.Report.cost_usd
+                    ~after:t.Fleet.Report.cost_usd)
+                 (Common.pct ~before:o.Fleet.Report.p99_ms
+                    ~after:t.Fleet.Report.p99_ms)
+                 o.Fleet.Report.peak_instances t.Fleet.Report.peak_instances))
+         rates_per_s)
+    policies;
+  Buffer.contents b
+
+let csv () =
+  "policy,rate_per_s,variant," ^ Fleet.Report.csv_header ^ "\n"
+  ^ String.concat ""
+      (List.map
+         (fun r ->
+            Printf.sprintf "%s,%g,%s,%s\n" r.policy r.rate_per_s r.variant
+              (Fleet.Report.csv_row r.summary))
+         (run ()))

@@ -31,6 +31,9 @@ let all : entry list =
     { id = "fig14"; description = "24h SnapStart cost simulation";
       print = Fig14.print; csv = Some Fig14.csv };
     { id = "table4"; description = "fallback overhead"; print = Table4.print; csv = Some Table4.csv };
+    { id = "fleet";
+      description = "fleet simulation: cost/p99 vs arrival rate and policy";
+      print = Fleet_exp.print; csv = Some Fleet_exp.csv };
     { id = "abl-granularity";
       description = "attribute vs statement granularity ablation";
       print = Ablations.print_granularity; csv = None };

@@ -1,0 +1,94 @@
+(* Deterministic event queue: array-backed binary min-heap keyed on
+   (time, rank, seq). The monotone sequence counter gives stable FIFO
+   ordering among equal (time, rank) keys, which keeps whole-fleet replays
+   bit-identical across runs — the simulator's determinism rests here. *)
+
+type 'a entry = {
+  e_time : float;
+  e_rank : int;
+  e_seq : int;
+  e_payload : 'a;
+}
+
+type 'a t = {
+  mutable heap : 'a entry array;  (* heap.(0 .. size-1) is a valid min-heap *)
+  mutable size : int;
+  mutable seq : int;
+}
+
+let create () = { heap = [||]; size = 0; seq = 0 }
+let length q = q.size
+let is_empty q = q.size = 0
+
+let precedes a b =
+  a.e_time < b.e_time
+  || (a.e_time = b.e_time
+      && (a.e_rank < b.e_rank || (a.e_rank = b.e_rank && a.e_seq < b.e_seq)))
+
+let ensure_capacity q entry =
+  let cap = Array.length q.heap in
+  if q.size >= cap then begin
+    (* grow by doubling; the new entry serves as filler for fresh slots *)
+    let grown = Array.make (max 16 (2 * cap)) entry in
+    Array.blit q.heap 0 grown 0 q.size;
+    q.heap <- grown
+  end
+
+let push q ~time ?(rank = 0) payload =
+  let entry = { e_time = time; e_rank = rank; e_seq = q.seq; e_payload = payload } in
+  q.seq <- q.seq + 1;
+  ensure_capacity q entry;
+  (* sift up *)
+  let i = ref q.size in
+  q.size <- q.size + 1;
+  q.heap.(!i) <- entry;
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    precedes q.heap.(!i) q.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = q.heap.(parent) in
+    q.heap.(parent) <- q.heap.(!i);
+    q.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).e_time
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && precedes q.heap.(l) q.heap.(!smallest) then
+          smallest := l;
+        if r < q.size && precedes q.heap.(r) q.heap.(!smallest) then
+          smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = q.heap.(!smallest) in
+          q.heap.(!smallest) <- q.heap.(!i);
+          q.heap.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.e_time, top.e_payload)
+  end
+
+let drain q =
+  let rec go acc = match pop q with
+    | None -> List.rev acc
+    | Some ev -> go (ev :: acc)
+  in
+  go []

@@ -1,0 +1,28 @@
+(** Deterministic discrete-event queue: a binary min-heap ordered by
+    (virtual time, rank, insertion sequence).
+
+    Ties on time are broken first by [rank] — a caller-assigned event class,
+    e.g. "completions before arrivals before expiries" — and then by
+    insertion order (FIFO), so two runs over the same schedule pop events in
+    exactly the same order. This stability is what makes the fleet simulator
+    reproducible and is property-tested in [test_fleet.ml]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push q ~time ?rank x] schedules [x] at virtual time [time]. Among
+    events with equal time, lower [rank] pops first (default [0]); equal
+    (time, rank) pairs pop in insertion order. *)
+val push : 'a t -> time:float -> ?rank:int -> 'a -> unit
+
+(** Earliest scheduled time, if any. *)
+val peek_time : 'a t -> float option
+
+(** Remove and return the earliest event as [(time, payload)]. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Pop everything, earliest first (testing convenience). *)
+val drain : 'a t -> (float * 'a) list

@@ -1,0 +1,202 @@
+(* Instance pool: lifecycle, warm selection, and the three eviction
+   policies. Selection scans the live table — fleets are tens to a few
+   thousand instances, so O(n) scans with deterministic id tie-breaks beat
+   the bookkeeping cost of an indexed structure at this scale. *)
+
+type policy =
+  | Fixed_ttl of { keep_alive_s : float }
+  | Lru of { keep_alive_s : float; max_idle : int }
+  | Adaptive of { min_s : float; max_s : float; percentile : float }
+
+let policy_name = function
+  | Fixed_ttl { keep_alive_s } -> Printf.sprintf "fixed-ttl-%gs" keep_alive_s
+  | Lru { keep_alive_s; max_idle } ->
+    Printf.sprintf "lru-%gs-cap%d" keep_alive_s max_idle
+  | Adaptive { percentile; _ } -> Printf.sprintf "adaptive-p%g" percentile
+
+type state = Idle | Busy
+
+type instance = {
+  id : int;
+  born_s : float;
+  mutable state : state;
+  mutable busy_until : float;
+  mutable idle_since : float;
+  mutable expires_at : float;
+  mutable generation : int;
+}
+
+(* Idle-gap histogram for the adaptive policy: 1 s buckets, capped at one
+   hour (gaps beyond that land in the last bucket — by then the clamp to
+   [max_s] dominates anyway). *)
+module Histogram = struct
+  type t = {
+    buckets : int array;
+    mutable total : int;
+  }
+
+  let bucket_count = 3600
+
+  let create () = { buckets = Array.make bucket_count 0; total = 0 }
+
+  let observe h gap_s =
+    let i = min (bucket_count - 1) (max 0 (int_of_float gap_s)) in
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    h.total <- h.total + 1
+
+  (* Upper edge of the bucket containing the p-th percentile observation. *)
+  let percentile h p =
+    if h.total = 0 then 0.0
+    else begin
+      let threshold =
+        int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.total))
+      in
+      let threshold = max 1 threshold in
+      let seen = ref 0 and result = ref (float_of_int bucket_count) in
+      (try
+         for i = 0 to bucket_count - 1 do
+           seen := !seen + h.buckets.(i);
+           if !seen >= threshold then begin
+             result := float_of_int (i + 1);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+end
+
+type t = {
+  policy : policy;
+  live : (int, instance) Hashtbl.t;
+  mutable next_id : int;
+  mutable peak : int;
+  mutable evicted : int;
+  mutable resident : float;
+  hist : Histogram.t;
+  mutable observations : int;
+}
+
+let create policy =
+  { policy;
+    live = Hashtbl.create 64;
+    next_id = 0;
+    peak = 0;
+    evicted = 0;
+    resident = 0.0;
+    hist = Histogram.create ();
+    observations = 0 }
+
+let live_count t = Hashtbl.length t.live
+let peak_live t = t.peak
+let evictions t = t.evicted
+let resident_s t = t.resident
+
+(* Warm-up threshold before the adaptive histogram is trusted. *)
+let min_observations = 10
+
+let current_keep_alive_s t =
+  match t.policy with
+  | Fixed_ttl { keep_alive_s } | Lru { keep_alive_s; _ } -> keep_alive_s
+  | Adaptive { min_s; max_s; percentile } ->
+    if t.observations < min_observations then max_s
+    else
+      let p = Histogram.percentile t.hist percentile in
+      Float.min max_s (Float.max min_s (p *. 1.1))
+
+let fold_live t f init =
+  Hashtbl.fold (fun _ inst acc -> f acc inst) t.live init
+
+(* Deterministic arg-best over live instances: [better a b] decides whether
+   [a] beats [b]; exact ties fall back to the smaller id. *)
+let pick t ~pred ~better =
+  fold_live t
+    (fun best inst ->
+       if not (pred inst) then best
+       else
+         match best with
+         | None -> Some inst
+         | Some b ->
+           if better inst b then Some inst
+           else if better b inst then best
+           else if inst.id < b.id then Some inst
+           else best)
+    None
+
+let acquire t ~now =
+  let warm =
+    pick t
+      ~pred:(fun i -> i.state = Idle && i.expires_at >= now)
+      ~better:(fun a b -> a.idle_since > b.idle_since)  (* MRU *)
+  in
+  match warm with
+  | None -> None
+  | Some inst ->
+    (match t.policy with
+     | Adaptive _ ->
+       Histogram.observe t.hist (now -. inst.idle_since);
+       t.observations <- t.observations + 1
+     | Fixed_ttl _ | Lru _ -> ());
+    inst.state <- Busy;
+    inst.generation <- inst.generation + 1;
+    Some inst
+
+let spawn t ~now =
+  let inst =
+    { id = t.next_id;
+      born_s = now;
+      state = Busy;
+      busy_until = now;
+      idle_since = now;
+      expires_at = infinity;
+      generation = 0 }
+  in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.live inst.id inst;
+  t.peak <- max t.peak (Hashtbl.length t.live);
+  inst
+
+let evict t inst ~now =
+  Hashtbl.remove t.live inst.id;
+  t.evicted <- t.evicted + 1;
+  t.resident <- t.resident +. (now -. inst.born_s)
+
+let release t inst ~now =
+  inst.state <- Idle;
+  inst.idle_since <- now;
+  inst.expires_at <- now +. current_keep_alive_s t;
+  (match t.policy with
+   | Lru { max_idle; _ } ->
+     let idle_count =
+       fold_live t (fun n i -> if i.state = Idle then n + 1 else n) 0
+     in
+     if idle_count > max_idle then begin
+       match
+         pick t
+           ~pred:(fun i -> i.state = Idle)
+           ~better:(fun a b -> a.idle_since < b.idle_since)  (* LRU *)
+       with
+       | Some victim -> evict t victim ~now
+       | None -> ()
+     end
+   | Fixed_ttl _ | Adaptive _ -> ());
+  inst.expires_at
+
+let try_expire t inst ~generation ~now =
+  match Hashtbl.find_opt t.live inst.id with
+  | Some live
+    when live == inst && inst.state = Idle && inst.generation = generation ->
+    evict t inst ~now;
+    true
+  | _ -> false
+
+let drain t =
+  let survivors = fold_live t (fun acc i -> i :: acc) [] in
+  List.iter
+    (fun (i : instance) ->
+       let until =
+         if i.state = Busy then Float.max i.busy_until i.born_s
+         else i.expires_at
+       in
+       evict t i ~now:until)
+    survivors

@@ -1,0 +1,74 @@
+(** Warm-instance pool with pluggable keep-alive / eviction policies.
+
+    The pool owns instance lifecycle and residency accounting; the router
+    decides *when* to acquire, spawn, and expire (it drives virtual time).
+    Warm selection is most-recently-used — the instance idle for the
+    shortest time — which both matches observed FaaS platform behaviour and
+    lets surplus instances age out. All choices are deterministic (ties
+    broken by instance id). *)
+
+type policy =
+  | Fixed_ttl of { keep_alive_s : float }
+      (** The paper's baseline: an idle instance is evicted a fixed
+          [keep_alive_s] after its last request completes. *)
+  | Lru of { keep_alive_s : float; max_idle : int }
+      (** Capacity-capped warm pool: same TTL, but at most [max_idle]
+          instances may sit idle; releasing one more immediately evicts the
+          least-recently-used (longest-idle) instance. *)
+  | Adaptive of { min_s : float; max_s : float; percentile : float }
+      (** Histogram-based keep-alive in the spirit of Serverless in the
+          Wild (Shahrad et al., ATC'20): observed idle gaps (completion to
+          next reuse) feed a 1-second-bucketed histogram, and the TTL is the
+          [percentile] of that histogram plus a 10% margin, clamped to
+          [min_s, max_s]. Until enough gaps are observed the pool keeps the
+          conservative [max_s]. *)
+
+val policy_name : policy -> string
+
+type state = Idle | Busy
+
+type instance = {
+  id : int;
+  born_s : float;
+  mutable state : state;
+  mutable busy_until : float;
+  mutable idle_since : float;
+  mutable expires_at : float;
+  mutable generation : int;
+      (** bumped on every acquire so stale expiry checks can be ignored *)
+}
+
+type t
+
+val create : policy -> t
+
+(** The MRU idle instance whose keep-alive covers [now], marked [Busy] with
+    its generation bumped; [None] if every instance is busy or expired. *)
+val acquire : t -> now:float -> instance option
+
+(** Cold-start a fresh instance at [now], already [Busy]. *)
+val spawn : t -> now:float -> instance
+
+(** Request completion: the instance turns [Idle] and its policy expiry is
+    computed and returned so the caller can schedule an expiry check. Under
+    [Lru] this may immediately evict the longest-idle instance. Under
+    [Adaptive] an acquire-after-release records the observed idle gap. *)
+val release : t -> instance -> now:float -> float
+
+(** Expiry check: evicts and returns [true] iff the instance is still live,
+    still idle, and [generation] matches (it was not reused since the check
+    was scheduled). *)
+val try_expire : t -> instance -> generation:int -> now:float -> bool
+
+val live_count : t -> int
+val peak_live : t -> int
+val evictions : t -> int
+
+(** Instance-seconds (born to eviction) accumulated by evicted instances;
+    call [drain] to charge and evict survivors at their expiry time. *)
+val resident_s : t -> float
+
+val drain : t -> unit
+
+(** The TTL the policy would hand out right now (adaptive introspection). *)
+val current_keep_alive_s : t -> float

@@ -1,0 +1,123 @@
+(* Fleet-run aggregation. Latency statistics cover served requests only;
+   rejected and timed-out requests are counted separately (a dropped request
+   has no meaningful latency, and folding zeros in would flatter the tail).
+   Percentile helpers come from [Platform.Metrics] and are total on the
+   empty list, so a run where everything was rejected still summarizes. *)
+
+type summary = {
+  label : string;
+  requests : int;
+  served : int;
+  cold : int;
+  warm : int;
+  fallbacks : int;
+  fb_cold : int;
+  rejected : int;
+  timed_out : int;
+  cold_fraction : float;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  mean_wait_ms : float;
+  peak_instances : int;
+  resident_instance_s : float;
+  evictions : int;
+  cost_usd : float;
+}
+
+let summarize ?(pricing = Platform.Pricing.aws) ~label (cfg : Router.config)
+    (res : Router.result) : summary =
+  let cold = ref 0 and warm = ref 0 in
+  let fallbacks = ref 0 and fb_cold = ref 0 in
+  let rejected = ref 0 and timed_out = ref 0 in
+  let latencies = ref [] and waits = ref [] in
+  let cost = ref 0.0 in
+  let count_primary = function
+    | Router.Cold -> incr cold
+    | Router.Warm -> incr warm
+  in
+  let fb_memory =
+    match cfg.Router.fallback with
+    | Some fb -> fb.Router.fb_profile.Router.memory_mb
+    | None -> 0.0
+  in
+  List.iter
+    (fun (r : Router.record) ->
+       (match r.Router.outcome with
+        | Router.Served kind ->
+          count_primary kind;
+          latencies := (r.Router.e2e_s *. 1000.0) :: !latencies;
+          waits := (r.Router.wait_s *. 1000.0) :: !waits
+        | Router.Fallback_served { trimmed; original } ->
+          count_primary trimmed;
+          incr fallbacks;
+          (match original with
+           | Router.Cold -> incr fb_cold
+           | Router.Warm -> ());
+          latencies := (r.Router.e2e_s *. 1000.0) :: !latencies;
+          waits := (r.Router.wait_s *. 1000.0) :: !waits
+        | Router.Rejected -> incr rejected
+        | Router.Timed_out -> incr timed_out);
+       if r.Router.billed_ms > 0.0 then
+         cost :=
+           !cost
+           +. Platform.Pricing.invocation_cost pricing
+                ~duration_ms:r.Router.billed_ms
+                ~memory_mb:cfg.Router.profile.Router.memory_mb;
+       if r.Router.fb_billed_ms > 0.0 then
+         cost :=
+           !cost
+           +. Platform.Pricing.invocation_cost pricing
+                ~duration_ms:r.Router.fb_billed_ms ~memory_mb:fb_memory)
+    res.Router.records;
+  let served = !cold + !warm in
+  let lat = !latencies in
+  { label;
+    requests = List.length res.Router.records;
+    served;
+    cold = !cold;
+    warm = !warm;
+    fallbacks = !fallbacks;
+    fb_cold = !fb_cold;
+    rejected = !rejected;
+    timed_out = !timed_out;
+    cold_fraction =
+      (if served = 0 then 0.0 else float_of_int !cold /. float_of_int served);
+    mean_ms = Platform.Metrics.mean lat;
+    p50_ms = Platform.Metrics.median lat;
+    p95_ms = Platform.Metrics.p95 lat;
+    p99_ms = Platform.Metrics.p99 lat;
+    max_ms = List.fold_left Float.max 0.0 lat;
+    mean_wait_ms = Platform.Metrics.mean !waits;
+    peak_instances = res.Router.peak_instances;
+    resident_instance_s =
+      res.Router.resident_instance_s +. res.Router.fb_resident_instance_s;
+    evictions = res.Router.evictions;
+    cost_usd = !cost }
+
+let table_header =
+  Printf.sprintf "  %-26s %6s %5s %5s %4s %4s %4s %6s %8s %8s %8s %5s %10s %10s"
+    "" "req" "cold" "warm" "fb" "rej" "t/o" "cold%" "p50ms" "p95ms" "p99ms"
+    "peak" "resident-s" "cost $"
+
+let table_row s =
+  Printf.sprintf
+    "  %-26s %6d %5d %5d %4d %4d %4d %5.1f%% %8.1f %8.1f %8.1f %5d %10.0f %10.6f"
+    s.label s.requests s.cold s.warm s.fallbacks s.rejected s.timed_out
+    (100.0 *. s.cold_fraction) s.p50_ms s.p95_ms s.p99_ms s.peak_instances
+    s.resident_instance_s s.cost_usd
+
+let csv_header =
+  "label,requests,served,cold,warm,fallbacks,fb_cold,rejected,timed_out,\
+   cold_fraction,mean_ms,p50_ms,p95_ms,p99_ms,max_ms,mean_wait_ms,\
+   peak_instances,resident_instance_s,evictions,cost_usd"
+
+let csv_row s =
+  Printf.sprintf
+    "%s,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%.3f,%d,%.9f"
+    s.label s.requests s.served s.cold s.warm s.fallbacks s.fb_cold s.rejected
+    s.timed_out s.cold_fraction s.mean_ms s.p50_ms s.p95_ms s.p99_ms s.max_ms
+    s.mean_wait_ms s.peak_instances s.resident_instance_s s.evictions
+    s.cost_usd

@@ -1,0 +1,44 @@
+(** Aggregation of a fleet run into the numbers the experiments plot:
+    cold/warm mix, latency percentiles, concurrency, residency, and total
+    Eq.-1 cost. *)
+
+type summary = {
+  label : string;
+  requests : int;
+  served : int;        (** completed, with or without fallback *)
+  cold : int;          (** cold starts on the primary image *)
+  warm : int;
+  fallbacks : int;     (** requests that re-invoked the original image *)
+  fb_cold : int;       (** cold starts among those re-invocations *)
+  rejected : int;
+  timed_out : int;
+  cold_fraction : float;   (** of served primary starts *)
+  mean_ms : float;         (** e2e over served requests *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  mean_wait_ms : float;    (** queueing delay over served requests *)
+  peak_instances : int;
+  resident_instance_s : float;  (** primary + fallback pools *)
+  evictions : int;
+  cost_usd : float;  (** Eq. 1 over all billed durations, both images *)
+}
+
+(** Price and summarize a run. [pricing] defaults to AWS. *)
+val summarize :
+  ?pricing:Platform.Pricing.t ->
+  label:string ->
+  Router.config ->
+  Router.result ->
+  summary
+
+(** Fixed-width table row plus a matching header line. *)
+val table_header : string
+
+val table_row : summary -> string
+
+(** CSV column names (no trailing newline). *)
+val csv_header : string
+
+val csv_row : summary -> string

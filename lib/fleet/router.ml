@@ -1,0 +1,281 @@
+(* The discrete-event loop.
+
+   Event classes are ranked so that same-instant events resolve the way the
+   analytic replay does: completions free instances before arrivals claim
+   them, arrivals beat expiry checks (an arrival at exactly the keep-alive
+   boundary is warm — [Trace.replay]'s inclusive boundary), and timeouts
+   fire only if no completion at the same instant rescued the request. *)
+
+type start_kind = Cold | Warm
+
+let start_kind_name = function Cold -> "cold" | Warm -> "warm"
+
+type outcome =
+  | Served of start_kind
+  | Fallback_served of { trimmed : start_kind; original : start_kind }
+  | Rejected
+  | Timed_out
+
+type record = {
+  req : int;
+  arrival_s : float;
+  start_s : float;
+  finish_s : float;
+  wait_s : float;
+  e2e_s : float;
+  outcome : outcome;
+  billed_ms : float;
+  fb_billed_ms : float;
+}
+
+type deployment_profile = {
+  exec_s : float;
+  func_init_s : float;
+  instance_init_s : float;
+  memory_mb : float;
+}
+
+type fallback = {
+  fb_rate : float;
+  fb_seed : int;
+  fb_profile : deployment_profile;
+  fb_policy : Pool.policy;
+  fb_setup_s : float;
+}
+
+type config = {
+  profile : deployment_profile;
+  policy : Pool.policy;
+  max_instances : int;
+  max_pending : int;
+  pending_timeout_s : float;
+  fallback : fallback option;
+}
+
+let default_config ~profile policy =
+  { profile;
+    policy;
+    max_instances = max_int;
+    max_pending = 1024;
+    pending_timeout_s = 60.0;
+    fallback = None }
+
+type result = {
+  records : record list;
+  peak_instances : int;
+  resident_instance_s : float;
+  evictions : int;
+  fb_peak_instances : int;
+  fb_resident_instance_s : float;
+  events_processed : int;
+}
+
+(* --- per-request state --------------------------------------------------- *)
+
+type status = Waiting | Running | Done
+
+type req = {
+  idx : int;
+  arrival : float;
+  needs_fb : bool;
+  mutable status : status;
+  mutable start : float;
+  mutable kind : start_kind option;
+}
+
+type event =
+  | Complete of req * Pool.instance
+  | Fb_complete of req * Pool.instance * start_kind
+  | Arrival of req
+  | Fb_arrival of req
+  | Timeout of req
+  | Expire of Pool.instance * int      (* generation at scheduling time *)
+  | Fb_expire of Pool.instance * int
+
+let rank = function
+  | Complete _ | Fb_complete _ -> 0
+  | Arrival _ | Fb_arrival _ -> 1
+  | Timeout _ -> 2
+  | Expire _ | Fb_expire _ -> 3
+
+(* --- the simulation ------------------------------------------------------ *)
+
+let run cfg (trace : Platform.Trace.t) : result =
+  let q : event Events.t = Events.create () in
+  let push ~time ev = Events.push q ~time ~rank:(rank ev) ev in
+  let pool = Pool.create cfg.policy in
+  let fb_pool =
+    match cfg.fallback with
+    | Some fb -> Some (Pool.create fb.fb_policy)
+    | None -> None
+  in
+  (* deterministic per-request fallback draws, in arrival order *)
+  let draws =
+    match cfg.fallback with
+    | None -> fun _ -> false
+    | Some fb ->
+      let rng = Random.State.make [| fb.fb_seed |] in
+      let flags =
+        List.map
+          (fun _ -> Random.State.float rng 1.0 < fb.fb_rate)
+          trace.Platform.Trace.arrivals_s
+      in
+      let arr = Array.of_list flags in
+      fun i -> arr.(i)
+  in
+  List.iteri
+    (fun idx arrival ->
+       let r =
+         { idx; arrival; needs_fb = draws idx; status = Waiting;
+           start = arrival; kind = None }
+       in
+       push ~time:arrival (Arrival r))
+    trace.Platform.Trace.arrivals_s;
+  let pending : req Queue.t = Queue.create () in
+  let pending_count = ref 0 in
+  let records = ref [] in
+  let events_processed = ref 0 in
+  let billed_ms profile kind =
+    1000.0
+    *. (match kind with
+        | Cold -> profile.func_init_s +. profile.exec_s
+        | Warm -> profile.exec_s)
+  in
+  let service_s profile kind =
+    match kind with
+    | Cold -> profile.instance_init_s +. profile.func_init_s +. profile.exec_s
+    | Warm -> profile.exec_s
+  in
+  let finalize (r : req) ~start ~finish ~outcome ~billed ~fb_billed =
+    r.status <- Done;
+    records :=
+      { req = r.idx;
+        arrival_s = r.arrival;
+        start_s = start;
+        finish_s = finish;
+        wait_s = start -. r.arrival;
+        e2e_s = finish -. r.arrival;
+        outcome;
+        billed_ms = billed;
+        fb_billed_ms = fb_billed }
+      :: !records
+  in
+  let serve (r : req) inst ~now ~kind =
+    r.status <- Running;
+    r.start <- now;
+    r.kind <- Some kind;
+    let finish = now +. service_s cfg.profile kind in
+    inst.Pool.busy_until <- finish;
+    push ~time:finish (Complete (r, inst))
+  in
+  (* dispatch from the pending queue while capacity allows; stale entries
+     (timed out) are dropped lazily *)
+  let rec drain_pending ~now =
+    match Queue.peek_opt pending with
+    | None -> ()
+    | Some r when r.status <> Waiting ->
+      ignore (Queue.pop pending);
+      drain_pending ~now
+    | Some r ->
+      (match Pool.acquire pool ~now with
+       | Some inst ->
+         ignore (Queue.pop pending);
+         decr pending_count;
+         serve r inst ~now ~kind:Warm;
+         drain_pending ~now
+       | None ->
+         if Pool.live_count pool < cfg.max_instances then begin
+           ignore (Queue.pop pending);
+           decr pending_count;
+           serve r (Pool.spawn pool ~now) ~now ~kind:Cold;
+           drain_pending ~now
+         end)
+  in
+  let dispatch (r : req) ~now =
+    match Pool.acquire pool ~now with
+    | Some inst -> serve r inst ~now ~kind:Warm
+    | None ->
+      if Pool.live_count pool < cfg.max_instances then
+        serve r (Pool.spawn pool ~now) ~now ~kind:Cold
+      else if !pending_count < cfg.max_pending then begin
+        Queue.push r pending;
+        incr pending_count;
+        if cfg.pending_timeout_s < infinity then
+          push ~time:(now +. cfg.pending_timeout_s) (Timeout r)
+      end
+      else
+        finalize r ~start:now ~finish:now ~outcome:Rejected ~billed:0.0
+          ~fb_billed:0.0
+  in
+  let release_and_schedule pool inst ~now ~expire =
+    let expiry = Pool.release pool inst ~now in
+    if expiry < infinity then
+      push ~time:expiry (expire inst inst.Pool.generation)
+  in
+  let rec loop () =
+    match Events.pop q with
+    | None -> ()
+    | Some (now, ev) ->
+      incr events_processed;
+      (match ev with
+       | Arrival r -> dispatch r ~now
+       | Complete (r, inst) ->
+         release_and_schedule pool inst ~now ~expire:(fun i g -> Expire (i, g));
+         (match cfg.fallback with
+          | Some fb when r.needs_fb ->
+            push ~time:(now +. fb.fb_setup_s) (Fb_arrival r)
+          | _ ->
+            let kind = Option.get r.kind in
+            finalize r ~start:r.start ~finish:now ~outcome:(Served kind)
+              ~billed:(billed_ms cfg.profile kind) ~fb_billed:0.0);
+         drain_pending ~now
+       | Fb_arrival r ->
+         let fb = Option.get cfg.fallback in
+         let fbp = Option.get fb_pool in
+         let kind, inst =
+           match Pool.acquire fbp ~now with
+           | Some inst -> (Warm, inst)
+           | None -> (Cold, Pool.spawn fbp ~now)
+         in
+         let finish = now +. service_s fb.fb_profile kind in
+         inst.Pool.busy_until <- finish;
+         push ~time:finish (Fb_complete (r, inst, kind))
+       | Fb_complete (r, inst, fb_kind) ->
+         let fb = Option.get cfg.fallback in
+         let fbp = Option.get fb_pool in
+         release_and_schedule fbp inst ~now
+           ~expire:(fun i g -> Fb_expire (i, g));
+         let trimmed = Option.get r.kind in
+         finalize r ~start:r.start ~finish:now
+           ~outcome:(Fallback_served { trimmed; original = fb_kind })
+           ~billed:(billed_ms cfg.profile trimmed)
+           ~fb_billed:(billed_ms fb.fb_profile fb_kind)
+       | Timeout r ->
+         if r.status = Waiting then begin
+           decr pending_count;
+           finalize r ~start:now ~finish:now ~outcome:Timed_out ~billed:0.0
+             ~fb_billed:0.0
+         end
+       | Expire (inst, generation) ->
+         ignore (Pool.try_expire pool inst ~generation ~now);
+         drain_pending ~now
+       | Fb_expire (inst, generation) ->
+         let fbp = Option.get fb_pool in
+         ignore (Pool.try_expire fbp inst ~generation ~now));
+      loop ()
+  in
+  loop ();
+  (* the queue drained, so every instance has been released and expired;
+     drain is a no-op safety net for infinite keep-alives *)
+  Pool.drain pool;
+  Option.iter Pool.drain fb_pool;
+  { records =
+      List.sort (fun a b -> compare a.req b.req) !records;
+    peak_instances = Pool.peak_live pool;
+    resident_instance_s = Pool.resident_s pool;
+    evictions = Pool.evictions pool;
+    fb_peak_instances =
+      (match fb_pool with Some p -> Pool.peak_live p | None -> 0);
+    fb_resident_instance_s =
+      (match fb_pool with Some p -> Pool.resident_s p | None -> 0.0);
+    events_processed = !events_processed }

@@ -1,0 +1,81 @@
+(** The fleet simulator: a request router dispatching an arrival trace over
+    a pool of simulated instances in virtual time.
+
+    Each arrival is served by a warm idle instance when one exists,
+    cold-starts a new instance when under the concurrency cap, and otherwise
+    waits in a bounded pending queue with a per-request timeout. Requests
+    that hit debloated-away code on a λ-trim-optimized deployment re-invoke
+    the {e original} image on a separate instance pool (§7's fallback), with
+    its own cold/warm dynamics.
+
+    The whole simulation is deterministic: generators are seeded, fallback
+    draws are seeded, and the event queue breaks ties stably. *)
+
+type start_kind = Cold | Warm
+
+val start_kind_name : start_kind -> string
+
+type outcome =
+  | Served of start_kind
+  | Fallback_served of { trimmed : start_kind; original : start_kind }
+      (** the request reached a removed attribute on the trimmed instance
+          and was re-invoked on a separate original-image instance *)
+  | Rejected   (** pending queue full at arrival *)
+  | Timed_out  (** queued longer than [pending_timeout_s] *)
+
+type record = {
+  req : int;            (** arrival index within the trace *)
+  arrival_s : float;
+  start_s : float;      (** when an instance was assigned (provisioning
+                            starts here on cold) *)
+  finish_s : float;
+  wait_s : float;       (** queueing delay only *)
+  e2e_s : float;        (** finish - arrival; includes cold latency *)
+  outcome : outcome;
+  billed_ms : float;    (** Eq.-1 billable duration on the primary image *)
+  fb_billed_ms : float; (** billable duration on the fallback image, if any *)
+}
+
+(** The latency/footprint profile of one deployed image, as measured by
+    [Platform.Lambda_sim] (see [Scenario.profile_of_record]). *)
+type deployment_profile = {
+  exec_s : float;           (** Function Execution *)
+  func_init_s : float;      (** Function Initialization — billed on cold *)
+  instance_init_s : float;  (** platform setup + image pull — unbilled *)
+  memory_mb : float;        (** peak footprint, prices Eq. 1 *)
+}
+
+type fallback = {
+  fb_rate : float;   (** fraction of requests hitting removed code *)
+  fb_seed : int;     (** per-request draws are deterministic in this seed *)
+  fb_profile : deployment_profile;  (** the original image *)
+  fb_policy : Pool.policy;
+  fb_setup_s : float;  (** wrapper overhead before re-invocation (§8.7) *)
+}
+
+type config = {
+  profile : deployment_profile;
+  policy : Pool.policy;
+  max_instances : int;        (** concurrency cap; [max_int] = unbounded *)
+  max_pending : int;          (** pending-queue bound *)
+  pending_timeout_s : float;  (** [infinity] = wait forever *)
+  fallback : fallback option;
+}
+
+(** Unbounded concurrency, a 1024-deep pending queue, 60 s timeout, no
+    fallback. *)
+val default_config : profile:deployment_profile -> Pool.policy -> config
+
+type result = {
+  records : record list;  (** one per arrival, in arrival order *)
+  peak_instances : int;
+  resident_instance_s : float;
+  evictions : int;
+  fb_peak_instances : int;
+  fb_resident_instance_s : float;
+  events_processed : int;
+}
+
+(** Run the trace to completion (the event queue drains fully, so every
+    instance is expired and residency accounting is exact). *)
+val run : config -> Platform.Trace.t -> result

@@ -17,6 +17,8 @@ let percentile p xs =
     (v lo *. (1.0 -. frac)) +. (v hi *. frac)
 
 let median xs = percentile 50.0 xs
+let p95 xs = percentile 95.0 xs
+let p99 xs = percentile 99.0 xs
 
 let stddev xs =
   match xs with

@@ -1,11 +1,26 @@
-(** Summary statistics for experiment reporting. *)
+(** Summary statistics for experiment reporting.
 
+    Every function here is total: on the empty list, [mean], [percentile]
+    (and its [median]/[p95]/[p99] conveniences) and [stddev] return [0.0]
+    rather than raising, so report code can aggregate sparse buckets (e.g. a
+    fleet run where no request timed out) without guarding. *)
+
+(** [0.0] on the empty list. *)
 val mean : float list -> float
 
-(** Linear-interpolated percentile; [percentile 50.0] is the median. *)
+(** Linear-interpolated percentile; [percentile 50.0] is the median.
+    [0.0] on the empty list. *)
 val percentile : float -> float list -> float
 
 val median : float list -> float
+
+(** [percentile 95.0] / [percentile 99.0] — the fleet report's tail-latency
+    summaries. *)
+val p95 : float list -> float
+
+val p99 : float list -> float
+
+(** Sample standard deviation; [0.0] on the empty and singleton lists. *)
 val stddev : float list -> float
 
 (** CDF sample points: (value, fraction ≤ value) over the sorted data. *)

@@ -1,0 +1,406 @@
+(* Fleet simulator: event-queue ordering, eviction policies, bounded queue,
+   fallback re-invocation, and parity with the analytic single-instance
+   replay. *)
+
+open Fleet
+
+let no_init ?(exec_s = 0.0) ?(memory_mb = 256.0) () =
+  { Router.exec_s; func_init_s = 0.0; instance_init_s = 0.0; memory_mb }
+
+let config ?(max_instances = max_int) ?(max_pending = 1024)
+    ?(pending_timeout_s = infinity) ?fallback ~profile policy =
+  { Router.profile; policy; max_instances; max_pending; pending_timeout_s;
+    fallback }
+
+let run_kinds cfg trace =
+  let res = Router.run cfg trace in
+  List.fold_left
+    (fun (cold, warm) (r : Router.record) ->
+       match r.Router.outcome with
+       | Router.Served Router.Cold -> (cold + 1, warm)
+       | Router.Served Router.Warm -> (cold, warm + 1)
+       | Router.Fallback_served { trimmed = Router.Cold; _ } ->
+         (cold + 1, warm)
+       | Router.Fallback_served { trimmed = Router.Warm; _ } ->
+         (cold, warm + 1)
+       | Router.Rejected | Router.Timed_out -> (cold, warm))
+    (0, 0) res.Router.records
+
+(* --- event queue --------------------------------------------------------- *)
+
+let events =
+  [ Alcotest.test_case "pops in time order" `Quick (fun () ->
+        let q = Events.create () in
+        List.iter (fun t -> Events.push q ~time:t (int_of_float t))
+          [ 5.0; 1.0; 9.0; 3.0; 7.0; 0.5; 2.0 ];
+        let popped = List.map fst (Events.drain q) in
+        Alcotest.(check (list (float 1e-12))) "sorted"
+          (List.sort compare popped) popped);
+    Alcotest.test_case "equal times pop FIFO" `Quick (fun () ->
+        let q = Events.create () in
+        List.iter (fun x -> Events.push q ~time:1.0 x) [ 1; 2; 3; 4; 5 ];
+        Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4; 5 ]
+          (List.map snd (Events.drain q)));
+    Alcotest.test_case "rank breaks ties before sequence" `Quick (fun () ->
+        let q = Events.create () in
+        Events.push q ~time:1.0 ~rank:3 "expire";
+        Events.push q ~time:1.0 ~rank:1 "arrival";
+        Events.push q ~time:1.0 ~rank:0 "complete";
+        Events.push q ~time:0.5 ~rank:3 "earlier-expire";
+        Alcotest.(check (list string)) "time, then rank"
+          [ "earlier-expire"; "complete"; "arrival"; "expire" ]
+          (List.map snd (Events.drain q)));
+    Alcotest.test_case "interleaved push/pop keeps heap valid" `Quick (fun () ->
+        let q = Events.create () in
+        for i = 0 to 999 do
+          Events.push q ~time:(float_of_int ((i * 7919) mod 1000)) i
+        done;
+        let rec drain_some n =
+          if n > 0 then begin
+            ignore (Events.pop q);
+            drain_some (n - 1)
+          end
+        in
+        drain_some 500;
+        for i = 0 to 99 do
+          Events.push q ~time:(float_of_int (i * 3)) (i + 1000)
+        done;
+        let times = List.map fst (Events.drain q) in
+        Alcotest.(check (list (float 1e-12))) "still sorted"
+          (List.sort compare times) times;
+        Alcotest.(check int) "empty" 0 (Events.length q)) ]
+
+(* --- eviction policies --------------------------------------------------- *)
+
+let policies =
+  [ Alcotest.test_case "fixed TTL: dense periodic is one cold" `Quick (fun () ->
+        let t = Platform.Trace.periodic ~period_s:10.0 ~count:100 ~name:"d" in
+        let cfg =
+          config ~profile:(no_init ())
+            (Pool.Fixed_ttl { keep_alive_s = 15.0 })
+        in
+        Alcotest.(check (pair int int)) "1 cold, 99 warm" (1, 99)
+          (run_kinds cfg t));
+    Alcotest.test_case "fixed TTL: sparse periodic is all cold" `Quick
+      (fun () ->
+        let t = Platform.Trace.periodic ~period_s:10.0 ~count:20 ~name:"s" in
+        let cfg =
+          config ~profile:(no_init ())
+            (Pool.Fixed_ttl { keep_alive_s = 5.0 })
+        in
+        Alcotest.(check (pair int int)) "all cold" (20, 0) (run_kinds cfg t));
+    Alcotest.test_case "fixed TTL: boundary arrival is warm" `Quick (fun () ->
+        let t = Platform.Trace.periodic ~period_s:900.0 ~count:3 ~name:"e" in
+        let cfg =
+          config ~profile:(no_init ())
+            (Pool.Fixed_ttl { keep_alive_s = 900.0 })
+        in
+        Alcotest.(check (pair int int)) "warm at exactly keep-alive" (1, 2)
+          (run_kinds cfg t));
+    Alcotest.test_case "LRU cap: surplus idle instances are evicted" `Quick
+      (fun () ->
+        (* two 5-wide instantaneous bursts; cap of 2 idle instances means
+           the second burst finds only 2 warm *)
+        let t =
+          Platform.Trace.make ~name:"bursts"
+            [ 0.0; 0.01; 0.02; 0.03; 0.04; 100.0; 100.01; 100.02; 100.03;
+              100.04 ]
+        in
+        let cfg =
+          config
+            ~profile:(no_init ~exec_s:1.0 ())
+            (Pool.Lru { keep_alive_s = 900.0; max_idle = 2 })
+        in
+        let res = Router.run cfg t in
+        Alcotest.(check (pair int int)) "8 cold, 2 warm" (8, 2)
+          (run_kinds cfg t);
+        Alcotest.(check int) "peak 5" 5 res.Router.peak_instances;
+        Alcotest.(check bool) "LRU evicted at least 3" true
+          (res.Router.evictions >= 3));
+    Alcotest.test_case "LRU with a roomy cap behaves like fixed TTL" `Quick
+      (fun () ->
+        let t = Platform.Trace.poisson ~seed:3 ~rate_per_s:0.5
+            ~duration_s:2000.0 ~name:"p"
+        in
+        let kinds policy = run_kinds (config ~profile:(no_init ()) policy) t in
+        Alcotest.(check (pair int int)) "same mix"
+          (kinds (Pool.Fixed_ttl { keep_alive_s = 120.0 }))
+          (kinds (Pool.Lru { keep_alive_s = 120.0; max_idle = 1000 })));
+    Alcotest.test_case "adaptive: learns the gap and stays warm" `Quick
+      (fun () ->
+        (* 30 s gaps, TTL clamp [5, 60]: the histogram converges on ~33 s,
+           so reuse stays warm while residency drops below fixed-TTL-60 *)
+        let t = Platform.Trace.periodic ~period_s:30.0 ~count:50 ~name:"a" in
+        let adaptive =
+          config ~profile:(no_init ())
+            (Pool.Adaptive { min_s = 5.0; max_s = 60.0; percentile = 99.0 })
+        in
+        let fixed =
+          config ~profile:(no_init ())
+            (Pool.Fixed_ttl { keep_alive_s = 60.0 })
+        in
+        Alcotest.(check (pair int int)) "1 cold, 49 warm" (1, 49)
+          (run_kinds adaptive t);
+        let res_a = Router.run adaptive t in
+        let res_f = Router.run fixed t in
+        Alcotest.(check bool)
+          (Printf.sprintf "adaptive resident %.0f < fixed %.0f"
+             res_a.Router.resident_instance_s res_f.Router.resident_instance_s)
+          true
+          (res_a.Router.resident_instance_s
+           < res_f.Router.resident_instance_s));
+    Alcotest.test_case "adaptive: clamp below the gap goes cold" `Quick
+      (fun () ->
+        (* max_s of 20 s cannot cover 30 s gaps, so nothing is ever reused
+           and the histogram never gets an observation *)
+        let t = Platform.Trace.periodic ~period_s:30.0 ~count:20 ~name:"c" in
+        let cfg =
+          config ~profile:(no_init ())
+            (Pool.Adaptive { min_s = 5.0; max_s = 20.0; percentile = 99.0 })
+        in
+        Alcotest.(check (pair int int)) "all cold" (20, 0) (run_kinds cfg t)) ]
+
+(* --- bounded queue and timeouts ------------------------------------------ *)
+
+let queueing =
+  [ Alcotest.test_case "saturated queue rejects the overflow" `Quick (fun () ->
+        (* one instance busy 10 s, 2 queue slots: the 4th arrival bounces *)
+        let t = Platform.Trace.make ~name:"q" [ 0.0; 1.0; 2.0; 3.0 ] in
+        let cfg =
+          config ~max_instances:1 ~max_pending:2
+            ~profile:(no_init ~exec_s:10.0 ())
+            (Pool.Fixed_ttl { keep_alive_s = 900.0 })
+        in
+        let res = Router.run cfg t in
+        let outcome i =
+          (List.nth res.Router.records i).Router.outcome
+        in
+        Alcotest.(check bool) "r0 cold" true
+          (outcome 0 = Router.Served Router.Cold);
+        Alcotest.(check bool) "r1 warm after wait" true
+          (outcome 1 = Router.Served Router.Warm);
+        Alcotest.(check bool) "r2 warm after wait" true
+          (outcome 2 = Router.Served Router.Warm);
+        Alcotest.(check bool) "r3 rejected" true (outcome 3 = Router.Rejected);
+        let r1 = List.nth res.Router.records 1 in
+        Alcotest.(check (float 1e-9)) "r1 waited 9 s" 9.0 r1.Router.wait_s;
+        Alcotest.(check (float 1e-9)) "r1 finished at 20" 20.0
+          r1.Router.finish_s);
+    Alcotest.test_case "queued requests time out" `Quick (fun () ->
+        let t = Platform.Trace.make ~name:"t" [ 0.0; 1.0; 2.0 ] in
+        let cfg =
+          config ~max_instances:1 ~max_pending:10 ~pending_timeout_s:5.0
+            ~profile:(no_init ~exec_s:10.0 ())
+            (Pool.Fixed_ttl { keep_alive_s = 900.0 })
+        in
+        let res = Router.run cfg t in
+        let outcomes =
+          List.map (fun (r : Router.record) -> r.Router.outcome)
+            res.Router.records
+        in
+        Alcotest.(check bool) "served, timed out, timed out" true
+          (outcomes
+           = [ Router.Served Router.Cold; Router.Timed_out; Router.Timed_out ]);
+        (* a timeout frees its queue slot: the wait recorded is the timeout *)
+        let r1 = List.nth res.Router.records 1 in
+        Alcotest.(check (float 1e-9)) "gave up after 5 s" 5.0 r1.Router.wait_s);
+    Alcotest.test_case "timeout slot is recycled" `Quick (fun () ->
+        (* r1 times out at 6 before r3 arrives, so r3 takes the slot instead
+           of bouncing *)
+        let t = Platform.Trace.make ~name:"r" [ 0.0; 1.0; 7.0 ] in
+        let cfg =
+          config ~max_instances:1 ~max_pending:1 ~pending_timeout_s:5.0
+            ~profile:(no_init ~exec_s:10.0 ())
+            (Pool.Fixed_ttl { keep_alive_s = 900.0 })
+        in
+        let res = Router.run cfg t in
+        let outcomes =
+          List.map (fun (r : Router.record) -> r.Router.outcome)
+            res.Router.records
+        in
+        Alcotest.(check bool) "cold, timed out, warm" true
+          (outcomes
+           = [ Router.Served Router.Cold; Router.Timed_out;
+               Router.Served Router.Warm ])) ]
+
+(* --- fallback re-invocation ---------------------------------------------- *)
+
+let fallback =
+  [ Alcotest.test_case "every request falls back at rate 1" `Quick (fun () ->
+        let t = Platform.Trace.make ~name:"fb" [ 0.0; 100.0 ] in
+        let original =
+          { Router.exec_s = 2.0; func_init_s = 1.0; instance_init_s = 0.5;
+            memory_mb = 512.0 }
+        in
+        let fb =
+          { (Scenario.fallback ~rate:1.0 ~seed:1 ~original ()) with
+            Router.fb_setup_s = 0.05 }
+        in
+        let cfg =
+          config ~fallback:fb
+            ~profile:(no_init ~exec_s:1.0 ())
+            (Pool.Fixed_ttl { keep_alive_s = 900.0 })
+        in
+        let res = Router.run cfg t in
+        (match List.map (fun (r : Router.record) -> r.Router.outcome)
+                 res.Router.records
+         with
+         | [ Router.Fallback_served { trimmed = Router.Cold;
+                                      original = Router.Cold };
+             Router.Fallback_served { trimmed = Router.Warm;
+                                      original = Router.Warm } ] -> ()
+         | _ -> Alcotest.fail "expected cold/cold then warm/warm fallbacks");
+        let r0 = List.nth res.Router.records 0 in
+        (* trimmed exec 1 + setup 0.05 + original cold 0.5+1+2 *)
+        Alcotest.(check (float 1e-9)) "r0 e2e" 4.55 r0.Router.e2e_s;
+        Alcotest.(check (float 1e-9)) "r0 primary billed ms" 1000.0
+          r0.Router.billed_ms;
+        Alcotest.(check (float 1e-9)) "r0 fallback billed ms" 3000.0
+          r0.Router.fb_billed_ms;
+        let r1 = List.nth res.Router.records 1 in
+        Alcotest.(check (float 1e-9)) "r1 e2e warm" 3.05 r1.Router.e2e_s;
+        Alcotest.(check (float 1e-9)) "r1 fallback billed ms" 2000.0
+          r1.Router.fb_billed_ms;
+        Alcotest.(check int) "fallback pool had one instance" 1
+          res.Router.fb_peak_instances);
+    Alcotest.test_case "rate 0 config never falls back" `Quick (fun () ->
+        let t = Platform.Trace.periodic ~period_s:10.0 ~count:50 ~name:"z" in
+        let original = no_init ~exec_s:1.0 () in
+        let fb = Scenario.fallback ~rate:0.0 ~seed:1 ~original () in
+        let cfg =
+          config ~fallback:fb ~profile:(no_init ())
+            (Pool.Fixed_ttl { keep_alive_s = 900.0 })
+        in
+        let res = Router.run cfg t in
+        List.iter
+          (fun (r : Router.record) ->
+             match r.Router.outcome with
+             | Router.Fallback_served _ -> Alcotest.fail "unexpected fallback"
+             | _ -> ())
+          res.Router.records) ]
+
+(* --- parity with the analytic replay ------------------------------------- *)
+
+let replay_parity =
+  (* A 1-instance fleet under fixed TTL is the model [Trace.replay]
+     solves analytically, in the regime where the two coincide: no
+     execution overlap (the replay pretends requests never queue, so parity
+     holds exactly when exec fits inside the inter-arrival gap or is 0). *)
+  let parity_check ?(exec_s = 0.0) trace ~keep_alive_s =
+    let simple = Platform.Trace.replay ~exec_s trace ~keep_alive_s in
+    let cfg =
+      config ~max_instances:1
+        ~profile:(no_init ~exec_s ())
+        (Pool.Fixed_ttl { keep_alive_s })
+    in
+    let cold, warm = run_kinds cfg trace in
+    Alcotest.(check int)
+      (trace.Platform.Trace.trace_name ^ " cold")
+      simple.Platform.Trace.cold_starts cold;
+    Alcotest.(check int)
+      (trace.Platform.Trace.trace_name ^ " warm")
+      simple.Platform.Trace.warm_starts warm;
+    (simple, Router.run cfg trace)
+  in
+  [ Alcotest.test_case "poisson sweep matches replay" `Quick (fun () ->
+        List.iter
+          (fun (seed, rate, ttl) ->
+             let t =
+               Platform.Trace.poisson ~seed ~rate_per_s:rate
+                 ~duration_s:5000.0
+                 ~name:(Printf.sprintf "seed%d-r%g-ttl%g" seed rate ttl)
+             in
+             ignore (parity_check t ~keep_alive_s:ttl))
+          [ (1, 0.01, 60.0); (2, 0.1, 60.0); (3, 0.1, 15.0); (4, 1.0, 5.0);
+            (5, 0.02, 300.0); (6, 0.5, 1.0); (7, 2.0, 0.5) ]);
+    Alcotest.test_case "qcheck: random traces match replay" `Quick (fun () ->
+        QCheck.Test.check_exn
+          (QCheck.Test.make ~count:100 ~name:"fleet-vs-replay"
+             QCheck.(triple (int_bound 10_000) (float_range 0.005 2.0)
+                       (float_range 0.0 300.0))
+             (fun (seed, rate, ttl) ->
+                let t =
+                  Platform.Trace.poisson ~seed ~rate_per_s:rate
+                    ~duration_s:1000.0 ~name:"q"
+                in
+                let simple = Platform.Trace.replay t ~keep_alive_s:ttl in
+                let cfg =
+                  config ~max_instances:1 ~profile:(no_init ())
+                    (Pool.Fixed_ttl { keep_alive_s = ttl })
+                in
+                let cold, warm = run_kinds cfg t in
+                cold = simple.Platform.Trace.cold_starts
+                && warm = simple.Platform.Trace.warm_starts)));
+    Alcotest.test_case "nonzero exec: busy time extends keep-alive" `Quick
+      (fun () ->
+        (* period 10, exec 3, TTL 8: gap from completion is 7 <= 8, warm;
+           without the exec extension the gap would be 10 > 8, cold *)
+        let t = Platform.Trace.periodic ~period_s:10.0 ~count:30 ~name:"x" in
+        let simple, res = parity_check ~exec_s:3.0 t ~keep_alive_s:8.0 in
+        Alcotest.(check int) "replay agrees it is warm" 29
+          simple.Platform.Trace.warm_starts;
+        Alcotest.(check (float 1e-6)) "resident time matches replay"
+          simple.Platform.Trace.resident_s res.Router.resident_instance_s);
+    Alcotest.test_case "deterministic: identical runs, identical records"
+      `Quick (fun () ->
+        let t = Platform.Trace.bursty ~seed:11 ~burst_size:20
+            ~burst_rate_per_s:10.0 ~idle_gap_s:500.0 ~bursts:5 ~name:"det"
+        in
+        let original = no_init ~exec_s:2.0 () in
+        let cfg =
+          config
+            ~fallback:(Scenario.fallback ~rate:0.2 ~seed:3 ~original ())
+            ~profile:(no_init ~exec_s:1.0 ())
+            (Pool.Adaptive { min_s = 10.0; max_s = 600.0; percentile = 95.0 })
+        in
+        let r1 = Router.run cfg t and r2 = Router.run cfg t in
+        Alcotest.(check bool) "records identical" true
+          (r1.Router.records = r2.Router.records);
+        Alcotest.(check int) "same event count" r1.Router.events_processed
+          r2.Router.events_processed) ]
+
+(* --- report -------------------------------------------------------------- *)
+
+let report =
+  [ Alcotest.test_case "summary counts and cost" `Quick (fun () ->
+        let t = Platform.Trace.periodic ~period_s:10.0 ~count:10 ~name:"r" in
+        let profile =
+          { Router.exec_s = 0.1; func_init_s = 0.4; instance_init_s = 0.2;
+            memory_mb = 512.0 }
+        in
+        let cfg = config ~profile (Pool.Fixed_ttl { keep_alive_s = 900.0 }) in
+        let s = Report.summarize ~label:"t" cfg (Router.run cfg t) in
+        Alcotest.(check int) "requests" 10 s.Report.requests;
+        Alcotest.(check int) "cold" 1 s.Report.cold;
+        Alcotest.(check int) "warm" 9 s.Report.warm;
+        Alcotest.(check (float 1e-9)) "cold fraction" 0.1
+          s.Report.cold_fraction;
+        (* 1 cold at 500 billed ms + 9 warm at 100 billed ms, 512 MB *)
+        let expected =
+          Platform.Pricing.invocation_cost Platform.Pricing.aws
+            ~duration_ms:500.0 ~memory_mb:512.0
+          +. 9.0
+             *. Platform.Pricing.invocation_cost Platform.Pricing.aws
+                  ~duration_ms:100.0 ~memory_mb:512.0
+        in
+        Alcotest.(check (float 1e-12)) "eq-1 cost" expected s.Report.cost_usd;
+        (* cold e2e = 0.2 + 0.4 + 0.1 = 0.7 s; warm = 0.1 s; p99
+           interpolates 0.91 of the way from the 9th to the 10th sample *)
+        Alcotest.(check (float 1e-6)) "p99 is the cold tail" 646.0
+          s.Report.p99_ms;
+        Alcotest.(check (float 1e-6)) "p50 is warm" 100.0 s.Report.p50_ms);
+    Alcotest.test_case "empty trace summarizes to zeros" `Quick (fun () ->
+        let t = Platform.Trace.make ~name:"empty" [] in
+        let cfg =
+          config ~profile:(no_init ())
+            (Pool.Fixed_ttl { keep_alive_s = 60.0 })
+        in
+        let s = Report.summarize ~label:"e" cfg (Router.run cfg t) in
+        Alcotest.(check int) "requests" 0 s.Report.requests;
+        Alcotest.(check (float 1e-12)) "p99 total on empty" 0.0 s.Report.p99_ms;
+        Alcotest.(check (float 1e-12)) "cost" 0.0 s.Report.cost_usd) ]
+
+let suite =
+  [ ("fleet.events", events); ("fleet.policies", policies);
+    ("fleet.queueing", queueing); ("fleet.fallback", fallback);
+    ("fleet.replay_parity", replay_parity); ("fleet.report", report) ]

@@ -27,7 +27,15 @@ let generators =
     Alcotest.test_case "periodic spacing" `Quick (fun () ->
         let t = Trace.periodic ~period_s:10.0 ~count:5 ~name:"p" in
         Alcotest.(check (list (float 1e-12))) "times"
-          [ 0.0; 10.0; 20.0; 30.0; 40.0 ] t.Trace.arrivals_s) ]
+          [ 0.0; 10.0; 20.0; 30.0; 40.0 ] t.Trace.arrivals_s);
+    Alcotest.test_case "bursty deterministic per seed" `Quick (fun () ->
+        let gen seed = Trace.bursty ~seed ~burst_size:8 ~burst_rate_per_s:5.0
+            ~idle_gap_s:120.0 ~bursts:6 ~name:"b"
+        in
+        Alcotest.(check (list (float 1e-12))) "same arrivals"
+          (gen 42).Trace.arrivals_s (gen 42).Trace.arrivals_s;
+        Alcotest.(check bool) "different seeds differ" true
+          ((gen 42).Trace.arrivals_s <> (gen 43).Trace.arrivals_s)) ]
 
 let replay =
   [ Alcotest.test_case "dense trace mostly warm" `Quick (fun () ->
@@ -55,7 +63,40 @@ let replay =
         Alcotest.(check bool) "monotone" true (res 60.0 < res 900.0));
     Alcotest.test_case "cold fraction" `Quick (fun () ->
         let r = { Trace.cold_starts = 1; warm_starts = 3; resident_s = 0.0 } in
-        Alcotest.(check (float 1e-12)) "0.25" 0.25 (Trace.cold_fraction r)) ]
+        Alcotest.(check (float 1e-12)) "0.25" 0.25 (Trace.cold_fraction r));
+    Alcotest.test_case "exec_s extends keep-alive past the raw gap" `Quick
+      (fun () ->
+        (* arrivals 8 s apart, TTL 5: without exec the gap exceeds the TTL
+           (cold); a 10 s execution pushes completion past the next arrival,
+           so the keep-alive window covers it (warm) *)
+        let t = Trace.make ~name:"ext" [ 0.0; 8.0 ] in
+        let without = Trace.replay t ~keep_alive_s:5.0 in
+        let with_exec = Trace.replay ~exec_s:10.0 t ~keep_alive_s:5.0 in
+        Alcotest.(check int) "no exec: second is cold" 2 without.Trace.cold_starts;
+        Alcotest.(check int) "with exec: second is warm" 1
+          with_exec.Trace.cold_starts;
+        Alcotest.(check int) "with exec: warm count" 1
+          with_exec.Trace.warm_starts);
+    Alcotest.test_case "overlapping arrivals share the extended window" `Quick
+      (fun () ->
+        (* three arrivals inside one long execution: each completion pushes
+           the window further, so all but the first stay warm *)
+        let t = Trace.make ~name:"overlap" [ 0.0; 4.0; 8.0 ] in
+        let r = Trace.replay ~exec_s:10.0 t ~keep_alive_s:1.0 in
+        Alcotest.(check int) "one cold" 1 r.Trace.cold_starts;
+        Alcotest.(check int) "two warm" 2 r.Trace.warm_starts);
+    Alcotest.test_case "zero-length trace replays to zeros" `Quick (fun () ->
+        let t = Trace.make ~name:"empty" [] in
+        let r = Trace.replay ~exec_s:3.0 t ~keep_alive_s:900.0 in
+        Alcotest.(check int) "cold" 0 r.Trace.cold_starts;
+        Alcotest.(check int) "warm" 0 r.Trace.warm_starts;
+        Alcotest.(check (float 1e-12)) "resident" 0.0 r.Trace.resident_s;
+        Alcotest.(check (float 1e-12)) "cold fraction total" 0.0
+          (Trace.cold_fraction r);
+        Alcotest.(check (float 1e-12)) "duration" 0.0 (Trace.duration_s t);
+        let c = Trace.replay_concurrent ~exec_s:3.0 t ~keep_alive_s:900.0 in
+        Alcotest.(check int) "concurrent cold" 0 c.Trace.c_cold_starts;
+        Alcotest.(check int) "concurrent peak" 0 c.Trace.c_peak_instances) ]
 
 let azure =
   [ Alcotest.test_case "generates requested function count" `Quick (fun () ->
@@ -105,6 +146,23 @@ let metrics =
         Alcotest.(check (list (pair (float 1e-9) (float 1e-9)))) "points"
           [ (1.0, 0.5); (2.0, 1.0) ]
           (Metrics.cdf [ 2.0; 1.0 ]));
+    Alcotest.test_case "p95/p99 conveniences" `Quick (fun () ->
+        let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+        Alcotest.(check (float 1e-9)) "p95" (Metrics.percentile 95.0 xs)
+          (Metrics.p95 xs);
+        Alcotest.(check (float 1e-9)) "p99" (Metrics.percentile 99.0 xs)
+          (Metrics.p99 xs);
+        Alcotest.(check bool) "p99 above p95" true
+          (Metrics.p99 xs > Metrics.p95 xs));
+    Alcotest.test_case "total on the empty list" `Quick (fun () ->
+        Alcotest.(check (float 1e-12)) "mean" 0.0 (Metrics.mean []);
+        Alcotest.(check (float 1e-12)) "percentile" 0.0
+          (Metrics.percentile 50.0 []);
+        Alcotest.(check (float 1e-12)) "p95" 0.0 (Metrics.p95 []);
+        Alcotest.(check (float 1e-12)) "p99" 0.0 (Metrics.p99 []);
+        Alcotest.(check (float 1e-12)) "stddev empty" 0.0 (Metrics.stddev []);
+        Alcotest.(check (float 1e-12)) "stddev singleton" 0.0
+          (Metrics.stddev [ 4.2 ]));
     Alcotest.test_case "improvement pct" `Quick (fun () ->
         Alcotest.(check (float 1e-9)) "20%" 20.0
           (Metrics.improvement_pct ~before:10.0 ~after:8.0));
