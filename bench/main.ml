@@ -274,6 +274,57 @@ let extension_tests =
           fun () ->
             Fleet.Router.run (Lazy.force fleet_bench_config)
               (Lazy.force trace)));
+    Test.make ~name:"fleet.fault_plan_100k"
+      (Staged.stage
+         (let faults =
+            { Fleet.Faults.seed = 42; init_failure_rate = 0.05;
+              crash_rate = 0.02; transient_error_rate = 0.05;
+              churn_rate = 0.02 }
+          in
+          fun () ->
+            (* the per-attempt draws the router makes on its hot path *)
+            let acc = ref 0 in
+            for req = 0 to 99_999 do
+              (match
+                 Fleet.Faults.attempt_fault faults ~cold:(req land 7 = 0)
+                   ~req ~attempt:(req land 3)
+               with
+               | Fleet.Faults.No_fault -> ()
+               | _ -> incr acc);
+              if Fleet.Faults.churned faults ~fb:false ~req ~attempt:0 then
+                incr acc
+            done;
+            !acc));
+    Test.make ~name:"fleet.router_faulted_10k"
+      (Staged.stage
+         (let trace =
+            lazy
+              (Platform.Trace.poisson ~seed:21 ~rate_per_s:2.0
+                 ~duration_s:5000.0 ~name:"fleet-fault-bench")
+          in
+          let cfg =
+            lazy
+              { (Lazy.force fleet_bench_config) with
+                Fleet.Router.faults =
+                  { Fleet.Faults.seed = 42; init_failure_rate = 0.05;
+                    crash_rate = 0.02; transient_error_rate = 0.05;
+                    churn_rate = 0.02 };
+                resilience =
+                  { Fleet.Resilience.none with
+                    Fleet.Resilience.retry =
+                      Some Fleet.Resilience.default_retry } }
+          in
+          fun () -> Fleet.Router.run (Lazy.force cfg) (Lazy.force trace)));
+    Test.make ~name:"metrics.percentile_100k"
+      (Staged.stage
+         (* proves the sort-once array rewrite: the old List.nth version
+            was O(n^2) and took seconds at this size *)
+         (let xs =
+            lazy
+              (List.init 100_000 (fun i ->
+                   float_of_int ((i * 7919) mod 100_000)))
+          in
+          fun () -> Platform.Metrics.p99 (Lazy.force xs)));
     Test.make ~name:"substrate.json_roundtrip"
       (Staged.stage
          (let v =

@@ -196,10 +196,72 @@ let fleet_cmd =
   in
   let seed_arg =
     Arg.(value & opt int 2025 & info [ "seed" ] ~docv:"SEED"
-           ~doc:"Trace and fallback-draw seed (default 2025).")
+           ~doc:"Trace, fallback-draw, and fault-plan seed (default 2025).")
+  in
+  (* fault-injection flag group *)
+  let init_failure_arg =
+    Arg.(value & opt float 0.0 & info [ "init-failure-rate" ] ~docv:"FRACTION"
+           ~doc:"Probability a cold start's Function Initialization fails \
+                 (default 0).")
+  in
+  let crash_arg =
+    Arg.(value & opt float 0.0 & info [ "crash-rate" ] ~docv:"FRACTION"
+           ~doc:"Probability an invocation crashes mid-execution (default 0).")
+  in
+  let error_arg =
+    Arg.(value & opt float 0.0 & info [ "error-rate" ] ~docv:"FRACTION"
+           ~doc:"Probability an invocation completes with a transient error \
+                 (default 0).")
+  in
+  let churn_arg =
+    Arg.(value & opt float 0.0 & info [ "churn-rate" ] ~docv:"FRACTION"
+           ~doc:"Probability the platform reclaims an instance immediately \
+                 on release instead of keeping it warm (default 0).")
+  in
+  (* resilience flag group *)
+  let retries_arg =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry budget per request; 0 disables retries (default 0).")
+  in
+  let retry_base_arg =
+    Arg.(value & opt float 0.2 & info [ "retry-base" ] ~docv:"SECONDS"
+           ~doc:"Base exponential backoff before a retry (default 0.2); \
+                 full jitter is always applied.")
+  in
+  let retry_cap_arg =
+    Arg.(value & opt float 10.0 & info [ "retry-cap" ] ~docv:"SECONDS"
+           ~doc:"Backoff ceiling (default 10).")
+  in
+  let request_timeout_arg =
+    Arg.(value & opt float infinity
+         & info [ "request-timeout" ] ~docv:"SECONDS"
+             ~doc:"End-to-end budget: a retry past this deadline is \
+                   abandoned (default unlimited).")
+  in
+  let breaker_threshold_arg =
+    Arg.(value & opt float 0.0 & info [ "breaker-threshold" ] ~docv:"FRACTION"
+           ~doc:"Arm the fallback circuit breaker at this windowed \
+                 removal-error rate; 0 disables it (default 0). Requires \
+                 a positive --fb-rate.")
+  in
+  let breaker_window_arg =
+    Arg.(value & opt int 50 & info [ "breaker-window" ] ~docv:"N"
+           ~doc:"Breaker sliding sample window (default 50).")
+  in
+  let breaker_cooldown_arg =
+    Arg.(value & opt float 30.0 & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+           ~doc:"Open duration before the breaker half-opens (default 30).")
+  in
+  let hedge_delay_arg =
+    Arg.(value & opt (some float) None & info [ "hedge-delay" ] ~docv:"SECONDS"
+           ~doc:"Enable cold-start hedging: a failing cold start's recovery \
+                 is dispatched this long after the cold start began \
+                 (default off).")
   in
   let run app rate duration policy keep_alive max_idle capacity max_pending
-      timeout fb_rate seed =
+      timeout fb_rate seed init_failure_rate crash_rate error_rate churn_rate
+      retries retry_base retry_cap request_timeout breaker_threshold
+      breaker_window breaker_cooldown hedge_delay =
     if rate <= 0.0 then begin
       Printf.eprintf "--rate must be positive (got %g)\n" rate;
       exit 2
@@ -208,6 +270,57 @@ let fleet_cmd =
       Printf.eprintf "--duration must be non-negative (got %g)\n" duration;
       exit 2
     end;
+    List.iter
+      (fun (name, r) ->
+         if not (r >= 0.0 && r <= 1.0) then begin
+           Printf.eprintf "--%s must be in [0, 1] (got %g)\n" name r;
+           exit 2
+         end)
+      [ ("init-failure-rate", init_failure_rate); ("crash-rate", crash_rate);
+        ("error-rate", error_rate); ("churn-rate", churn_rate);
+        ("fb-rate", fb_rate) ];
+    if retries < 0 then begin
+      Printf.eprintf "--retries must be non-negative (got %d)\n" retries;
+      exit 2
+    end;
+    if retry_base < 0.0 || retry_cap < retry_base then begin
+      Printf.eprintf
+        "--retry-base must be non-negative and --retry-cap >= --retry-base \
+         (got %g, %g)\n"
+        retry_base retry_cap;
+      exit 2
+    end;
+    if request_timeout <= 0.0 then begin
+      Printf.eprintf "--request-timeout must be positive (got %g)\n"
+        request_timeout;
+      exit 2
+    end;
+    if not (breaker_threshold >= 0.0 && breaker_threshold <= 1.0) then begin
+      Printf.eprintf "--breaker-threshold must be in [0, 1] (got %g)\n"
+        breaker_threshold;
+      exit 2
+    end;
+    if breaker_threshold > 0.0 && fb_rate <= 0.0 then begin
+      Printf.eprintf
+        "--breaker-threshold requires a fallback pool to shed to \
+         (positive --fb-rate)\n";
+      exit 2
+    end;
+    if breaker_window <= 0 then begin
+      Printf.eprintf "--breaker-window must be positive (got %d)\n"
+        breaker_window;
+      exit 2
+    end;
+    if breaker_cooldown < 0.0 then begin
+      Printf.eprintf "--breaker-cooldown must be non-negative (got %g)\n"
+        breaker_cooldown;
+      exit 2
+    end;
+    (match hedge_delay with
+     | Some d when d < 0.0 ->
+       Printf.eprintf "--hedge-delay must be non-negative (got %g)\n" d;
+       exit 2
+     | _ -> ());
     let pol =
       match policy with
       | "fixed" -> Fleet.Pool.Fixed_ttl { keep_alive_s = keep_alive }
@@ -229,13 +342,47 @@ let fleet_cmd =
       Platform.Trace.poisson ~seed ~rate_per_s:rate ~duration_s:duration
         ~name:(Printf.sprintf "poisson-%g" rate)
     in
+    let faults =
+      { Fleet.Faults.seed = seed + 2;
+        init_failure_rate = init_failure_rate;
+        crash_rate;
+        transient_error_rate = error_rate;
+        churn_rate }
+    in
+    let resilience =
+      { Fleet.Resilience.retry =
+          (if retries > 0 then
+             Some
+               { Fleet.Resilience.max_retries = retries;
+                 base_backoff_s = retry_base;
+                 max_backoff_s = retry_cap;
+                 full_jitter = true }
+           else None);
+        request_timeout_s = request_timeout;
+        breaker =
+          (if breaker_threshold > 0.0 then
+             Some
+               { Fleet.Resilience.Breaker.error_threshold = breaker_threshold;
+                 window = breaker_window;
+                 min_samples = min breaker_window 10;
+                 cooldown_s = breaker_cooldown }
+           else None);
+        hedge =
+          Option.map
+            (fun d -> { Fleet.Resilience.hedge_delay_s = d })
+            hedge_delay }
+    in
     let base = Fleet.Router.default_config ~profile:original pol in
     let base =
       { base with
         Fleet.Router.max_instances =
           (if capacity <= 0 then max_int else capacity);
         max_pending;
-        pending_timeout_s = timeout }
+        pending_timeout_s = timeout;
+        faults;
+        (* the original image has no fallback pool, so the breaker only
+           arms on the trimmed deployment below *)
+        resilience = { resilience with Fleet.Resilience.breaker = None } }
     in
     let simulate label cfg =
       Fleet.Report.summarize ~label cfg (Fleet.Router.run cfg trace)
@@ -248,6 +395,7 @@ let fleet_cmd =
     let fb_cfg =
       { base with
         Fleet.Router.profile = trimmed;
+        resilience;
         fallback =
           (if fb_rate > 0.0 then
              Some
@@ -263,7 +411,10 @@ let fleet_cmd =
              original vs lambda-trim-optimized.")
     Term.(const run $ app_arg $ rate_arg $ duration_arg $ policy_arg
           $ keep_alive_arg $ max_idle_arg $ capacity_arg $ max_pending_arg
-          $ timeout_arg $ fb_rate_arg $ seed_arg)
+          $ timeout_arg $ fb_rate_arg $ seed_arg $ init_failure_arg
+          $ crash_arg $ error_arg $ churn_arg $ retries_arg $ retry_base_arg
+          $ retry_cap_arg $ request_timeout_arg $ breaker_threshold_arg
+          $ breaker_window_arg $ breaker_cooldown_arg $ hedge_delay_arg)
 
 (* --- calibrate ------------------------------------------------------------ *)
 

@@ -34,6 +34,10 @@ let all : entry list =
     { id = "fleet";
       description = "fleet simulation: cost/p99 vs arrival rate and policy";
       print = Fleet_exp.print; csv = Some Fleet_exp.csv };
+    { id = "resilience";
+      description =
+        "availability/amplification/cost under faults x resilience policy";
+      print = Resilience_exp.print; csv = Some Resilience_exp.csv };
     { id = "abl-granularity";
       description = "attribute vs statement granularity ablation";
       print = Ablations.print_granularity; csv = None };

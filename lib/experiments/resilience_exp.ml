@@ -1,0 +1,146 @@
+(* Resilience experiment: availability, retry amplification, and Eq.-1 cost
+   under injected faults, original vs lambda-trim-optimized deployment.
+
+   Sweeps fault intensity x resilience policy over a fixed-TTL fleet. Three
+   deployment variants: the original image, the trimmed image with the
+   paper's 1% removal-hit rate, and a "regressed" trimmed image whose
+   removal-hit rate has spiked to 30% — the §7 failure mode the circuit
+   breaker exists for: with the breaker armed it opens and sheds traffic
+   straight to the original image instead of paying the trimmed-then-retry
+   double invocation on nearly every request. Fully deterministic per
+   seed. *)
+
+let app = "resnet"
+let rate_per_s = 1.0
+let duration_s = 1800.0
+let seed = 2025
+let policy = Fleet.Pool.Fixed_ttl { keep_alive_s = 600.0 }
+
+(* One knob scales all fault classes: at intensity f, cold inits fail with
+   probability f, invocations crash with f/2, error transiently with f, and
+   released instances are churned with f/2. *)
+let fault_intensities = [ 0.0; 0.02; 0.1 ]
+
+let faults_of intensity =
+  { Fleet.Faults.seed = seed + 2;
+    init_failure_rate = intensity;
+    crash_rate = intensity /. 2.0;
+    transient_error_rate = intensity;
+    churn_rate = intensity /. 2.0 }
+
+let breaker_cfg =
+  { Fleet.Resilience.Breaker.error_threshold = 0.2;
+    window = 50;
+    min_samples = 20;
+    cooldown_s = 60.0 }
+
+let resilience_policies ~with_breaker =
+  [ ("none", Fleet.Resilience.none);
+    ("retry3",
+     { Fleet.Resilience.none with
+       Fleet.Resilience.retry = Some Fleet.Resilience.default_retry;
+       request_timeout_s = 120.0 });
+    ("retry3+breaker+hedge",
+     { Fleet.Resilience.retry = Some Fleet.Resilience.default_retry;
+       request_timeout_s = 120.0;
+       breaker = (if with_breaker then Some breaker_cfg else None);
+       hedge = Some { Fleet.Resilience.hedge_delay_s = 0.5 } }) ]
+
+type row = {
+  fault_intensity : float;
+  resilience : string;
+  variant : string;  (* "original" | "trimmed" | "trimmed-regressed" *)
+  summary : Fleet.Report.summary;
+}
+
+let run () : row list =
+  let t = Common.trimmed app in
+  let original =
+    Fleet.Scenario.profile_of_record t.Common.original_m.Common.cold
+  in
+  let trimmed =
+    Fleet.Scenario.profile_of_record t.Common.trimmed_m.Common.cold
+  in
+  let trace =
+    Platform.Trace.poisson ~seed ~rate_per_s ~duration_s
+      ~name:(Printf.sprintf "poisson-%g" rate_per_s)
+  in
+  (* the breaker needs a fallback pool to shed to, so the original-image
+     variant never arms it *)
+  let variants =
+    [ ("original", original, None, false);
+      ("trimmed", trimmed,
+       Some (Fleet.Scenario.fallback ~rate:0.01 ~seed:(seed + 1) ~original ()),
+       true);
+      ("trimmed-regressed", trimmed,
+       Some (Fleet.Scenario.fallback ~rate:0.3 ~seed:(seed + 1) ~original ()),
+       true) ]
+  in
+  List.concat_map
+    (fun intensity ->
+       List.concat_map
+         (fun (variant, profile, fallback, fb_configured) ->
+            List.map
+              (fun (rname, rpolicy) ->
+                 let rpolicy =
+                   if fb_configured then rpolicy
+                   else
+                     { rpolicy with Fleet.Resilience.breaker = None }
+                 in
+                 let cfg =
+                   { (Fleet.Router.default_config ~profile policy) with
+                     Fleet.Router.fallback;
+                     faults = faults_of intensity;
+                     resilience = rpolicy }
+                 in
+                 let label =
+                   Printf.sprintf "f=%g %s %s" intensity rname variant
+                 in
+                 { fault_intensity = intensity;
+                   resilience = rname;
+                   variant;
+                   summary =
+                     Fleet.Report.summarize ~label cfg
+                       (Fleet.Router.run cfg trace) })
+              (resilience_policies ~with_breaker:fb_configured))
+         variants)
+    fault_intensities
+
+let print () =
+  let rows = run () in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Common.header
+       (Printf.sprintf
+          "Resilience (%s): availability, retry amplification, and cost \
+           under injected faults (rate %g/s)"
+          app rate_per_s));
+  Buffer.add_string b (Fleet.Report.table_header ^ "\n");
+  List.iter
+    (fun r -> Buffer.add_string b (Fleet.Report.table_row r.summary ^ "\n"))
+    rows;
+  Buffer.add_string b
+    "\n  availability / retry amplification / cost by policy:\n";
+  List.iter
+    (fun r ->
+       let s = r.summary in
+       Buffer.add_string b
+         (Printf.sprintf
+            "    f=%-5g %-22s %-18s avail %6.2f%%  amp %5.3f  shed %5d  \
+             cost $%.6f\n"
+            r.fault_intensity r.resilience r.variant
+            (100.0 *. s.Fleet.Report.availability)
+            s.Fleet.Report.retry_amplification s.Fleet.Report.shed
+            s.Fleet.Report.cost_usd))
+    rows;
+  Buffer.contents b
+
+let csv () =
+  "fault_intensity,resilience,variant," ^ Fleet.Report.csv_header ^ "\n"
+  ^ String.concat ""
+      (List.map
+         (fun r ->
+            Printf.sprintf "%g,%s,%s,%s\n" r.fault_intensity r.resilience
+              r.variant
+              (Fleet.Report.csv_row r.summary))
+         (run ()))

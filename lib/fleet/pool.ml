@@ -182,6 +182,14 @@ let release t inst ~now =
    | Fixed_ttl _ | Adaptive _ -> ());
   inst.expires_at
 
+let reclaim t inst ~now =
+  if Hashtbl.mem t.live inst.id then begin
+    (* bump the generation so any expiry check already scheduled for this
+       instance is recognized as stale *)
+    inst.generation <- inst.generation + 1;
+    evict t inst ~now
+  end
+
 let try_expire t inst ~generation ~now =
   match Hashtbl.find_opt t.live inst.id with
   | Some live

@@ -55,6 +55,12 @@ val spawn : t -> now:float -> instance
     [Adaptive] an acquire-after-release records the observed idle gap. *)
 val release : t -> instance -> now:float -> float
 
+(** Forced eviction regardless of state: a crashed or platform-reclaimed
+    (keep-alive churn) instance leaves the pool immediately, counting as an
+    eviction and charging residency up to [now]. Safe to call on an already
+    evicted instance (no-op); any scheduled expiry check becomes stale. *)
+val reclaim : t -> instance -> now:float -> unit
+
 (** Expiry check: evicts and returns [true] iff the instance is still live,
     still idle, and [generation] matches (it was not reused since the check
     was scheduled). *)

@@ -1,8 +1,9 @@
 (* Fleet-run aggregation. Latency statistics cover served requests only;
-   rejected and timed-out requests are counted separately (a dropped request
-   has no meaningful latency, and folding zeros in would flatter the tail).
-   Percentile helpers come from [Platform.Metrics] and are total on the
-   empty list, so a run where everything was rejected still summarizes. *)
+   rejected, timed-out, and failed requests are counted separately (a
+   dropped request has no meaningful latency, and folding zeros in would
+   flatter the tail). Percentile helpers come from [Platform.Metrics] and
+   are total on the empty list, so a run where everything was rejected
+   still summarizes. *)
 
 type summary = {
   label : string;
@@ -14,6 +15,8 @@ type summary = {
   fb_cold : int;
   rejected : int;
   timed_out : int;
+  failed : int;
+  shed : int;
   cold_fraction : float;
   mean_ms : float;
   p50_ms : float;
@@ -25,6 +28,12 @@ type summary = {
   resident_instance_s : float;
   evictions : int;
   cost_usd : float;
+  attempts : int;
+  retried : int;
+  hedged : int;
+  availability : float;
+  goodput_per_s : float;
+  retry_amplification : float;
 }
 
 let summarize ?(pricing = Platform.Pricing.aws) ~label (cfg : Router.config)
@@ -32,11 +41,19 @@ let summarize ?(pricing = Platform.Pricing.aws) ~label (cfg : Router.config)
   let cold = ref 0 and warm = ref 0 in
   let fallbacks = ref 0 and fb_cold = ref 0 in
   let rejected = ref 0 and timed_out = ref 0 in
+  let failed = ref 0 and shed = ref 0 in
+  let attempts = ref 0 and retried = ref 0 and hedged = ref 0 in
+  let fb_invocations = ref 0 in
   let latencies = ref [] and waits = ref [] in
   let cost = ref 0.0 in
+  let first_arrival = ref infinity and last_finish = ref neg_infinity in
   let count_primary = function
     | Router.Cold -> incr cold
     | Router.Warm -> incr warm
+  in
+  let count_served (r : Router.record) =
+    latencies := (r.Router.e2e_s *. 1000.0) :: !latencies;
+    waits := (r.Router.wait_s *. 1000.0) :: !waits
   in
   let fb_memory =
     match cfg.Router.fallback with
@@ -45,21 +62,35 @@ let summarize ?(pricing = Platform.Pricing.aws) ~label (cfg : Router.config)
   in
   List.iter
     (fun (r : Router.record) ->
+       attempts := !attempts + r.Router.attempts;
+       if r.Router.attempts > 1 then incr retried;
+       if r.Router.hedged then incr hedged;
+       first_arrival := Float.min !first_arrival r.Router.arrival_s;
        (match r.Router.outcome with
         | Router.Served kind ->
           count_primary kind;
-          latencies := (r.Router.e2e_s *. 1000.0) :: !latencies;
-          waits := (r.Router.wait_s *. 1000.0) :: !waits
+          count_served r;
+          last_finish := Float.max !last_finish r.Router.finish_s
         | Router.Fallback_served { trimmed; original } ->
           count_primary trimmed;
           incr fallbacks;
+          incr fb_invocations;
           (match original with
            | Router.Cold -> incr fb_cold
            | Router.Warm -> ());
-          latencies := (r.Router.e2e_s *. 1000.0) :: !latencies;
-          waits := (r.Router.wait_s *. 1000.0) :: !waits
+          count_served r;
+          last_finish := Float.max !last_finish r.Router.finish_s
+        | Router.Shed kind ->
+          incr shed;
+          incr fb_invocations;
+          (match kind with
+           | Router.Cold -> incr fb_cold
+           | Router.Warm -> ());
+          count_served r;
+          last_finish := Float.max !last_finish r.Router.finish_s
         | Router.Rejected -> incr rejected
-        | Router.Timed_out -> incr timed_out);
+        | Router.Timed_out -> incr timed_out
+        | Router.Failed _ -> incr failed);
        if r.Router.billed_ms > 0.0 then
          cost :=
            !cost
@@ -72,10 +103,13 @@ let summarize ?(pricing = Platform.Pricing.aws) ~label (cfg : Router.config)
            +. Platform.Pricing.invocation_cost pricing
                 ~duration_ms:r.Router.fb_billed_ms ~memory_mb:fb_memory)
     res.Router.records;
-  let served = !cold + !warm in
+  let requests = List.length res.Router.records in
+  let served = !cold + !warm + !shed in
+  let primary_starts = !cold + !warm in
   let lat = !latencies in
+  let window = !last_finish -. !first_arrival in
   { label;
-    requests = List.length res.Router.records;
+    requests;
     served;
     cold = !cold;
     warm = !warm;
@@ -83,8 +117,11 @@ let summarize ?(pricing = Platform.Pricing.aws) ~label (cfg : Router.config)
     fb_cold = !fb_cold;
     rejected = !rejected;
     timed_out = !timed_out;
+    failed = !failed;
+    shed = !shed;
     cold_fraction =
-      (if served = 0 then 0.0 else float_of_int !cold /. float_of_int served);
+      (if primary_starts = 0 then 0.0
+       else float_of_int !cold /. float_of_int primary_starts);
     mean_ms = Platform.Metrics.mean lat;
     p50_ms = Platform.Metrics.median lat;
     p95_ms = Platform.Metrics.p95 lat;
@@ -95,29 +132,49 @@ let summarize ?(pricing = Platform.Pricing.aws) ~label (cfg : Router.config)
     resident_instance_s =
       res.Router.resident_instance_s +. res.Router.fb_resident_instance_s;
     evictions = res.Router.evictions;
-    cost_usd = !cost }
+    cost_usd = !cost;
+    attempts = !attempts;
+    retried = !retried;
+    hedged = !hedged;
+    availability =
+      (if requests = 0 then 1.0
+       else float_of_int served /. float_of_int requests);
+    goodput_per_s =
+      (if served = 0 || window <= 0.0 then 0.0
+       else float_of_int served /. window);
+    retry_amplification =
+      (if requests = 0 then 1.0
+       else
+         float_of_int (!attempts + !fb_invocations) /. float_of_int requests) }
 
 let table_header =
-  Printf.sprintf "  %-26s %6s %5s %5s %4s %4s %4s %6s %8s %8s %8s %5s %10s %10s"
-    "" "req" "cold" "warm" "fb" "rej" "t/o" "cold%" "p50ms" "p95ms" "p99ms"
-    "peak" "resident-s" "cost $"
+  Printf.sprintf
+    "  %-26s %6s %5s %5s %4s %4s %4s %4s %4s %6s %8s %8s %8s %5s %10s %6s %10s"
+    "" "req" "cold" "warm" "fb" "rej" "t/o" "fail" "shed" "cold%" "p50ms"
+    "p95ms" "p99ms" "peak" "resident-s" "avail" "cost $"
 
 let table_row s =
   Printf.sprintf
-    "  %-26s %6d %5d %5d %4d %4d %4d %5.1f%% %8.1f %8.1f %8.1f %5d %10.0f %10.6f"
+    "  %-26s %6d %5d %5d %4d %4d %4d %4d %4d %5.1f%% %8.1f %8.1f %8.1f %5d \
+     %10.0f %5.1f%% %10.6f"
     s.label s.requests s.cold s.warm s.fallbacks s.rejected s.timed_out
-    (100.0 *. s.cold_fraction) s.p50_ms s.p95_ms s.p99_ms s.peak_instances
-    s.resident_instance_s s.cost_usd
+    s.failed s.shed (100.0 *. s.cold_fraction) s.p50_ms s.p95_ms s.p99_ms
+    s.peak_instances s.resident_instance_s
+    (100.0 *. s.availability) s.cost_usd
 
 let csv_header =
   "label,requests,served,cold,warm,fallbacks,fb_cold,rejected,timed_out,\
    cold_fraction,mean_ms,p50_ms,p95_ms,p99_ms,max_ms,mean_wait_ms,\
-   peak_instances,resident_instance_s,evictions,cost_usd"
+   peak_instances,resident_instance_s,evictions,cost_usd,\
+   failed,shed,attempts,retried,hedged,availability,goodput_per_s,\
+   retry_amplification"
 
 let csv_row s =
   Printf.sprintf
-    "%s,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%.3f,%d,%.9f"
+    "%s,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%.3f,%d,\
+     %.9f,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f"
     s.label s.requests s.served s.cold s.warm s.fallbacks s.fb_cold s.rejected
     s.timed_out s.cold_fraction s.mean_ms s.p50_ms s.p95_ms s.p99_ms s.max_ms
     s.mean_wait_ms s.peak_instances s.resident_instance_s s.evictions
-    s.cost_usd
+    s.cost_usd s.failed s.shed s.attempts s.retried s.hedged s.availability
+    s.goodput_per_s s.retry_amplification

@@ -1,28 +1,41 @@
 (** Aggregation of a fleet run into the numbers the experiments plot:
-    cold/warm mix, latency percentiles, concurrency, residency, and total
-    Eq.-1 cost. *)
+    cold/warm mix, latency percentiles, concurrency, residency, total
+    Eq.-1 cost, and the resilience picture — availability, goodput, and
+    retry amplification under injected faults. *)
 
 type summary = {
   label : string;
   requests : int;
-  served : int;        (** completed, with or without fallback *)
-  cold : int;          (** cold starts on the primary image *)
+  served : int;        (** completed: primary, fallback, or breaker-shed *)
+  cold : int;          (** cold starts on the primary image (final attempt) *)
   warm : int;
   fallbacks : int;     (** requests that re-invoked the original image *)
-  fb_cold : int;       (** cold starts among those re-invocations *)
+  fb_cold : int;       (** cold starts among original-image invocations
+                           (fallback re-invocations and breaker sheds) *)
   rejected : int;
   timed_out : int;
-  cold_fraction : float;   (** of served primary starts *)
+  failed : int;        (** all attempts failed — retries/budget exhausted *)
+  shed : int;          (** breaker-open requests routed to the original *)
+  cold_fraction : float;   (** of primary starts (cold + warm) *)
   mean_ms : float;         (** e2e over served requests *)
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;
   max_ms : float;
-  mean_wait_ms : float;    (** queueing delay over served requests *)
+  mean_wait_ms : float;    (** delay before the final attempt began *)
   peak_instances : int;
   resident_instance_s : float;  (** primary + fallback pools *)
   evictions : int;
-  cost_usd : float;  (** Eq. 1 over all billed durations, both images *)
+  cost_usd : float;  (** Eq. 1 over all billed durations, both images,
+                         including failed/hedged/retried attempts *)
+  attempts : int;    (** primary service attempts, incl. hedges *)
+  retried : int;     (** requests that took more than one attempt *)
+  hedged : int;      (** requests whose cold-start hedge fired *)
+  availability : float;      (** served / requests; 1 on the empty trace *)
+  goodput_per_s : float;     (** served per second of makespan *)
+  retry_amplification : float;
+      (** (primary attempts + original-image invocations) / requests;
+          exactly 1 with no faults, retries, or fallback *)
 }
 
 (** Price and summarize a run. [pricing] defaults to AWS. *)

@@ -1,20 +1,36 @@
 (* The discrete-event loop.
 
    Event classes are ranked so that same-instant events resolve the way the
-   analytic replay does: completions free instances before arrivals claim
-   them, arrivals beat expiry checks (an arrival at exactly the keep-alive
-   boundary is warm — [Trace.replay]'s inclusive boundary), and timeouts
-   fire only if no completion at the same instant rescued the request. *)
+   analytic replay does: completions (and fault detections, which free or
+   kill instances) resolve before arrivals claim capacity, arrivals beat
+   expiry checks (an arrival at exactly the keep-alive boundary is warm —
+   [Trace.replay]'s inclusive boundary), and timeouts fire only if no
+   completion at the same instant rescued the request.
+
+   Faults are injected from a per-request plan ([Faults]): every draw is a
+   pure hash of (seed, request, attempt, stream), so crash/retry/hedge
+   interleavings cannot perturb each other's outcomes. With [Faults.none]
+   and [Resilience.none] the simulator emits exactly the same event
+   sequence as the pre-fault router — zero-fault runs are bit-identical. *)
 
 type start_kind = Cold | Warm
 
 let start_kind_name = function Cold -> "cold" | Warm -> "warm"
 
+type failure = Init_failed | Crashed | Errored
+
+let failure_name = function
+  | Init_failed -> "init-failed"
+  | Crashed -> "crashed"
+  | Errored -> "errored"
+
 type outcome =
   | Served of start_kind
   | Fallback_served of { trimmed : start_kind; original : start_kind }
+  | Shed of start_kind
   | Rejected
   | Timed_out
+  | Failed of failure
 
 type record = {
   req : int;
@@ -26,6 +42,8 @@ type record = {
   outcome : outcome;
   billed_ms : float;
   fb_billed_ms : float;
+  attempts : int;
+  hedged : bool;
 }
 
 type deployment_profile = {
@@ -50,6 +68,8 @@ type config = {
   max_pending : int;
   pending_timeout_s : float;
   fallback : fallback option;
+  faults : Faults.config;
+  resilience : Resilience.policy;
 }
 
 let default_config ~profile policy =
@@ -58,7 +78,9 @@ let default_config ~profile policy =
     max_instances = max_int;
     max_pending = 1024;
     pending_timeout_s = 60.0;
-    fallback = None }
+    fallback = None;
+    faults = Faults.none;
+    resilience = Resilience.none }
 
 type result = {
   records : record list;
@@ -72,7 +94,9 @@ type result = {
 
 (* --- per-request state --------------------------------------------------- *)
 
-type status = Waiting | Running | Done
+type status = Waiting | Running | Retrying | Done
+
+type breaker_role = Sample | Probe_req | Unsampled
 
 type req = {
   idx : int;
@@ -81,26 +105,40 @@ type req = {
   mutable status : status;
   mutable start : float;
   mutable kind : start_kind option;
+  mutable attempt : int;        (* current attempt index, 0-based *)
+  mutable attempts : int;       (* service attempts started (incl. hedge) *)
+  mutable retries : int;        (* backoff retries consumed *)
+  mutable hedged : bool;        (* a hedge has been scheduled or fired *)
+  mutable hedge_inflight : bool;
+  mutable shed : bool;          (* breaker routed this straight to original *)
+  mutable role : breaker_role;
+  mutable acc_billed_ms : float;
 }
 
 type event =
   | Complete of req * Pool.instance
+  | Fault_hit of req * int * Pool.instance * failure * float
+      (* attempt at scheduling time; billed ms for the doomed attempt *)
   | Fb_complete of req * Pool.instance * start_kind
   | Arrival of req
   | Fb_arrival of req
-  | Timeout of req
+  | Retry of req
+  | Hedge of req
+  | Timeout of req * int               (* attempt at scheduling time *)
   | Expire of Pool.instance * int      (* generation at scheduling time *)
   | Fb_expire of Pool.instance * int
 
 let rank = function
-  | Complete _ | Fb_complete _ -> 0
-  | Arrival _ | Fb_arrival _ -> 1
+  | Complete _ | Fb_complete _ | Fault_hit _ -> 0
+  | Arrival _ | Fb_arrival _ | Retry _ | Hedge _ -> 1
   | Timeout _ -> 2
   | Expire _ | Fb_expire _ -> 3
 
 (* --- the simulation ------------------------------------------------------ *)
 
 let run cfg (trace : Platform.Trace.t) : result =
+  Faults.validate cfg.faults;
+  Resilience.validate cfg.resilience;
   let q : event Events.t = Events.create () in
   let push ~time ev = Events.push q ~time ~rank:(rank ev) ev in
   let pool = Pool.create cfg.policy in
@@ -109,25 +147,29 @@ let run cfg (trace : Platform.Trace.t) : result =
     | Some fb -> Some (Pool.create fb.fb_policy)
     | None -> None
   in
-  (* deterministic per-request fallback draws, in arrival order *)
+  (* deterministic per-request §7 draws, in arrival order (the legacy
+     sequential coin flip, part of the request's fault plan) *)
   let draws =
     match cfg.fallback with
     | None -> fun _ -> false
     | Some fb ->
-      let rng = Random.State.make [| fb.fb_seed |] in
-      let flags =
-        List.map
-          (fun _ -> Random.State.float rng 1.0 < fb.fb_rate)
-          trace.Platform.Trace.arrivals_s
-      in
-      let arr = Array.of_list flags in
-      fun i -> arr.(i)
+      Faults.fallback_flags ~seed:fb.fb_seed ~rate:fb.fb_rate
+        ~n:(Platform.Trace.length trace)
+  in
+  let breaker =
+    match cfg.resilience.Resilience.breaker, cfg.fallback with
+    | Some bcfg, Some _ -> Some (Resilience.Breaker.create bcfg)
+    | Some _, None ->
+      invalid_arg "Router: a circuit breaker requires a configured fallback"
+    | None, _ -> None
   in
   List.iteri
     (fun idx arrival ->
        let r =
          { idx; arrival; needs_fb = draws idx; status = Waiting;
-           start = arrival; kind = None }
+           start = arrival; kind = None; attempt = 0; attempts = 0;
+           retries = 0; hedged = false; hedge_inflight = false; shed = false;
+           role = Unsampled; acc_billed_ms = 0.0 }
        in
        push ~time:arrival (Arrival r))
     trace.Platform.Trace.arrivals_s;
@@ -146,7 +188,12 @@ let run cfg (trace : Platform.Trace.t) : result =
     | Cold -> profile.instance_init_s +. profile.func_init_s +. profile.exec_s
     | Warm -> profile.exec_s
   in
+  (* the single place record invariants are enforced *)
   let finalize (r : req) ~start ~finish ~outcome ~billed ~fb_billed =
+    assert (billed >= 0.0);
+    assert (fb_billed >= 0.0);
+    assert (finish >= start);
+    assert (start >= r.arrival);
     r.status <- Done;
     records :=
       { req = r.idx;
@@ -157,16 +204,63 @@ let run cfg (trace : Platform.Trace.t) : result =
         e2e_s = finish -. r.arrival;
         outcome;
         billed_ms = billed;
-        fb_billed_ms = fb_billed }
+        fb_billed_ms = fb_billed;
+        attempts = r.attempts;
+        hedged = r.hedged }
       :: !records
   in
   let serve (r : req) inst ~now ~kind =
     r.status <- Running;
     r.start <- now;
     r.kind <- Some kind;
-    let finish = now +. service_s cfg.profile kind in
-    inst.Pool.busy_until <- finish;
-    push ~time:finish (Complete (r, inst))
+    r.attempts <- r.attempts + 1;
+    let attempt = r.attempt in
+    match
+      Faults.attempt_fault cfg.faults ~cold:(kind = Cold) ~req:r.idx ~attempt
+    with
+    | Faults.No_fault ->
+      let finish = now +. service_s cfg.profile kind in
+      inst.Pool.busy_until <- finish;
+      push ~time:finish (Complete (r, inst))
+    | Faults.Init_failure ->
+      (* only drawn for cold starts: init runs to its end, fails, and the
+         instance dies; the init duration is billed *)
+      let t_fail =
+        now +. cfg.profile.instance_init_s +. cfg.profile.func_init_s
+      in
+      inst.Pool.busy_until <- t_fail;
+      push ~time:t_fail
+        (Fault_hit (r, attempt, inst, Init_failed,
+                    1000.0 *. cfg.profile.func_init_s));
+      (match cfg.resilience.Resilience.hedge with
+       | Some h when not r.hedged ->
+         (* speculative recovery: re-dispatch hedge_delay after the cold
+            start began, without waiting for the failure to be detected *)
+         r.hedged <- true;
+         r.hedge_inflight <- true;
+         push ~time:(now +. h.Resilience.hedge_delay_s) (Hedge r)
+       | _ -> ())
+    | Faults.Crash { after_fraction } ->
+      let init_s =
+        match kind with
+        | Cold -> cfg.profile.instance_init_s +. cfg.profile.func_init_s
+        | Warm -> 0.0
+      in
+      let t_crash = now +. init_s +. (after_fraction *. cfg.profile.exec_s) in
+      inst.Pool.busy_until <- t_crash;
+      let billed =
+        (match kind with
+         | Cold -> 1000.0 *. cfg.profile.func_init_s
+         | Warm -> 0.0)
+        +. (1000.0 *. after_fraction *. cfg.profile.exec_s)
+      in
+      push ~time:t_crash (Fault_hit (r, attempt, inst, Crashed, billed))
+    | Faults.Transient_error ->
+      (* runs to completion, billed in full, but returns an error *)
+      let finish = now +. service_s cfg.profile kind in
+      inst.Pool.busy_until <- finish;
+      push ~time:finish
+        (Fault_hit (r, attempt, inst, Errored, billed_ms cfg.profile kind))
   in
   (* dispatch from the pending queue while capacity allows; stale entries
      (timed out) are dropped lazily *)
@@ -191,26 +285,97 @@ let run cfg (trace : Platform.Trace.t) : result =
            drain_pending ~now
          end)
   in
-  let dispatch (r : req) ~now =
+  let breaker_record (r : req) ~now ~failed =
+    match breaker with
+    | None -> ()
+    | Some b ->
+      (match r.role with
+       | Sample -> Resilience.Breaker.record b ~now ~failed
+       | Probe_req -> Resilience.Breaker.probe_result b ~now ~failed
+       | Unsampled -> ())
+  in
+  (* a probe that dies, bounces, or times out must not wedge the breaker
+     half-open; its loss re-opens the breaker *)
+  let resolve_probe_failure (r : req) ~now =
+    match r.role with
+    | Probe_req -> breaker_record r ~now ~failed:true
+    | Sample | Unsampled -> ()
+  in
+  let dispatch_primary (r : req) ~now =
     match Pool.acquire pool ~now with
     | Some inst -> serve r inst ~now ~kind:Warm
     | None ->
       if Pool.live_count pool < cfg.max_instances then
         serve r (Pool.spawn pool ~now) ~now ~kind:Cold
       else if !pending_count < cfg.max_pending then begin
+        r.status <- Waiting;
         Queue.push r pending;
         incr pending_count;
         if cfg.pending_timeout_s < infinity then
-          push ~time:(now +. cfg.pending_timeout_s) (Timeout r)
+          push ~time:(now +. cfg.pending_timeout_s) (Timeout (r, r.attempt))
       end
-      else
-        finalize r ~start:now ~finish:now ~outcome:Rejected ~billed:0.0
-          ~fb_billed:0.0
+      else begin
+        resolve_probe_failure r ~now;
+        finalize r ~start:now ~finish:now ~outcome:Rejected
+          ~billed:r.acc_billed_ms ~fb_billed:0.0
+      end
   in
+  let dispatch (r : req) ~now =
+    match breaker with
+    | None -> dispatch_primary r ~now
+    | Some b ->
+      (match Resilience.Breaker.admit b ~now with
+       | Resilience.Breaker.Admit ->
+         r.role <- Sample;
+         dispatch_primary r ~now
+       | Resilience.Breaker.Probe ->
+         r.role <- Probe_req;
+         dispatch_primary r ~now
+       | Resilience.Breaker.Shed ->
+         (* breaker open: pay the wrapper overhead and run the original
+            image directly — no trimmed execution, no removal risk *)
+         let fb = Option.get cfg.fallback in
+         r.role <- Unsampled;
+         r.shed <- true;
+         r.status <- Running;
+         r.start <- now;
+         push ~time:(now +. fb.fb_setup_s) (Fb_arrival r))
+  in
+  (* releasing an instance back to its pool, unless churn reclaims it *)
   let release_and_schedule pool inst ~now ~expire =
     let expiry = Pool.release pool inst ~now in
     if expiry < infinity then
       push ~time:expiry (expire inst inst.Pool.generation)
+  in
+  let release_primary (r : req) inst ~now =
+    if Faults.churned cfg.faults ~fb:false ~req:r.idx ~attempt:r.attempt then
+      Pool.reclaim pool inst ~now
+    else
+      release_and_schedule pool inst ~now ~expire:(fun i g -> Expire (i, g))
+  in
+  (* a failed attempt: consume a retry if the budget and the request's
+     timeout budget allow, otherwise the failure is final *)
+  let fail_or_retry (r : req) ~now ~failure =
+    let give_up () =
+      resolve_probe_failure r ~now;
+      finalize r ~start:r.start ~finish:now ~outcome:(Failed failure)
+        ~billed:r.acc_billed_ms ~fb_billed:0.0
+    in
+    match cfg.resilience.Resilience.retry with
+    | Some rp when r.retries < rp.Resilience.max_retries ->
+      let jitter_u = Faults.jitter cfg.faults ~req:r.idx ~retry:r.retries in
+      let wait =
+        Resilience.backoff_s rp ~retry_index:r.retries ~jitter_u
+      in
+      let t = now +. wait in
+      if t -. r.arrival > cfg.resilience.Resilience.request_timeout_s then
+        give_up ()
+      else begin
+        r.retries <- r.retries + 1;
+        r.status <- Retrying;
+        push ~time:t (Retry r)
+      end
+    | _ -> give_up ()
   in
   let rec loop () =
     match Events.pop q with
@@ -220,15 +385,43 @@ let run cfg (trace : Platform.Trace.t) : result =
       (match ev with
        | Arrival r -> dispatch r ~now
        | Complete (r, inst) ->
-         release_and_schedule pool inst ~now ~expire:(fun i g -> Expire (i, g));
+         release_primary r inst ~now;
+         r.acc_billed_ms <-
+           r.acc_billed_ms +. billed_ms cfg.profile (Option.get r.kind);
+         breaker_record r ~now ~failed:r.needs_fb;
          (match cfg.fallback with
           | Some fb when r.needs_fb ->
             push ~time:(now +. fb.fb_setup_s) (Fb_arrival r)
           | _ ->
             let kind = Option.get r.kind in
             finalize r ~start:r.start ~finish:now ~outcome:(Served kind)
-              ~billed:(billed_ms cfg.profile kind) ~fb_billed:0.0);
+              ~billed:r.acc_billed_ms ~fb_billed:0.0);
          drain_pending ~now
+       | Fault_hit (r, attempt, inst, failure, billed) ->
+         (match failure with
+          | Errored -> release_primary r inst ~now
+          | Init_failed | Crashed -> Pool.reclaim pool inst ~now);
+         r.acc_billed_ms <- r.acc_billed_ms +. billed;
+         (* act only if this is still the request's live attempt (a hedge
+            may already have taken over) *)
+         if r.attempt = attempt && r.status = Running then begin
+           if r.hedge_inflight then
+             (* the hedge scheduled at serve time will re-dispatch *)
+             r.status <- Retrying
+           else fail_or_retry r ~now ~failure
+         end;
+         drain_pending ~now
+       | Retry r ->
+         if r.status = Retrying then begin
+           r.attempt <- r.attempt + 1;
+           dispatch r ~now
+         end
+       | Hedge r ->
+         r.hedge_inflight <- false;
+         if r.status = Running || r.status = Retrying then begin
+           r.attempt <- r.attempt + 1;
+           dispatch r ~now
+         end
        | Fb_arrival r ->
          let fb = Option.get cfg.fallback in
          let fbp = Option.get fb_pool in
@@ -243,18 +436,28 @@ let run cfg (trace : Platform.Trace.t) : result =
        | Fb_complete (r, inst, fb_kind) ->
          let fb = Option.get cfg.fallback in
          let fbp = Option.get fb_pool in
-         release_and_schedule fbp inst ~now
-           ~expire:(fun i g -> Fb_expire (i, g));
-         let trimmed = Option.get r.kind in
-         finalize r ~start:r.start ~finish:now
-           ~outcome:(Fallback_served { trimmed; original = fb_kind })
-           ~billed:(billed_ms cfg.profile trimmed)
-           ~fb_billed:(billed_ms fb.fb_profile fb_kind)
-       | Timeout r ->
-         if r.status = Waiting then begin
+         if Faults.churned cfg.faults ~fb:true ~req:r.idx ~attempt:r.attempt
+         then Pool.reclaim fbp inst ~now
+         else
+           release_and_schedule fbp inst ~now
+             ~expire:(fun i g -> Fb_expire (i, g));
+         let fb_billed = billed_ms fb.fb_profile fb_kind in
+         if r.shed then
+           finalize r ~start:r.start ~finish:now ~outcome:(Shed fb_kind)
+             ~billed:r.acc_billed_ms ~fb_billed
+         else
+           let trimmed = Option.get r.kind in
+           finalize r ~start:r.start ~finish:now
+             ~outcome:(Fallback_served { trimmed; original = fb_kind })
+             ~billed:r.acc_billed_ms ~fb_billed
+       | Timeout (r, attempt) ->
+         (* the attempt tag rejects stale timers: a request served and
+            later re-queued by a retry must not inherit the old deadline *)
+         if r.status = Waiting && r.attempt = attempt then begin
            decr pending_count;
-           finalize r ~start:now ~finish:now ~outcome:Timed_out ~billed:0.0
-             ~fb_billed:0.0
+           resolve_probe_failure r ~now;
+           finalize r ~start:now ~finish:now ~outcome:Timed_out
+             ~billed:r.acc_billed_ms ~fb_billed:0.0
          end
        | Expire (inst, generation) ->
          ignore (Pool.try_expire pool inst ~generation ~now);

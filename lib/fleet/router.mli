@@ -8,32 +8,60 @@
     the {e original} image on a separate instance pool (§7's fallback), with
     its own cold/warm dynamics.
 
-    The whole simulation is deterministic: generators are seeded, fallback
-    draws are seeded, and the event queue breaks ties stably. *)
+    A seeded fault layer ({!Faults}) can inject cold-start init failures,
+    mid-execution crashes, transient invocation errors, and keep-alive
+    churn; a {!Resilience} policy reacts with bounded retries (exponential
+    backoff + full jitter), a per-request timeout budget, cold-start
+    hedging, and a circuit breaker that sheds a regressed trimmed
+    deployment to the original image.
+
+    The whole simulation is deterministic: generators are seeded, the §7
+    and fault draws form a per-request plan reproducible from their seeds,
+    and the event queue breaks ties stably. With [Faults.none] and
+    [Resilience.none] the simulator behaves bit-identically to the
+    fault-free router. *)
 
 type start_kind = Cold | Warm
 
 val start_kind_name : start_kind -> string
+
+(** How a request's last attempt died. *)
+type failure =
+  | Init_failed  (** cold-start Function Initialization failed *)
+  | Crashed      (** the instance crashed mid-execution *)
+  | Errored      (** the invocation completed with a transient error *)
+
+val failure_name : failure -> string
 
 type outcome =
   | Served of start_kind
   | Fallback_served of { trimmed : start_kind; original : start_kind }
       (** the request reached a removed attribute on the trimmed instance
           and was re-invoked on a separate original-image instance *)
+  | Shed of start_kind
+      (** the circuit breaker was open: the request skipped the trimmed
+          image and ran directly on the original-image pool *)
   | Rejected   (** pending queue full at arrival *)
   | Timed_out  (** queued longer than [pending_timeout_s] *)
+  | Failed of failure
+      (** all attempts failed (retries exhausted or timeout budget spent) *)
 
 type record = {
   req : int;            (** arrival index within the trace *)
   arrival_s : float;
-  start_s : float;      (** when an instance was assigned (provisioning
-                            starts here on cold) *)
+  start_s : float;      (** when the {e final} attempt was assigned an
+                            instance (provisioning starts here on cold) *)
   finish_s : float;
-  wait_s : float;       (** queueing delay only *)
+  wait_s : float;       (** [start_s - arrival_s]: queueing delay; under
+                            retries also failed attempts and backoff *)
   e2e_s : float;        (** finish - arrival; includes cold latency *)
   outcome : outcome;
-  billed_ms : float;    (** Eq.-1 billable duration on the primary image *)
+  billed_ms : float;    (** Eq.-1 billable duration on the primary image,
+                            summed over {e all} attempts (failed inits and
+                            partial crashes are billed) *)
   fb_billed_ms : float; (** billable duration on the fallback image, if any *)
+  attempts : int;       (** primary service attempts started, incl. hedge *)
+  hedged : bool;        (** a cold-start hedge fired for this request *)
 }
 
 (** The latency/footprint profile of one deployed image, as measured by
@@ -60,22 +88,27 @@ type config = {
   max_pending : int;          (** pending-queue bound *)
   pending_timeout_s : float;  (** [infinity] = wait forever *)
   fallback : fallback option;
+  faults : Faults.config;     (** [Faults.none] = nothing ever goes wrong *)
+  resilience : Resilience.policy;  (** [Resilience.none] = failures final *)
 }
 
 (** Unbounded concurrency, a 1024-deep pending queue, 60 s timeout, no
-    fallback. *)
+    fallback, no faults, no resilience. *)
 val default_config : profile:deployment_profile -> Pool.policy -> config
 
 type result = {
   records : record list;  (** one per arrival, in arrival order *)
   peak_instances : int;
   resident_instance_s : float;
-  evictions : int;
+  evictions : int;        (** incl. crash/churn reclaims *)
   fb_peak_instances : int;
   fb_resident_instance_s : float;
   events_processed : int;
 }
 
 (** Run the trace to completion (the event queue drains fully, so every
-    instance is expired and residency accounting is exact). *)
+    instance is expired and residency accounting is exact).
+
+    Raises [Invalid_argument] if the fault or resilience config is out of
+    range, or if a breaker is configured without a fallback. *)
 val run : config -> Platform.Trace.t -> result

@@ -4,16 +4,20 @@ let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
+(* Sort into an array once: [List.nth] over a sorted list made each lookup
+   O(n), which turned report aggregation over large fleets quadratic. *)
 let percentile p xs =
-  match List.sort compare xs with
+  match xs with
   | [] -> 0.0
-  | sorted ->
-    let n = List.length sorted in
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in
     let hi = int_of_float (Float.ceil rank) in
     let frac = rank -. float_of_int lo in
-    let v i = List.nth sorted (max 0 (min (n - 1) i)) in
+    let v i = a.(max 0 (min (n - 1) i)) in
     (v lo *. (1.0 -. frac)) +. (v hi *. frac)
 
 let median xs = percentile 50.0 xs

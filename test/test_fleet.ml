@@ -8,9 +8,10 @@ let no_init ?(exec_s = 0.0) ?(memory_mb = 256.0) () =
   { Router.exec_s; func_init_s = 0.0; instance_init_s = 0.0; memory_mb }
 
 let config ?(max_instances = max_int) ?(max_pending = 1024)
-    ?(pending_timeout_s = infinity) ?fallback ~profile policy =
+    ?(pending_timeout_s = infinity) ?fallback ?(faults = Faults.none)
+    ?(resilience = Resilience.none) ~profile policy =
   { Router.profile; policy; max_instances; max_pending; pending_timeout_s;
-    fallback }
+    fallback; faults; resilience }
 
 let run_kinds cfg trace =
   let res = Router.run cfg trace in
@@ -23,7 +24,8 @@ let run_kinds cfg trace =
          (cold + 1, warm)
        | Router.Fallback_served { trimmed = Router.Warm; _ } ->
          (cold, warm + 1)
-       | Router.Rejected | Router.Timed_out -> (cold, warm))
+       | Router.Shed _ | Router.Rejected | Router.Timed_out
+       | Router.Failed _ -> (cold, warm))
     (0, 0) res.Router.records
 
 (* --- event queue --------------------------------------------------------- *)
