@@ -4,9 +4,11 @@
    the simulator (the same output as `ltrim experiments`).
 
    Part 2 runs Bechamel micro-benchmarks: one Test.make per paper table /
-   figure, timing the computational kernel that experiment exercises, plus a
-   group for the minipy substrate. Pass --no-experiments or --no-micro to
-   skip a part. *)
+   figure, timing the computational kernel that experiment exercises, plus
+   groups for the minipy substrate and the caching substrate (parse cache,
+   CoW overlays, oracle memo). Pass --no-experiments or --no-micro to skip a
+   part; pass --json OUT to also write the measurements as JSON so future
+   revisions have a perf trajectory to compare against. *)
 
 open Bechamel
 open Toolkit
@@ -178,6 +180,88 @@ let experiment_tests =
              ~original_sim:(Platform.Lambda_sim.create (Lazy.force tiny))
              ~now_s:0.0 ())) ]
 
+(* Kernels for the caching substrate: content-addressed parse cache,
+   copy-on-write image overlays, and the oracle observation memo. The
+   cold/cached parse pair over a Table-1 app image is the headline number —
+   the cached side must be far (>= 5x) faster since it only looks up
+   digests. *)
+let markdown_image = lazy (Workloads.Codegen.deployment (Lazy.force markdown_spec))
+
+let markdown_py_files =
+  lazy
+    (let d = Lazy.force markdown_image in
+     List.filter
+       (fun p -> Filename.check_suffix p ".py")
+       (Minipy.Vfs.paths d.Platform.Deployment.vfs))
+
+let cache_tests =
+  [ Test.make ~name:"cache.parse_image_cold"
+      (Staged.stage (fun () ->
+           let d = Lazy.force markdown_image in
+           List.map
+             (fun p ->
+                Minipy.Parser.parse ~file:p
+                  (Minipy.Vfs.read_exn d.Platform.Deployment.vfs p))
+             (Lazy.force markdown_py_files)));
+    Test.make ~name:"cache.parse_image_cached"
+      (Staged.stage
+         (let warmed =
+            lazy
+              (let d = Lazy.force markdown_image in
+               let c = Minipy.Parse_cache.create () in
+               List.iter
+                 (fun p ->
+                    ignore
+                      (Minipy.Parse_cache.parse_vfs ~cache:c
+                         d.Platform.Deployment.vfs p))
+                 (Lazy.force markdown_py_files);
+               (d, c))
+          in
+          fun () ->
+            let d, c = Lazy.force warmed in
+            List.map
+              (Minipy.Parse_cache.parse_vfs ~cache:c d.Platform.Deployment.vfs)
+              (Lazy.force markdown_py_files)));
+    Test.make ~name:"cache.vfs_copy"
+      (Staged.stage (fun () ->
+           Minipy.Vfs.copy (Lazy.force markdown_image).Platform.Deployment.vfs));
+    Test.make ~name:"cache.vfs_overlay"
+      (Staged.stage (fun () ->
+           Minipy.Vfs.overlay
+             (Lazy.force markdown_image).Platform.Deployment.vfs));
+    Test.make ~name:"cache.image_digest"
+      (Staged.stage (fun () ->
+           Minipy.Vfs.image_digest
+             (Lazy.force markdown_image).Platform.Deployment.vfs));
+    (* the same DD search with every oracle query missing the memo... *)
+    Test.make ~name:"cache.debloat_oracle_cold"
+      (Staged.stage (fun () ->
+           let d = Lazy.force tiny in
+           let ocache = Trim.Oracle.Cache.create () in
+           let oracle, _ = Trim.Oracle.for_reference ~cache:ocache d in
+           Trim.Debloater.debloat_module ~oracle_cache:ocache ~oracle
+             ~protected:Trim.Debloater.String_set.empty d
+             ~module_name:"tinylib"));
+    (* ...vs every query answered by a warmed memo *)
+    Test.make ~name:"cache.debloat_oracle_memoized"
+      (Staged.stage
+         (let prepared =
+            lazy
+              (let d = Lazy.force tiny in
+               let ocache = Trim.Oracle.Cache.create () in
+               let oracle, _ = Trim.Oracle.for_reference ~cache:ocache d in
+               ignore
+                 (Trim.Debloater.debloat_module ~oracle_cache:ocache ~oracle
+                    ~protected:Trim.Debloater.String_set.empty d
+                    ~module_name:"tinylib");
+               (d, ocache, oracle))
+          in
+          fun () ->
+            let d, ocache, oracle = Lazy.force prepared in
+            Trim.Debloater.debloat_module ~oracle_cache:ocache ~oracle
+              ~protected:Trim.Debloater.String_set.empty d
+              ~module_name:"tinylib")) ]
+
 (* A fleet configuration representative of the fleet experiment: a mid-size
    app under a fixed-TTL pool with the fallback path enabled. *)
 let fleet_bench_config =
@@ -211,10 +295,11 @@ let print_fleet_throughput () =
     events := !events + (Fleet.Router.run cfg trace).Fleet.Router.events_processed
   done;
   let dt = Sys.time () -. t0 in
+  let meps = float_of_int !events /. dt /. 1e6 in
   Printf.printf
     "\nfleet simulator throughput: %d events in %.3f s CPU = %.2f M events/s\n"
-    !events dt
-    (float_of_int !events /. dt /. 1e6)
+    !events dt meps;
+  meps
 
 (* Kernels for the ablations and §9 extensions. *)
 let extension_tests =
@@ -350,40 +435,161 @@ let benchmark tests =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   Analyze.merge ols instances [ results ]
 
-let print_results results =
-  (* flat text output: test name, ns/run estimate *)
-  Hashtbl.iter
-    (fun _instance tbl ->
-       let rows =
-         Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
-         |> List.sort compare
-       in
-       Printf.printf "\n%-44s %16s %10s\n" "benchmark" "ns/run" "r^2";
-       List.iter
-         (fun (name, ols) ->
+(* Flatten Bechamel's result tables into (name, ns/run, r^2) rows shared by
+   the text and JSON outputs. *)
+let rows_of_results results : (string * float option * float option) list =
+  Hashtbl.fold
+    (fun _instance tbl acc ->
+       Hashtbl.fold
+         (fun name ols acc ->
             let estimate =
               match Analyze.OLS.estimates ols with
-              | Some [ e ] -> Printf.sprintf "%16.1f" e
-              | _ -> "               -"
+              | Some [ e ] -> Some e
+              | _ -> None
             in
-            let r2 =
-              match Analyze.OLS.r_square ols with
-              | Some r -> Printf.sprintf "%10.4f" r
-              | None -> "         -"
-            in
-            Printf.printf "%-44s %s %s\n" name estimate r2)
-         rows)
-    results
+            (name, estimate, Analyze.OLS.r_square ols) :: acc)
+         tbl acc)
+    results []
+  |> List.sort compare
+
+let print_rows rows =
+  (* flat text output: test name, ns/run estimate *)
+  Printf.printf "\n%-44s %16s %10s\n" "benchmark" "ns/run" "r^2";
+  List.iter
+    (fun (name, estimate, r2) ->
+       let estimate =
+         match estimate with
+         | Some e -> Printf.sprintf "%16.1f" e
+         | None -> "               -"
+       in
+       let r2 =
+         match r2 with
+         | Some r -> Printf.sprintf "%10.4f" r
+         | None -> "         -"
+       in
+       Printf.printf "%-44s %s %s\n" name estimate r2)
+    rows
+
+(* --- end-to-end caching comparison ---------------------------------------- *)
+
+(* Wall-clock of one experiment regenerated from scratch with the caching
+   substrate disabled vs enabled. Resets the experiments' pipeline memo and
+   both global caches before each run so each timing starts cold; "enabled"
+   therefore measures within-run reuse only. *)
+let time_experiment ~caches_enabled id =
+  let entry =
+    match Experiments.Registry.find id with
+    | Some e -> e
+    | None -> invalid_arg ("unknown experiment: " ^ id)
+  in
+  Experiments.Common.reset_cache ();
+  Minipy.Parse_cache.clear Minipy.Parse_cache.global;
+  Trim.Oracle.Cache.clear Trim.Oracle.Cache.global;
+  Minipy.Parse_cache.set_enabled Minipy.Parse_cache.global caches_enabled;
+  Trim.Oracle.Cache.set_enabled Trim.Oracle.Cache.global caches_enabled;
+  let t0 = Unix.gettimeofday () in
+  ignore (entry.Experiments.Registry.print ());
+  Unix.gettimeofday () -. t0
+
+let e2e_cache_timings () =
+  let timings =
+    List.map
+      (fun id ->
+         let off = time_experiment ~caches_enabled:false id in
+         let on = time_experiment ~caches_enabled:true id in
+         (id, off, on))
+      [ "fig9"; "table2" ]
+  in
+  Minipy.Parse_cache.set_enabled Minipy.Parse_cache.global true;
+  Trim.Oracle.Cache.set_enabled Trim.Oracle.Cache.global true;
+  Experiments.Common.reset_cache ();
+  Printf.printf "\nend-to-end experiment wall-clock, caches off -> on:\n";
+  List.iter
+    (fun (id, off, on) ->
+       Printf.printf "  %-8s %7.3f s -> %7.3f s (%.1fx)\n" id off on (off /. on))
+    timings;
+  timings
+
+(* --- JSON output ----------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let ns_of rows name =
+  match List.find_opt (fun (n, _, _) -> String.equal n name) rows with
+  | Some (_, Some e, _) -> Some e
+  | _ -> None
+
+let write_json path rows e2e fleet_meps =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"schema\": \"ltrim-bench/1\",\n";
+  (* headline derived metric: cached re-parse speedup on a Table-1 image *)
+  (match
+     ( ns_of rows "lambda-trim cache.parse_image_cold",
+       ns_of rows "lambda-trim cache.parse_image_cached" )
+   with
+   | Some cold, Some cached when cached > 0.0 ->
+     out "  \"parse_cache_speedup\": %.2f,\n" (cold /. cached)
+   | _ -> ());
+  out "  \"e2e_wall_s\": {\n";
+  out "%s"
+    (String.concat ",\n"
+       (List.map
+          (fun (id, off, on) ->
+             Printf.sprintf
+               "    \"%s\": { \"caches_off\": %.4f, \"caches_on\": %.4f }"
+               (json_escape id) off on)
+          e2e));
+  out "\n  },\n";
+  out "  \"fleet_throughput_meps\": %.3f,\n" fleet_meps;
+  out "  \"micro_ns_per_run\": {\n";
+  let micro =
+    List.filter_map
+      (fun (name, estimate, _) ->
+         Option.map
+           (fun e ->
+              Printf.sprintf "    \"%s\": %.1f" (json_escape name) e)
+           estimate)
+      rows
+  in
+  out "%s" (String.concat ",\n" micro);
+  out "\n  }\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+let rec json_path_of_args = function
+  | "--json" :: path :: _ -> Some path
+  | _ :: rest -> json_path_of_args rest
+  | [] -> None
 
 let () =
   let args = Array.to_list Sys.argv in
   let skip_experiments = List.mem "--no-experiments" args in
   let skip_micro = List.mem "--no-micro" args in
+  let json_path = json_path_of_args args in
   if not skip_experiments then run_experiments ();
   if not skip_micro then begin
     print_string
       (Experiments.Common.header
          "Bechamel micro-benchmarks (one kernel per table/figure + substrate)");
-    print_results (benchmark (substrate_tests @ experiment_tests @ extension_tests));
-    print_fleet_throughput ()
+    let results =
+      benchmark
+        (substrate_tests @ experiment_tests @ cache_tests @ extension_tests)
+    in
+    let rows = rows_of_results results in
+    print_rows rows;
+    let fleet_meps = print_fleet_throughput () in
+    let e2e = e2e_cache_timings () in
+    match json_path with
+    | Some path -> write_json path rows e2e fleet_meps
+    | None -> ()
   end

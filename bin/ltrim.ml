@@ -109,6 +109,8 @@ let debloat_cmd =
     in
     Printf.printf "Debloated %s in %.2f s (%d oracle queries)\n" app
       r.Trim.Pipeline.debloat_wall_s r.Trim.Pipeline.total_oracle_queries;
+    Printf.printf "Caches: %s\n"
+      (Fmt.str "%a" Trim.Pipeline.pp_cache_stats r.Trim.Pipeline.caches);
     List.iter
       (fun m -> Printf.printf "  %s\n" (Fmt.str "%a" Trim.Debloater.pp_module_result m))
       r.Trim.Pipeline.module_results;
@@ -520,7 +522,16 @@ let experiments_cmd =
          | Some dir, Some rows ->
            write dir (e.Experiments.Registry.id ^ ".csv") (rows ())
          | _ -> ())
-      entries
+      entries;
+    (* machine-greppable caching-substrate summary (the CI smoke step checks
+       oracle_hits > 0); virtual results never depend on cache traffic *)
+    Printf.printf
+      "cache-stats: parse_hits=%d parse_misses=%d oracle_hits=%d \
+       oracle_misses=%d\n"
+      (Minipy.Parse_cache.hits Minipy.Parse_cache.global)
+      (Minipy.Parse_cache.misses Minipy.Parse_cache.global)
+      (Trim.Oracle.Cache.hits Trim.Oracle.Cache.global)
+      (Trim.Oracle.Cache.misses Trim.Oracle.Cache.global)
   in
   Cmd.v
     (Cmd.info "experiments"

@@ -46,6 +46,11 @@ let cache : (string, trimmed) Hashtbl.t = Hashtbl.create 64
 let key name scoring k =
   Printf.sprintf "%s/%s/%d" name (Trim.Scoring.method_name scoring) k
 
+(* Forget all memoized pipeline runs. The benchmark harness uses this to time
+   the same experiment twice (caching substrate off vs on) from a cold
+   start. *)
+let reset_cache () = Hashtbl.reset cache
+
 let trimmed ?(scoring = Trim.Scoring.Combined) ?(k = 20) name : trimmed =
   let cache_key = key name scoring k in
   match Hashtbl.find_opt cache cache_key with

@@ -29,13 +29,14 @@ let resolve (vfs : Vfs.t) (parts : string list) : resolution =
   in
   go search_roots
 
-(* All dotted prefixes of a path: a.b.c -> [a]; [a;b]; [a;b;c]. *)
+(* All dotted prefixes of a path: a.b.c -> [a]; [a;b]; [a;b;c]. The running
+   prefix is kept reversed so extending it is a cons, not a list append. *)
 let prefixes (parts : string list) : string list list =
-  let rec go acc prefix = function
+  let rec go acc rev_prefix = function
     | [] -> List.rev acc
     | p :: rest ->
-      let prefix = prefix @ [ p ] in
-      go (prefix :: acc) prefix rest
+      let rev_prefix = p :: rev_prefix in
+      go (List.rev rev_prefix :: acc) rev_prefix rest
   in
   go [] [] parts
 

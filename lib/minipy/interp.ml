@@ -35,6 +35,8 @@ type t = {
      builtin [cloud] module, recorded in order for oracle equivalence *)
   mutable external_calls : string list;   (* newest first *)
   remote_store : (string, value) Hashtbl.t;  (* "service/key" -> value *)
+  (* content-addressed AST store consulted on import instead of re-parsing *)
+  parse_cache : Parse_cache.t;
 }
 
 (* Cost model constants (virtual). *)
@@ -899,9 +901,10 @@ and import_one t (parts : string list) : module_obj =
         py_error "ModuleNotFoundError" "No module named '%s'" name
       | Importer.Package file | Importer.Module file ->
         charge_time t import_resolve_ms;
-        let src = Vfs.read_exn t.vfs file in
+        (* the virtual import-resolve charge above is fixed, so a parse-cache
+           hit changes no measurement — only host wall-clock *)
         let prog =
-          try Parser.parse ~file src
+          try Parse_cache.parse_vfs ~cache:t.parse_cache t.vfs file
           with
           | Parser.Error (msg, loc) ->
             py_error "SyntaxError" "%s at %s" msg (Loc.to_string loc)
@@ -1023,9 +1026,11 @@ and exec_from_import t env (clause : Ast.from_clause) names =
 
 let default_max_steps = 5_000_000
 
-let create ?(max_steps = default_max_steps) (vfs : Vfs.t) : t =
+let create ?(max_steps = default_max_steps) ?(parse_cache = Parse_cache.global)
+    (vfs : Vfs.t) : t =
   let t =
     { vfs;
+      parse_cache;
       modules = Hashtbl.create 32;
       stdout_buf = Buffer.create 256;
       vtime_ms = 0.0;

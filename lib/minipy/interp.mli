@@ -34,12 +34,16 @@ type t = {
   builtins : Value.namespace;
   mutable external_calls : string list;  (** newest first; see {!external_calls} *)
   remote_store : (string, Value.value) Hashtbl.t;
+  parse_cache : Parse_cache.t;
+      (** content-addressed AST store consulted on import *)
 }
 
 val default_max_steps : int
 
-(** Fresh interpreter over an image. Starts at a ~3 MB runtime footprint. *)
-val create : ?max_steps:int -> Vfs.t -> t
+(** Fresh interpreter over an image. Starts at a ~3 MB runtime footprint.
+    [parse_cache] defaults to {!Parse_cache.global}: imports of unchanged
+    sources reuse previously parsed ASTs (virtual measurements unaffected). *)
+val create : ?max_steps:int -> ?parse_cache:Parse_cache.t -> Vfs.t -> t
 
 val heap_mb : t -> float
 val stdout_contents : t -> string

@@ -2,49 +2,131 @@
    the handler file plus a site-packages tree of library sources.
 
    Paths are '/'-separated, relative, e.g. "site-packages/torch/__init__.py".
-   The debloater copies the vfs, rewrites files, and re-runs the app, which
-   mirrors λ-trim's manipulation of the real site-packages directory (§7). *)
+   The debloater overlays the vfs, rewrites files, and re-runs the app, which
+   mirrors λ-trim's manipulation of the real site-packages directory (§7).
+
+   Two representations share one type:
+
+   - a *root* image ([parent = None]) owns every file;
+   - an *overlay* ([parent = Some base]) is a copy-on-write view: reads fall
+     through to the base, writes and removals land in the overlay's own delta
+     table (removals as tombstones). Building a DD candidate is therefore
+     O(rewritten files) instead of O(image files). A base must not be mutated
+     while overlays of it are alive — the debloater and baselines obey this
+     by constructing images fully before the first overlay is taken.
+
+   Every file content has a content digest, memoized per owning layer and
+   invalidated by rewrites; [image_digest] combines them into a single
+   content address for the whole image, which the oracle memo and the parse
+   cache use as keys. *)
+
+type entry =
+  | Source of string
+  | Tombstone       (* overlay-level removal of a base file *)
 
 type t = {
-  files : (string, string) Hashtbl.t;
+  parent : t option;
+  files : (string, entry) Hashtbl.t;
   (* phantom entries: binary payloads (shared objects, model weights)
      represented by size only — they contribute to the image footprint but
      are never read as source *)
   phantoms : (string, int) Hashtbl.t;
+  (* path -> hex content digest, for entries owned by THIS layer only; a
+     lookup that falls through to the parent also shares the parent's memo *)
+  digests : (string, string) Hashtbl.t;
 }
 
-let create () = { files = Hashtbl.create 64; phantoms = Hashtbl.create 4 }
+let create () =
+  { parent = None;
+    files = Hashtbl.create 64;
+    phantoms = Hashtbl.create 4;
+    digests = Hashtbl.create 64 }
 
-let add_file t path content = Hashtbl.replace t.files path content
+let overlay base =
+  { parent = Some base;
+    files = Hashtbl.create 8;
+    phantoms = Hashtbl.create 2;
+    digests = Hashtbl.create 8 }
+
+let is_overlay t = t.parent <> None
+
+let add_file t path content =
+  Hashtbl.replace t.files path (Source content);
+  Hashtbl.remove t.digests path
 
 let add_phantom t path ~bytes = Hashtbl.replace t.phantoms path bytes
 
-let remove_file t path = Hashtbl.remove t.files path
+let remove_file t path =
+  (match t.parent with
+   | None -> Hashtbl.remove t.files path
+   | Some _ -> Hashtbl.replace t.files path Tombstone);
+  Hashtbl.remove t.digests path
 
-let read t path = Hashtbl.find_opt t.files path
+let rec read t path =
+  match Hashtbl.find_opt t.files path with
+  | Some (Source c) -> Some c
+  | Some Tombstone -> None
+  | None ->
+    (match t.parent with Some p -> read p path | None -> None)
 
 let read_exn t path =
   match read t path with
   | Some c -> c
   | None -> invalid_arg (Printf.sprintf "Vfs.read_exn: no such file %S" path)
 
-let exists t path = Hashtbl.mem t.files path
+let exists t path = read t path <> None
 
+(* Effective (merged) views. Layers are applied root-first so that nearer
+   deltas shadow: a Source replaces, a Tombstone deletes. *)
+let layers t =
+  let rec go acc t =
+    let acc = t :: acc in
+    match t.parent with None -> acc | Some p -> go acc p
+  in
+  go [] t
+
+let effective_files t : (string, string) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun layer ->
+       Hashtbl.iter
+         (fun p e ->
+            match e with
+            | Source c -> Hashtbl.replace tbl p c
+            | Tombstone -> Hashtbl.remove tbl p)
+         layer.files)
+    (layers t);
+  tbl
+
+let effective_phantoms t : (string, int) Hashtbl.t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun layer -> Hashtbl.iter (Hashtbl.replace tbl) layer.phantoms)
+    (layers t);
+  tbl
+
+(* A deep copy sharing no mutable state: overlay chains are flattened into a
+   fresh root image. *)
 let copy t =
   let t' = create () in
-  Hashtbl.iter (fun p c -> Hashtbl.replace t'.files p c) t.files;
-  Hashtbl.iter (fun p b -> Hashtbl.replace t'.phantoms p b) t.phantoms;
+  Hashtbl.iter (fun p c -> Hashtbl.replace t'.files p (Source c))
+    (effective_files t);
+  Hashtbl.iter (fun p b -> Hashtbl.replace t'.phantoms p b)
+    (effective_phantoms t);
   t'
 
-let paths t = Hashtbl.fold (fun p _ acc -> p :: acc) t.files [] |> List.sort compare
+let paths t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) (effective_files t) []
+  |> List.sort compare
 
-let file_count t = Hashtbl.length t.files
+let file_count t = Hashtbl.length (effective_files t)
 
 (* Total image size in bytes: source plus a per-file packaging overhead
    standing in for bytecode caches and package metadata. *)
 let image_bytes t =
-  Hashtbl.fold (fun _ c acc -> acc + String.length c + 512) t.files 0
-  + Hashtbl.fold (fun _ b acc -> acc + b) t.phantoms 0
+  Hashtbl.fold (fun _ c acc -> acc + String.length c + 512)
+    (effective_files t) 0
+  + Hashtbl.fold (fun _ b acc -> acc + b) (effective_phantoms t) 0
 
 let image_mb t = float_of_int (image_bytes t) /. (1024.0 *. 1024.0)
 
@@ -54,3 +136,45 @@ let files_under t prefix =
   List.filter (fun p -> String.length p >= String.length prefix
                         && String.sub p 0 (String.length prefix) = prefix)
     (paths t)
+
+(* --- content addressing -------------------------------------------------- *)
+
+let rec file_digest t path =
+  match Hashtbl.find_opt t.files path with
+  | Some (Source c) ->
+    (match Hashtbl.find_opt t.digests path with
+     | Some d -> Some d
+     | None ->
+       let d = Digest.to_hex (Digest.string c) in
+       Hashtbl.replace t.digests path d;
+       Some d)
+  | Some Tombstone -> None
+  | None ->
+    (match t.parent with Some p -> file_digest p path | None -> None)
+
+let image_digest t =
+  let files = effective_files t in
+  let file_paths =
+    Hashtbl.fold (fun p _ acc -> p :: acc) files [] |> List.sort compare
+  in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun p ->
+       Buffer.add_string b p;
+       Buffer.add_char b '\x00';
+       (match file_digest t p with
+        | Some d -> Buffer.add_string b d
+        | None -> assert false (* p came from the effective view *));
+       Buffer.add_char b '\x01')
+    file_paths;
+  let phantom_entries =
+    Hashtbl.fold (fun p bytes acc -> (p, bytes) :: acc) (effective_phantoms t) []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (p, bytes) ->
+       Buffer.add_char b '\x02';
+       Buffer.add_string b p;
+       Buffer.add_string b (string_of_int bytes))
+    phantom_entries;
+  Digest.to_hex (Digest.string (Buffer.contents b))

@@ -30,11 +30,17 @@ let test_case ?(context = default_context) ~name event =
 
 let image_mb t = Minipy.Vfs.image_mb t.vfs
 
-(* A copy sharing nothing mutable with the original — the debloater works on
-   copies so a failed DD iteration can never corrupt the deployed image. *)
+(* A copy sharing nothing mutable with the original — a failed DD iteration
+   can never corrupt the deployed image. *)
 let copy t = { t with vfs = Minipy.Vfs.copy t.vfs }
+
+(* A copy-on-write view: O(1) to build, rewrites stay in the overlay. The
+   debloater builds one per DD candidate instead of deep-copying the image. *)
+let overlay t = { t with vfs = Minipy.Vfs.overlay t.vfs }
+
+(* Content address of the image; the oracle memo keys observations by it. *)
+let image_digest t = Minipy.Vfs.image_digest t.vfs
 
 let handler_source t = Minipy.Vfs.read_exn t.vfs t.handler_file
 
-let parse_handler t =
-  Minipy.Parser.parse ~file:t.handler_file (handler_source t)
+let parse_handler t = Minipy.Parse_cache.parse_vfs t.vfs t.handler_file

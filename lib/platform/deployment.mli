@@ -34,9 +34,18 @@ val test_case : ?context:string -> name:string -> string -> test_case
 
 val image_mb : t -> float
 
-(** A copy sharing nothing mutable: the debloater works on copies so a failed
-    DD iteration can never corrupt the deployed image. *)
+(** A copy sharing nothing mutable: a failed DD iteration can never corrupt
+    the deployed image. *)
 val copy : t -> t
+
+(** A copy-on-write view of the image (see {!Minipy.Vfs.overlay}): O(1) to
+    build, rewrites stay in the overlay. The debloater builds one per DD
+    candidate. The base deployment must not be mutated while the overlay is
+    alive. *)
+val overlay : t -> t
+
+(** Content address of the effective image, used as the oracle memo key. *)
+val image_digest : t -> string
 
 val handler_source : t -> string
 val parse_handler : t -> Minipy.Ast.program

@@ -21,6 +21,11 @@ type stats = {
   mutable oracle_queries : int;     (* distinct subsets actually tested *)
   mutable cache_hits : int;
   mutable iterations : int;         (* granularity rounds *)
+  (* observation-memo traffic underneath the subset cache: queries answered
+     by Oracle.Cache instead of fresh interpreters. Filled in by the
+     debloater (DD itself only sees an opaque subset oracle). *)
+  mutable oracle_cache_hits : int;
+  mutable oracle_cache_misses : int;
 }
 
 type 'a step = {
@@ -49,7 +54,10 @@ let complement ~of_:all part = List.filter (fun x -> not (List.mem x part)) all
    optional [on_step] observer receives every oracle query, enabling the
    Figure-6-style walkthrough in the quickstart example. *)
 let minimize ?(on_step = fun (_ : 'a step) -> ()) ~oracle items =
-  let stats = { oracle_queries = 0; cache_hits = 0; iterations = 0 } in
+  let stats =
+    { oracle_queries = 0; cache_hits = 0; iterations = 0;
+      oracle_cache_hits = 0; oracle_cache_misses = 0 }
+  in
   let arr = Array.of_list items in
   let cache : (string, bool) Hashtbl.t = Hashtbl.create 64 in
   let to_items idxs = List.map (fun i -> arr.(i)) idxs in

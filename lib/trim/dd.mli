@@ -9,6 +9,10 @@ type stats = {
   mutable oracle_queries : int;  (** distinct subsets actually tested *)
   mutable cache_hits : int;      (** repeated subsets answered from cache *)
   mutable iterations : int;      (** granularity rounds of the main loop *)
+  mutable oracle_cache_hits : int;
+      (** queries answered by the observation memo ({!Oracle.Cache}) instead
+          of fresh interpreters; filled in by the debloater *)
+  mutable oracle_cache_misses : int;
 }
 
 type 'a step = {

@@ -4,10 +4,17 @@
      1. load the module to enumerate its attributes;
      2. back up its __init__ file so every DD iteration starts clean;
      3. candidates = attributes − PyCG-protected − magic;
-     4. run Algorithm 1: each query rewrites the file on a copy of the
-        deployment and re-runs the oracle test cases in a fresh interpreter.
+     4. run Algorithm 1: each query rewrites the file on a copy-on-write
+        overlay of the deployment and re-runs the oracle test cases in a
+        fresh interpreter.
 
-   The output is a deployment whose image contains the 1-minimal module. *)
+   The output is a deployment whose image contains the 1-minimal module.
+
+   Candidate images are Vfs overlays (base + one rewritten file), so building
+   one is O(1) instead of O(image files); the oracle memoizes observations by
+   image digest, and the per-module [Dd.stats] record the memo's hit/miss
+   traffic for this module's search ([oracle_cache] names the memo those
+   queries went through — pass the same cache the oracle closure uses). *)
 
 module String_set = Callgraph.Pycg.String_set
 
@@ -21,16 +28,27 @@ type module_result = {
   oracle_queries : int;
   cache_hits : int;
   dd_iterations : int;
+  oracle_cache_hits : int;       (* observation-memo hits during this search *)
+  oracle_cache_misses : int;
 }
 
 let pp_module_result ppf r =
-  Fmt.pf ppf "%s: %d/%d attrs kept (%d removed, %d protected, %d queries)"
+  Fmt.pf ppf "%s: %d/%d attrs kept (%d removed, %d protected, %d queries, \
+              %d memo hits)"
     r.dm_module r.attrs_after r.attrs_before
     (List.length r.removed_attrs) (List.length r.protected) r.oracle_queries
+    r.oracle_cache_hits
 
-(* Rewrite [file] inside a copy of [d] keeping exactly [keep]. *)
+let empty_result module_name =
+  { dm_module = module_name; dm_file = "<none>"; attrs_before = 0;
+    attrs_after = 0; removed_attrs = []; protected = [];
+    oracle_queries = 0; cache_hits = 0; dd_iterations = 0;
+    oracle_cache_hits = 0; oracle_cache_misses = 0 }
+
+(* Rewrite [file] inside a copy-on-write overlay of [d] keeping exactly
+   [keep]: the candidate image shares every other file with the base. *)
 let with_restricted (d : Platform.Deployment.t) ~file ~keep =
-  let d' = Platform.Deployment.copy d in
+  let d' = Platform.Deployment.overlay d in
   let source = Minipy.Vfs.read_exn d'.Platform.Deployment.vfs file in
   let keep_set =
     List.fold_left (fun s n -> Attrs.String_set.add n s) Attrs.String_set.empty keep
@@ -39,23 +57,46 @@ let with_restricted (d : Platform.Deployment.t) ~file ~keep =
   Minipy.Vfs.add_file d'.Platform.Deployment.vfs file rewritten;
   d'
 
-(* Debloat one module of [d]; returns the updated deployment (sharing no
-   mutable state with the input) and the per-module report. [oracle] judges
-   candidate deployments; [protected] attributes are never offered to DD. *)
+(* Record the observation-memo traffic of [f ()] into [stats]. *)
+let with_memo_stats (cache : Oracle.Cache.t) (f : unit -> 'a * Dd.stats) :
+  'a * Dd.stats =
+  let h0 = Oracle.Cache.hits cache and m0 = Oracle.Cache.misses cache in
+  let result, stats = f () in
+  stats.Dd.oracle_cache_hits <- Oracle.Cache.hits cache - h0;
+  stats.Dd.oracle_cache_misses <- Oracle.Cache.misses cache - m0;
+  (result, stats)
+
+let result_of_stats ~module_name ~file ~all_attrs ~final_keep ~protected_list
+    (stats : Dd.stats) =
+  { dm_module = module_name;
+    dm_file = file;
+    attrs_before = List.length all_attrs;
+    attrs_after = List.length final_keep;
+    removed_attrs =
+      List.filter (fun a -> not (List.mem a final_keep)) all_attrs;
+    protected = protected_list;
+    oracle_queries = stats.Dd.oracle_queries;
+    cache_hits = stats.Dd.cache_hits;
+    dd_iterations = stats.Dd.iterations;
+    oracle_cache_hits = stats.Dd.oracle_cache_hits;
+    oracle_cache_misses = stats.Dd.oracle_cache_misses }
+
+(* Debloat one module of [d]; returns the updated deployment (an overlay
+   sharing no *mutable* state with the input) and the per-module report.
+   [oracle] judges candidate deployments; [protected] attributes are never
+   offered to DD. *)
 let debloat_module ?(on_step = fun (_ : string Dd.step) -> ())
+    ?(oracle_cache = Oracle.Cache.global)
     ~(oracle : Platform.Deployment.t -> bool) ~(protected : String_set.t)
     (d : Platform.Deployment.t) ~module_name : Platform.Deployment.t * module_result
   =
   match Minipy.Importer.init_file_of d.Platform.Deployment.vfs module_name with
   | None ->
     (* not file-backed (builtin) — nothing to debloat *)
-    ( d,
-      { dm_module = module_name; dm_file = "<none>"; attrs_before = 0;
-        attrs_after = 0; removed_attrs = []; protected = [];
-        oracle_queries = 0; cache_hits = 0; dd_iterations = 0 } )
+    (d, empty_result module_name)
   | Some file ->
     let source = Minipy.Vfs.read_exn d.Platform.Deployment.vfs file in
-    let prog = Minipy.Parser.parse ~file source in
+    let prog = Minipy.Parse_cache.parse ~file source in
     let all_attrs = Attrs.attrs_of_program prog in
     let protected_list =
       List.filter (fun a -> String_set.mem a protected) all_attrs
@@ -67,29 +108,22 @@ let debloat_module ?(on_step = fun (_ : string Dd.step) -> ())
     let dd_oracle subset =
       oracle (with_restricted d ~file ~keep:(protected_list @ subset))
     in
-    let kept, stats = Dd.minimize ~on_step ~oracle:dd_oracle candidates in
+    let kept, stats =
+      with_memo_stats oracle_cache (fun () ->
+          Dd.minimize ~on_step ~oracle:dd_oracle candidates)
+    in
     let final_keep = protected_list @ kept in
     let d' = with_restricted d ~file ~keep:final_keep in
-    let removed =
-      List.filter (fun a -> not (List.mem a final_keep)) all_attrs
-    in
     ( d',
-      { dm_module = module_name;
-        dm_file = file;
-        attrs_before = List.length all_attrs;
-        attrs_after = List.length final_keep;
-        removed_attrs = removed;
-        protected = protected_list;
-        oracle_queries = stats.Dd.oracle_queries;
-        cache_hits = stats.Dd.cache_hits;
-        dd_iterations = stats.Dd.iterations } )
+      result_of_stats ~module_name ~file ~all_attrs ~final_keep
+        ~protected_list stats )
 
 (* --- statement-granularity variant (§6.1 ablation) ------------------------ *)
 
 let with_restricted_statements (d : Platform.Deployment.t) ~file ~keep =
-  let d' = Platform.Deployment.copy d in
+  let d' = Platform.Deployment.overlay d in
   let source = Minipy.Vfs.read_exn d'.Platform.Deployment.vfs file in
-  let prog = Minipy.Parser.parse ~file source in
+  let prog = Minipy.Parse_cache.parse ~file source in
   let rewritten =
     Minipy.Pretty.program_to_string (Attrs.restrict_statements prog ~keep)
   in
@@ -98,18 +132,15 @@ let with_restricted_statements (d : Platform.Deployment.t) ~file ~keep =
 
 (* DD over whole statements instead of attributes. Statements binding a
    PyCG-protected name are excluded from the candidate list. *)
-let debloat_module_statements ~(oracle : Platform.Deployment.t -> bool)
+let debloat_module_statements ?(oracle_cache = Oracle.Cache.global)
+    ~(oracle : Platform.Deployment.t -> bool)
     ~(protected : String_set.t) (d : Platform.Deployment.t) ~module_name :
   Platform.Deployment.t * module_result =
   match Minipy.Importer.init_file_of d.Platform.Deployment.vfs module_name with
-  | None ->
-    ( d,
-      { dm_module = module_name; dm_file = "<none>"; attrs_before = 0;
-        attrs_after = 0; removed_attrs = []; protected = [];
-        oracle_queries = 0; cache_hits = 0; dd_iterations = 0 } )
+  | None -> (d, empty_result module_name)
   | Some file ->
     let source = Minipy.Vfs.read_exn d.Platform.Deployment.vfs file in
-    let prog = Minipy.Parser.parse ~file source in
+    let prog = Minipy.Parse_cache.parse ~file source in
     let prog_arr = Array.of_list prog in
     let components = Attrs.statement_components prog in
     let stmt_protected i =
@@ -121,7 +152,10 @@ let debloat_module_statements ~(oracle : Platform.Deployment.t -> bool)
     let dd_oracle subset =
       oracle (with_restricted_statements d ~file ~keep:(always_keep @ subset))
     in
-    let kept, stats = Dd.minimize ~oracle:dd_oracle candidates in
+    let kept, stats =
+      with_memo_stats oracle_cache (fun () ->
+          Dd.minimize ~oracle:dd_oracle candidates)
+    in
     let final_keep = always_keep @ kept in
     let d' = with_restricted_statements d ~file ~keep:final_keep in
     let all_attrs = Attrs.attrs_of_program prog in
@@ -139,27 +173,25 @@ let debloat_module_statements ~(oracle : Platform.Deployment.t -> bool)
           List.filter (fun a -> String_set.mem a protected) all_attrs;
         oracle_queries = stats.Dd.oracle_queries;
         cache_hits = stats.Dd.cache_hits;
-        dd_iterations = stats.Dd.iterations } )
+        dd_iterations = stats.Dd.iterations;
+        oracle_cache_hits = stats.Dd.oracle_cache_hits;
+        oracle_cache_misses = stats.Dd.oracle_cache_misses } )
 
 (* --- seeded variant for the continuous pipeline (§9) ---------------------- *)
 
 (* Like [debloat_module], but primes DD with the keep-set from a previous
    run. When the application changed little, the seed passes immediately and
    DD only has to re-verify 1-minimality inside it. *)
-let debloat_module_seeded ~(oracle : Platform.Deployment.t -> bool)
+let debloat_module_seeded ?(oracle_cache = Oracle.Cache.global)
+    ~(oracle : Platform.Deployment.t -> bool)
     ~(protected : String_set.t) ~(seed_keep : string list)
     (d : Platform.Deployment.t) ~module_name :
   Platform.Deployment.t * module_result * bool =
   match Minipy.Importer.init_file_of d.Platform.Deployment.vfs module_name with
-  | None ->
-    ( d,
-      { dm_module = module_name; dm_file = "<none>"; attrs_before = 0;
-        attrs_after = 0; removed_attrs = []; protected = [];
-        oracle_queries = 0; cache_hits = 0; dd_iterations = 0 },
-      false )
+  | None -> (d, empty_result module_name, false)
   | Some file ->
     let source = Minipy.Vfs.read_exn d.Platform.Deployment.vfs file in
-    let prog = Minipy.Parser.parse ~file source in
+    let prog = Minipy.Parse_cache.parse ~file source in
     let all_attrs = Attrs.attrs_of_program prog in
     let protected_list =
       List.filter (fun a -> String_set.mem a protected) all_attrs
@@ -171,20 +203,16 @@ let debloat_module_seeded ~(oracle : Platform.Deployment.t -> bool)
       oracle (with_restricted d ~file ~keep:(protected_list @ subset))
     in
     let seed = List.filter (fun a -> List.mem a candidates) seed_keep in
-    let kept, stats, seed_hit =
-      Dd.minimize_with_seed ~oracle:dd_oracle ~seed candidates
+    let (kept, seed_hit), stats =
+      with_memo_stats oracle_cache (fun () ->
+          let kept, stats, seed_hit =
+            Dd.minimize_with_seed ~oracle:dd_oracle ~seed candidates
+          in
+          ((kept, seed_hit), stats))
     in
     let final_keep = protected_list @ kept in
     let d' = with_restricted d ~file ~keep:final_keep in
     ( d',
-      { dm_module = module_name;
-        dm_file = file;
-        attrs_before = List.length all_attrs;
-        attrs_after = List.length final_keep;
-        removed_attrs =
-          List.filter (fun a -> not (List.mem a final_keep)) all_attrs;
-        protected = protected_list;
-        oracle_queries = stats.Dd.oracle_queries;
-        cache_hits = stats.Dd.cache_hits;
-        dd_iterations = stats.Dd.iterations },
+      result_of_stats ~module_name ~file ~all_attrs ~final_keep
+        ~protected_list stats,
       seed_hit )

@@ -1,7 +1,12 @@
 (** The DD-based debloater (§5.3, §6.3): for each top-K module, enumerate its
     attributes, exclude PyCG-protected and magic ones, and run Algorithm 1 —
-    every query rewrites the module on a copy of the deployment and re-runs
-    the oracle test cases in a fresh interpreter. *)
+    every query rewrites the module on a copy-on-write overlay of the
+    deployment and re-runs the oracle test cases in a fresh interpreter.
+
+    Each [?oracle_cache] below names the observation memo the [oracle]
+    closure consults (default {!Oracle.Cache.global}); it is sampled around
+    the DD search to fill the memo hit/miss counters of {!Dd.stats} and
+    {!module_result}. *)
 
 module String_set = Callgraph.Pycg.String_set
 
@@ -15,22 +20,28 @@ type module_result = {
   oracle_queries : int;
   cache_hits : int;
   dd_iterations : int;
+  oracle_cache_hits : int;
+      (** oracle queries answered by the observation memo *)
+  oracle_cache_misses : int;
 }
 
 val pp_module_result : Format.formatter -> module_result -> unit
 
-(** Rewrite [file] inside a copy of the deployment keeping exactly [keep]
-    (plus magic names). Exposed for the ablation harness and tests. *)
+(** Rewrite [file] inside a copy-on-write overlay of the deployment keeping
+    exactly [keep] (plus magic names) — O(1), not O(image files). Exposed for
+    the ablation harness and tests. *)
 val with_restricted :
   Platform.Deployment.t ->
   file:string ->
   keep:string list ->
   Platform.Deployment.t
 
-(** Debloat one module. The result shares no mutable state with the input
-    deployment. Builtin (non-file-backed) modules are a no-op. *)
+(** Debloat one module. The result is an overlay sharing no mutable state
+    with the input deployment. Builtin (non-file-backed) modules are a
+    no-op. *)
 val debloat_module :
   ?on_step:(string Dd.step -> unit) ->
+  ?oracle_cache:Oracle.Cache.t ->
   oracle:(Platform.Deployment.t -> bool) ->
   protected:String_set.t ->
   Platform.Deployment.t ->
@@ -42,6 +53,7 @@ val debloat_module :
 (** Statement-granularity DD — the coarser alternative §6.1 argues against;
     used by the granularity ablation. *)
 val debloat_module_statements :
+  ?oracle_cache:Oracle.Cache.t ->
   oracle:(Platform.Deployment.t -> bool) ->
   protected:String_set.t ->
   Platform.Deployment.t ->
@@ -51,6 +63,7 @@ val debloat_module_statements :
 (** Seeded debloating for the continuous pipeline (§9): primes DD with a
     previous run's keep-set. The flag is [true] iff the seed passed. *)
 val debloat_module_seeded :
+  ?oracle_cache:Oracle.Cache.t ->
   oracle:(Platform.Deployment.t -> bool) ->
   protected:String_set.t ->
   seed_keep:string list ->

@@ -6,11 +6,72 @@
    the raised exception). Each test case runs in a fresh interpreter — the
    paper's per-process module isolation (§7) — so module caching can never
    leak state between oracle queries. Interpreter timeouts and init-time
-   crashes count as failures. *)
+   crashes count as failures.
+
+   Observations are memoized by (image digest, test case): the simulated
+   platform is deterministic, so two deployments with identical effective
+   images and identical test cases produce identical canonical outputs. DD
+   complement re-tests, seeded/continuous re-runs, and baseline comparisons
+   over the same image answer from the cache instead of re-interpreting.
+   Memoization returns the same observation values, so it cannot perturb any
+   virtual-time or virtual-memory measurement. *)
 
 type observation = {
   per_test : (string * string) list;  (* test-case name -> canonical output *)
 }
+
+(* --- observation memo ----------------------------------------------------- *)
+
+module Cache = struct
+  type t = {
+    store : (string, string) Hashtbl.t;  (* per-test key -> canonical output *)
+    lock : Mutex.t;
+    mutable hits : int;
+    mutable misses : int;
+    mutable enabled : bool;
+  }
+
+  let create ?(enabled = true) () =
+    { store = Hashtbl.create 1024;
+      lock = Mutex.create ();
+      hits = 0;
+      misses = 0;
+      enabled }
+
+  let global = create ()
+
+  let set_enabled t flag = t.enabled <- flag
+
+  let enabled t = t.enabled
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let hits t = locked t (fun () -> t.hits)
+
+  let misses t = locked t (fun () -> t.misses)
+
+  let size t = locked t (fun () -> Hashtbl.length t.store)
+
+  let clear t =
+    locked t (fun () ->
+        Hashtbl.reset t.store;
+        t.hits <- 0;
+        t.misses <- 0)
+
+  let find t key =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.store key with
+        | Some out ->
+          t.hits <- t.hits + 1;
+          Some out
+        | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+  let store t key out = locked t (fun () -> Hashtbl.replace t.store key out)
+end
 
 let canonical_of_record (r : Platform.Lambda_sim.record) =
   let calls =
@@ -26,32 +87,66 @@ let canonical_of_record (r : Platform.Lambda_sim.record) =
     Printf.sprintf "%sERR:%s:%s%s" r.Platform.Lambda_sim.stdout
       e.Minipy.Value.exc_class e.Minipy.Value.exc_msg calls
 
+(* Run one test case in a fresh interpreter — the uncached path. *)
+let run_test_case (d : Platform.Deployment.t)
+    (tc : Platform.Deployment.test_case) : string =
+  let sim = Platform.Lambda_sim.create d in
+  try
+    let r =
+      Platform.Lambda_sim.invoke sim ~now_s:0.0
+        ~event:tc.Platform.Deployment.tc_event
+        ~context:tc.Platform.Deployment.tc_context ()
+    in
+    canonical_of_record r
+  with
+  | Minipy.Value.Py_error e ->
+    (* initialization-time failure *)
+    Printf.sprintf "INITERR:%s" e.Minipy.Value.exc_class
+  | Minipy.Interp.Timeout _ -> "CRASH:timeout"
+  | Stack_overflow -> "CRASH:stack-overflow"
+
+(* Memo key: everything the canonical output can depend on — the effective
+   image, the entry point, and the test case's inputs. *)
+let test_key ~image_digest (d : Platform.Deployment.t)
+    (tc : Platform.Deployment.test_case) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ image_digest;
+            d.Platform.Deployment.handler_file;
+            d.Platform.Deployment.handler_name;
+            tc.Platform.Deployment.tc_name;
+            tc.Platform.Deployment.tc_event;
+            tc.Platform.Deployment.tc_context ]))
+
 (* Observe one deployment across its test cases. Any non-Python-level crash
    (timeout, stack overflow) yields a distinguished CRASH observation. *)
-let observe (d : Platform.Deployment.t) : observation =
-  let per_test =
-    List.map
-      (fun (tc : Platform.Deployment.test_case) ->
-         let sim = Platform.Lambda_sim.create d in
-         let out =
-           try
-             let r =
-               Platform.Lambda_sim.invoke sim ~now_s:0.0
-                 ~event:tc.Platform.Deployment.tc_event
-                 ~context:tc.Platform.Deployment.tc_context ()
-             in
-             canonical_of_record r
-           with
-           | Minipy.Value.Py_error e ->
-             (* initialization-time failure *)
-             Printf.sprintf "INITERR:%s" e.Minipy.Value.exc_class
-           | Minipy.Interp.Timeout _ -> "CRASH:timeout"
-           | Stack_overflow -> "CRASH:stack-overflow"
-         in
-         (tc.Platform.Deployment.tc_name, out))
-      d.Platform.Deployment.test_cases
-  in
-  { per_test }
+let observe ?(cache = Cache.global) (d : Platform.Deployment.t) : observation =
+  if not (Cache.enabled cache) then
+    { per_test =
+        List.map
+          (fun (tc : Platform.Deployment.test_case) ->
+             (tc.Platform.Deployment.tc_name, run_test_case d tc))
+          d.Platform.Deployment.test_cases }
+  else begin
+    let image_digest = Platform.Deployment.image_digest d in
+    let per_test =
+      List.map
+        (fun (tc : Platform.Deployment.test_case) ->
+           let key = test_key ~image_digest d tc in
+           let out =
+             match Cache.find cache key with
+             | Some out -> out
+             | None ->
+               let out = run_test_case d tc in
+               Cache.store cache key out;
+               out
+           in
+           (tc.Platform.Deployment.tc_name, out))
+        d.Platform.Deployment.test_cases
+    in
+    { per_test }
+  end
 
 let equivalent (a : observation) (b : observation) =
   List.length a.per_test = List.length b.per_test
@@ -60,8 +155,9 @@ let equivalent (a : observation) (b : observation) =
        a.per_test b.per_test
 
 (* Build the oracle predicate for DD: candidate deployments pass iff they
-   reproduce the reference observation. The reference runs once. *)
-let for_reference (reference : Platform.Deployment.t) :
+   reproduce the reference observation. The reference runs once (or is
+   answered by the memo when an identical image was already observed). *)
+let for_reference ?(cache = Cache.global) (reference : Platform.Deployment.t) :
   (Platform.Deployment.t -> bool) * observation =
-  let expected = observe reference in
-  ((fun candidate -> equivalent (observe candidate) expected), expected)
+  let expected = observe ~cache reference in
+  ((fun candidate -> equivalent (observe ~cache candidate) expected), expected)

@@ -4,24 +4,55 @@
     specification, it reproduces the original's observable output: captured
     stdout, the handler's return value (or raised exception), and the
     sequence of intercepted external-service calls. Each test case runs in a
-    fresh interpreter — the per-process module isolation of §7. *)
+    fresh interpreter — the per-process module isolation of §7.
+
+    Observations are memoized by (image digest, test case): the simulated
+    platform is deterministic, so identical effective images yield identical
+    canonical outputs. Memoized answers are the same values the interpreter
+    would produce, so virtual measurements are unaffected. *)
 
 type observation = {
   per_test : (string * string) list;
       (** test-case name → canonical output string *)
 }
 
+(** The observation memo. Thread-safe; a disabled cache always re-runs. *)
+module Cache : sig
+  type t
+
+  val create : ?enabled:bool -> unit -> t
+
+  (** The default memo shared by {!observe} and {!for_reference} callers
+      that do not inject their own — this is what lets continuous re-runs
+      and baseline comparisons reuse earlier answers. *)
+  val global : t
+
+  val set_enabled : t -> bool -> unit
+  val enabled : t -> bool
+  val hits : t -> int
+  val misses : t -> int
+
+  (** Number of memoized (image, test case) observations. *)
+  val size : t -> int
+
+  (** Drop all entries and reset the hit/miss counters. *)
+  val clear : t -> unit
+end
+
 (** Canonical output of one invocation record: stdout, then [RET:]/[ERR:],
     then [CALLS:] when external calls were made. *)
 val canonical_of_record : Platform.Lambda_sim.record -> string
 
-(** Observe a deployment across its test cases. Init-time crashes appear as
-    [INITERR:<class>]; interpreter timeouts as [CRASH:timeout]. *)
-val observe : Platform.Deployment.t -> observation
+(** Observe a deployment across its test cases, consulting [cache] (default
+    {!Cache.global}) per (image digest, test case). Init-time crashes appear
+    as [INITERR:<class>]; interpreter timeouts as [CRASH:timeout]. *)
+val observe : ?cache:Cache.t -> Platform.Deployment.t -> observation
 
 val equivalent : observation -> observation -> bool
 
 (** [for_reference d] runs [d] once and returns the DD oracle (candidates
     pass iff they reproduce the reference observation) plus the reference. *)
 val for_reference :
-  Platform.Deployment.t -> (Platform.Deployment.t -> bool) * observation
+  ?cache:Cache.t ->
+  Platform.Deployment.t ->
+  (Platform.Deployment.t -> bool) * observation

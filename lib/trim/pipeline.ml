@@ -3,7 +3,12 @@
      input app ──> static analyzer ──> profiler ──> debloater ──> output app
 
    The optimized deployment is directly runnable on the platform simulator
-   and carries no dependency on the pipeline. *)
+   and carries no dependency on the pipeline.
+
+   Every run records the caching substrate's traffic: parse-cache hits
+   (sources answered without re-parsing) and oracle-memo hits (DD queries
+   answered without re-interpreting). Both caches are read-through — they
+   change host wall-clock only, never a virtual measurement. *)
 
 type options = {
   k : int;                        (* modules to debloat (§8.4: default 20) *)
@@ -12,6 +17,13 @@ type options = {
 }
 
 let default_options = { k = 20; scoring = Scoring.Combined; log = false }
+
+type cache_stats = {
+  parse_hits : int;
+  parse_misses : int;
+  oracle_hits : int;
+  oracle_misses : int;
+}
 
 type report = {
   app_name : string;
@@ -23,45 +35,71 @@ type report = {
   module_results : Debloater.module_result list;
   debloat_wall_s : float;             (* host wall-clock spent debloating *)
   total_oracle_queries : int;
+  caches : cache_stats;               (* cache traffic during this run *)
 }
 
 let src = Logs.Src.create "lambda-trim" ~doc:"lambda-trim pipeline"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+let pp_cache_stats ppf c =
+  Fmt.pf ppf "parse cache %d hits / %d misses, oracle memo %d hits / %d misses"
+    c.parse_hits c.parse_misses c.oracle_hits c.oracle_misses
+
+(* Snapshot the global caches around [f] so the report shows this run's own
+   traffic even when the caches are shared across runs. *)
+let with_cache_stats f =
+  let pc = Minipy.Parse_cache.global and oc = Oracle.Cache.global in
+  let ph0 = Minipy.Parse_cache.hits pc
+  and pm0 = Minipy.Parse_cache.misses pc
+  and oh0 = Oracle.Cache.hits oc
+  and om0 = Oracle.Cache.misses oc in
+  let result = f () in
+  ( result,
+    { parse_hits = Minipy.Parse_cache.hits pc - ph0;
+      parse_misses = Minipy.Parse_cache.misses pc - pm0;
+      oracle_hits = Oracle.Cache.hits oc - oh0;
+      oracle_misses = Oracle.Cache.misses oc - om0 } )
+
 let run ?(options = default_options) (app : Platform.Deployment.t) : report =
   let wall_start = Unix.gettimeofday () in
-  (* Stage 1: static analysis *)
-  let analysis = Static_analyzer.analyze app in
-  if options.log then
-    Log.info (fun m ->
-        m "static analysis: %d imported roots"
-          (List.length analysis.Static_analyzer.imported_roots));
-  (* Stage 2: profiling + top-K ranking by marginal monetary cost *)
-  let profile = Profiler.profile app in
-  let top = Scoring.top_k options.scoring profile ~k:options.k in
-  let ranked = List.map (fun mp -> mp.Profiler.mp_name) top in
-  if options.log then
-    Log.info (fun m -> m "profiler ranked top-%d: %s" options.k
-                 (String.concat ", " ranked));
-  (* Stage 3: DD-based debloating, module by module. The oracle's reference
-     observation comes from the *input* app and stays fixed; each module is
-     debloated against the deployment produced so far, so later modules see
-     earlier trims (the paper debloats the top-K sequentially). *)
-  let oracle, _expected = Oracle.for_reference app in
-  let optimized, module_results =
-    List.fold_left
-      (fun (d, results) module_name ->
-         let protected = Static_analyzer.protected_attrs analysis ~module_name in
-         let d', r =
-           Debloater.debloat_module ~oracle ~protected d ~module_name
-         in
-         if options.log then
-           Log.info (fun m -> m "%a" Debloater.pp_module_result r);
-         (d', r :: results))
-      (app, []) ranked
+  let (analysis, profile, ranked, optimized, module_results), caches =
+    with_cache_stats (fun () ->
+        (* Stage 1: static analysis *)
+        let analysis = Static_analyzer.analyze app in
+        if options.log then
+          Log.info (fun m ->
+              m "static analysis: %d imported roots"
+                (List.length analysis.Static_analyzer.imported_roots));
+        (* Stage 2: profiling + top-K ranking by marginal monetary cost *)
+        let profile = Profiler.profile app in
+        let top = Scoring.top_k options.scoring profile ~k:options.k in
+        let ranked = List.map (fun mp -> mp.Profiler.mp_name) top in
+        if options.log then
+          Log.info (fun m -> m "profiler ranked top-%d: %s" options.k
+                       (String.concat ", " ranked));
+        (* Stage 3: DD-based debloating, module by module. The oracle's
+           reference observation comes from the *input* app and stays fixed;
+           each module is debloated against the deployment produced so far,
+           so later modules see earlier trims (the paper debloats the top-K
+           sequentially). *)
+        let oracle, _expected = Oracle.for_reference app in
+        let optimized, module_results =
+          List.fold_left
+            (fun (d, results) module_name ->
+               let protected =
+                 Static_analyzer.protected_attrs analysis ~module_name
+               in
+               let d', r =
+                 Debloater.debloat_module ~oracle ~protected d ~module_name
+               in
+               if options.log then
+                 Log.info (fun m -> m "%a" Debloater.pp_module_result r);
+               (d', r :: results))
+            (app, []) ranked
+        in
+        (analysis, profile, ranked, optimized, List.rev module_results))
   in
-  let module_results = List.rev module_results in
   { app_name = app.Platform.Deployment.name;
     original = app;
     optimized;
@@ -72,7 +110,8 @@ let run ?(options = default_options) (app : Platform.Deployment.t) : report =
     debloat_wall_s = Unix.gettimeofday () -. wall_start;
     total_oracle_queries =
       List.fold_left (fun acc r -> acc + r.Debloater.oracle_queries) 0
-        module_results }
+        module_results;
+    caches }
 
 (* Total attributes removed across all debloated modules. *)
 let attrs_removed (r : report) =
@@ -98,7 +137,9 @@ let representative_module (r : report) : Debloater.module_result option =
    oracle queries. The continuous pipeline reuses the previous run's per-
    module keep-sets as DD seeds: when the update did not change what a module
    must provide, the seed passes its single confirmation query and DD only
-   re-verifies minimality inside it. *)
+   re-verifies minimality inside it. The oracle memo compounds the effect:
+   any candidate image the previous run already observed is answered without
+   re-interpreting. *)
 
 type continuous_report = {
   base : report;
@@ -109,50 +150,64 @@ type continuous_report = {
 let run_continuous ?(options = default_options)
     ~(previous : report) (app : Platform.Deployment.t) : continuous_report =
   let wall_start = Unix.gettimeofday () in
-  let analysis = Static_analyzer.analyze app in
-  let profile = Profiler.profile app in
-  let top = Scoring.top_k options.scoring profile ~k:options.k in
-  let ranked = List.map (fun mp -> mp.Profiler.mp_name) top in
-  let oracle, _expected = Oracle.for_reference app in
-  (* previous keep-set per module: everything it did NOT remove *)
-  let seed_for module_name =
-    match
-      List.find_opt
-        (fun m -> String.equal m.Debloater.dm_module module_name)
-        previous.module_results
-    with
-    | Some m ->
-      let removed = m.Debloater.removed_attrs in
-      (* read the module as deployed now and drop previously-removed attrs *)
-      (match Minipy.Importer.init_file_of app.Platform.Deployment.vfs module_name with
-       | None -> []
-       | Some file ->
-         let prog =
-           Minipy.Parser.parse ~file
-             (Minipy.Vfs.read_exn app.Platform.Deployment.vfs file)
-         in
-         List.filter
-           (fun a -> not (List.mem a removed))
-           (Attrs.attrs_of_program prog))
-    | None -> []
+  let ( (analysis, profile, ranked, optimized, module_results, seed_hits,
+         seeded),
+        caches ) =
+    with_cache_stats (fun () ->
+        let analysis = Static_analyzer.analyze app in
+        let profile = Profiler.profile app in
+        let top = Scoring.top_k options.scoring profile ~k:options.k in
+        let ranked = List.map (fun mp -> mp.Profiler.mp_name) top in
+        let oracle, _expected = Oracle.for_reference app in
+        (* previous keep-set per module: everything it did NOT remove *)
+        let seed_for module_name =
+          match
+            List.find_opt
+              (fun m -> String.equal m.Debloater.dm_module module_name)
+              previous.module_results
+          with
+          | Some m ->
+            let removed = m.Debloater.removed_attrs in
+            (* read the module as deployed now and drop previously-removed
+               attrs *)
+            (match
+               Minipy.Importer.init_file_of app.Platform.Deployment.vfs
+                 module_name
+             with
+             | None -> []
+             | Some file ->
+               let prog =
+                 Minipy.Parse_cache.parse_vfs app.Platform.Deployment.vfs file
+               in
+               List.filter
+                 (fun a -> not (List.mem a removed))
+                 (Attrs.attrs_of_program prog))
+          | None -> []
+        in
+        let optimized, module_results, seed_hits, seeded =
+          List.fold_left
+            (fun (d, results, hits, seeded) module_name ->
+               let protected =
+                 Static_analyzer.protected_attrs analysis ~module_name
+               in
+               let seed_keep = seed_for module_name in
+               if seed_keep = [] then
+                 let d', r =
+                   Debloater.debloat_module ~oracle ~protected d ~module_name
+                 in
+                 (d', r :: results, hits, seeded)
+               else
+                 let d', r, hit =
+                   Debloater.debloat_module_seeded ~oracle ~protected
+                     ~seed_keep d ~module_name
+                 in
+                 (d', r :: results, (if hit then hits + 1 else hits),
+                  seeded + 1))
+            (app, [], 0, 0) ranked
+        in
+        (analysis, profile, ranked, optimized, List.rev module_results,
+         seed_hits, seeded))
   in
-  let optimized, module_results, seed_hits, seeded =
-    List.fold_left
-      (fun (d, results, hits, seeded) module_name ->
-         let protected = Static_analyzer.protected_attrs analysis ~module_name in
-         let seed_keep = seed_for module_name in
-         if seed_keep = [] then
-           let d', r = Debloater.debloat_module ~oracle ~protected d ~module_name in
-           (d', r :: results, hits, seeded)
-         else
-           let d', r, hit =
-             Debloater.debloat_module_seeded ~oracle ~protected ~seed_keep d
-               ~module_name
-           in
-           (d', r :: results, (if hit then hits + 1 else hits), seeded + 1))
-      (app, [], 0, 0) ranked
-  in
-  let module_results = List.rev module_results in
   { base =
       { app_name = app.Platform.Deployment.name;
         original = app;
@@ -164,6 +219,7 @@ let run_continuous ?(options = default_options)
         debloat_wall_s = Unix.gettimeofday () -. wall_start;
         total_oracle_queries =
           List.fold_left (fun acc r -> acc + r.Debloater.oracle_queries) 0
-            module_results };
+            module_results;
+        caches };
     seed_hits;
     seeded_modules = seeded }

@@ -13,6 +13,17 @@ type options = {
 
 val default_options : options
 
+(** Traffic through the caching substrate during one run: parse-cache and
+    oracle-memo hit/miss deltas (the caches are global; these are this run's
+    own counts). Read-through caches — wall-clock only, no virtual
+    measurement depends on them. *)
+type cache_stats = {
+  parse_hits : int;
+  parse_misses : int;
+  oracle_hits : int;
+  oracle_misses : int;
+}
+
 type report = {
   app_name : string;
   original : Platform.Deployment.t;
@@ -23,9 +34,12 @@ type report = {
   module_results : Debloater.module_result list;  (** in debloating order *)
   debloat_wall_s : float; (** host wall-clock spent in the pipeline *)
   total_oracle_queries : int;
+  caches : cache_stats;
 }
 
 val src : Logs.src
+
+val pp_cache_stats : Format.formatter -> cache_stats -> unit
 
 val run : ?options:options -> Platform.Deployment.t -> report
 

@@ -41,16 +41,12 @@ let analyze (d : Platform.Deployment.t) : t =
       (fun path ->
          if String.equal path d.Platform.Deployment.handler_file then None
          else
-           match Minipy.Vfs.read d.Platform.Deployment.vfs path with
-           | None -> None
-           | Some src ->
-             (match Minipy.Parser.parse ~file:path src with
-              | prog ->
-                let current_module, is_package = module_of_path path in
-                Some
-                  (path,
-                   Callgraph.Pycg.analyze ~current_module ~is_package prog)
-              | exception (Minipy.Parser.Error _ | Minipy.Lexer.Error _) -> None))
+           match Minipy.Parse_cache.parse_vfs d.Platform.Deployment.vfs path with
+           | prog ->
+             let current_module, is_package = module_of_path path in
+             Some
+               (path, Callgraph.Pycg.analyze ~current_module ~is_package prog)
+           | exception (Minipy.Parser.Error _ | Minipy.Lexer.Error _) -> None)
       (Minipy.Vfs.paths d.Platform.Deployment.vfs)
   in
   { imported_roots = Callgraph.Import_scan.root_modules handler_prog;

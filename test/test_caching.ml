@@ -1,0 +1,277 @@
+(* The caching substrate: copy-on-write vfs overlays, the content-addressed
+   parse cache, and the oracle observation memo.
+
+   Two properties anchor the suite:
+   - a stale AST is never served: any rewrite through an overlay changes the
+     file digest, so the parse cache re-parses;
+   - the substrate is measurement-neutral: running the full pipeline with
+     every cache disabled produces bit-identical virtual numbers and
+     debloated sources. *)
+
+open Minipy
+
+let base_image () =
+  let vfs = Vfs.create () in
+  Vfs.add_file vfs "handler.py" "def handler(event, context):\n  return 1\n";
+  Vfs.add_file vfs "site-packages/lib/__init__.py" "x = 1\ny = 2\n";
+  Vfs.add_file vfs "site-packages/lib/util.py" "def f():\n  return 3\n";
+  Vfs.add_phantom vfs "site-packages/lib/model.bin" ~bytes:1024;
+  vfs
+
+(* --- overlay semantics ---------------------------------------------------- *)
+
+let overlay_cases =
+  [ Alcotest.test_case "reads fall through to the base" `Quick (fun () ->
+        let base = base_image () in
+        let o = Vfs.overlay base in
+        Alcotest.(check bool) "is_overlay" true (Vfs.is_overlay o);
+        Alcotest.(check bool) "base is not" false (Vfs.is_overlay base);
+        Alcotest.(check (option string)) "fall-through read"
+          (Vfs.read base "site-packages/lib/util.py")
+          (Vfs.read o "site-packages/lib/util.py");
+        Alcotest.(check (list string)) "same paths"
+          (Vfs.paths base) (Vfs.paths o);
+        Alcotest.(check int) "same bytes"
+          (Vfs.image_bytes base) (Vfs.image_bytes o));
+    Alcotest.test_case "writes stay in the overlay" `Quick (fun () ->
+        let base = base_image () in
+        let o = Vfs.overlay base in
+        Vfs.add_file o "site-packages/lib/__init__.py" "x = 1\n";
+        Vfs.add_file o "extra.py" "z = 9\n";
+        Alcotest.(check string) "overlay sees the rewrite" "x = 1\n"
+          (Vfs.read_exn o "site-packages/lib/__init__.py");
+        Alcotest.(check string) "base unchanged" "x = 1\ny = 2\n"
+          (Vfs.read_exn base "site-packages/lib/__init__.py");
+        Alcotest.(check bool) "base lacks the new file" false
+          (Vfs.exists base "extra.py"));
+    Alcotest.test_case "tombstones hide base files" `Quick (fun () ->
+        let base = base_image () in
+        let o = Vfs.overlay base in
+        Vfs.remove_file o "site-packages/lib/util.py";
+        Alcotest.(check bool) "hidden in overlay" false
+          (Vfs.exists o "site-packages/lib/util.py");
+        Alcotest.(check bool) "still in base" true
+          (Vfs.exists base "site-packages/lib/util.py");
+        Alcotest.(check int) "file_count drops" (Vfs.file_count base - 1)
+          (Vfs.file_count o));
+    Alcotest.test_case "copy flattens an overlay chain" `Quick (fun () ->
+        let base = base_image () in
+        let o1 = Vfs.overlay base in
+        Vfs.add_file o1 "site-packages/lib/__init__.py" "x = 1\n";
+        let o2 = Vfs.overlay o1 in
+        Vfs.remove_file o2 "site-packages/lib/util.py";
+        let flat = Vfs.copy o2 in
+        Alcotest.(check bool) "copy is a root" false (Vfs.is_overlay flat);
+        Alcotest.(check (list string)) "same effective paths"
+          (Vfs.paths o2) (Vfs.paths flat);
+        Alcotest.(check string) "carries the rewrite" "x = 1\n"
+          (Vfs.read_exn flat "site-packages/lib/__init__.py");
+        Alcotest.(check string) "equal image digests"
+          (Vfs.image_digest o2) (Vfs.image_digest flat));
+    Alcotest.test_case "file digest is memoized and invalidated" `Quick
+      (fun () ->
+        let base = base_image () in
+        let d1 = Vfs.file_digest base "handler.py" in
+        Alcotest.(check (option string)) "stable" d1
+          (Vfs.file_digest base "handler.py");
+        Vfs.add_file base "handler.py" "def handler(event, context):\n  return 2\n";
+        Alcotest.(check bool) "rewrite changes the digest" true
+          (Vfs.file_digest base "handler.py" <> d1);
+        Alcotest.(check (option string)) "absent path" None
+          (Vfs.file_digest base "nope.py"));
+    Alcotest.test_case "image digest covers phantoms" `Quick (fun () ->
+        let a = base_image () in
+        let b = base_image () in
+        Alcotest.(check string) "deterministic" (Vfs.image_digest a)
+          (Vfs.image_digest b);
+        Vfs.add_phantom b "weights2.bin" ~bytes:7;
+        Alcotest.(check bool) "phantom changes it" true
+          (Vfs.image_digest a <> Vfs.image_digest b)) ]
+
+(* --- parse cache ---------------------------------------------------------- *)
+
+let parse_cache_cases =
+  [ Alcotest.test_case "hit on identical content, miss after rewrite" `Quick
+      (fun () ->
+        let vfs = base_image () in
+        let c = Parse_cache.create () in
+        let p1 = Parse_cache.parse_vfs ~cache:c vfs "handler.py" in
+        let p2 = Parse_cache.parse_vfs ~cache:c vfs "handler.py" in
+        Alcotest.(check bool) "same AST value" true (p1 == p2);
+        Alcotest.(check int) "one hit" 1 (Parse_cache.hits c);
+        Vfs.add_file vfs "handler.py"
+          "def handler(event, context):\n  return 2\n";
+        let p3 = Parse_cache.parse_vfs ~cache:c vfs "handler.py" in
+        Alcotest.(check bool) "fresh AST" true (p3 != p2);
+        Alcotest.(check int) "two misses" 2 (Parse_cache.misses c);
+        Alcotest.(check string) "fresh AST matches fresh parse"
+          (Pretty.program_to_string
+             (Parser.parse ~file:"handler.py" (Vfs.read_exn vfs "handler.py")))
+          (Pretty.program_to_string p3));
+    Alcotest.test_case "disabled cache stores nothing" `Quick (fun () ->
+        let vfs = base_image () in
+        let c = Parse_cache.create ~enabled:false () in
+        ignore (Parse_cache.parse_vfs ~cache:c vfs "handler.py");
+        ignore (Parse_cache.parse_vfs ~cache:c vfs "handler.py");
+        Alcotest.(check int) "no entries" 0 (Parse_cache.size c);
+        Alcotest.(check int) "no counts" 0
+          (Parse_cache.hits c + Parse_cache.misses c));
+    Alcotest.test_case "parse failures are not cached" `Quick (fun () ->
+        let c = Parse_cache.create () in
+        (try ignore (Parse_cache.parse ~cache:c ~file:"<t>" "def (:\n")
+         with Parser.Error _ | Lexer.Error _ -> ());
+        Alcotest.(check int) "store empty" 0 (Parse_cache.size c)) ]
+
+(* --- property: overlay rewrites always force a re-parse ------------------- *)
+
+(* A pool of distinct valid sources indexed by a small int. *)
+let source_of n =
+  Printf.sprintf "x_%d = %d\ndef f_%d():\n  return %d\n" n n n (n * 7)
+
+let overlay_freshness_prop =
+  QCheck2.Test.make ~count:100
+    ~name:"overlay rewrites change digests and are never served stale"
+    QCheck2.(
+      Gen.list_size (Gen.int_range 1 12)
+        (Gen.pair (Gen.int_range 0 2) (Gen.int_range 0 9)))
+    (fun writes ->
+       let base = base_image () in
+       let files = [| "handler.py"; "site-packages/lib/__init__.py"; "a.py" |] in
+       let o = Vfs.overlay base in
+       let cache = Parse_cache.create () in
+       (* warm the cache on the initial image *)
+       List.iter
+         (fun p -> ignore (Parse_cache.parse_vfs ~cache o p))
+         (Vfs.paths o);
+       List.for_all
+         (fun (which, n) ->
+            let path = files.(which) in
+            let content = source_of n in
+            let digest_before = Vfs.file_digest o path in
+            let image_before = Vfs.image_digest o in
+            Vfs.add_file o path content;
+            let digest_after = Vfs.file_digest o path in
+            (* content-addressing: the digest is a pure function of content *)
+            let digest_tracks =
+              digest_after = Some (Digest.to_hex (Digest.string content))
+            in
+            (* the image digest changes exactly when the file digest does *)
+            let image_tracks =
+              (Vfs.image_digest o <> image_before)
+              = (digest_after <> digest_before)
+            in
+            (* the cache must serve an AST of the *current* content *)
+            let served =
+              Pretty.program_to_string (Parse_cache.parse_vfs ~cache o path)
+            in
+            let fresh =
+              Pretty.program_to_string (Parser.parse ~file:path content)
+            in
+            digest_tracks && image_tracks && String.equal served fresh)
+         writes)
+
+(* --- oracle memo ---------------------------------------------------------- *)
+
+let oracle_cases =
+  [ Alcotest.test_case "memo answers repeat observations" `Quick (fun () ->
+        let tiny = Workloads.Suite.tiny_app () in
+        let c = Trim.Oracle.Cache.create () in
+        let o1 = Trim.Oracle.observe ~cache:c tiny in
+        let misses = Trim.Oracle.Cache.misses c in
+        Alcotest.(check bool) "first run misses" true (misses > 0);
+        let o2 = Trim.Oracle.observe ~cache:c tiny in
+        Alcotest.(check int) "second run all hits" misses
+          (Trim.Oracle.Cache.misses c);
+        Alcotest.(check bool) "hits recorded" true
+          (Trim.Oracle.Cache.hits c = misses);
+        Alcotest.(check bool) "same observation" true
+          (Trim.Oracle.equivalent o1 o2));
+    Alcotest.test_case "memo keys on the effective image" `Quick (fun () ->
+        let tiny = Workloads.Suite.tiny_app () in
+        let c = Trim.Oracle.Cache.create () in
+        ignore (Trim.Oracle.observe ~cache:c tiny);
+        let d' = Platform.Deployment.overlay tiny in
+        Vfs.add_file d'.Platform.Deployment.vfs "broken_extra.py" "zz = 1\n";
+        let h0 = Trim.Oracle.Cache.hits c in
+        ignore (Trim.Oracle.observe ~cache:c d');
+        Alcotest.(check int) "different image, no hits" h0
+          (Trim.Oracle.Cache.hits c)) ]
+
+(* --- measurement neutrality ----------------------------------------------- *)
+
+(* Run the full pipeline three ways: caches disabled, caches enabled from
+   cold, caches enabled again (so the oracle memo is warm). Every virtual
+   measurement and every output source must be identical; only wall-clock and
+   hit counters may differ. *)
+let with_caches_disabled f =
+  let pc = Parse_cache.global and oc = Trim.Oracle.Cache.global in
+  let pe = Parse_cache.enabled pc and oe = Trim.Oracle.Cache.enabled oc in
+  Parse_cache.set_enabled pc false;
+  Trim.Oracle.Cache.set_enabled oc false;
+  Fun.protect
+    ~finally:(fun () ->
+        Parse_cache.set_enabled pc pe;
+        Trim.Oracle.Cache.set_enabled oc oe)
+    f
+
+let sources_of (d : Platform.Deployment.t) =
+  let vfs = d.Platform.Deployment.vfs in
+  List.map (fun p -> (p, Vfs.read_exn vfs p)) (Vfs.paths vfs)
+
+let cold_record (d : Platform.Deployment.t) =
+  let sim = Platform.Lambda_sim.create d in
+  Platform.Lambda_sim.invoke sim ~now_s:0.0 ~event:"{\"x\": 1}" ()
+
+let neutrality_cases =
+  [ Alcotest.test_case "caching never changes a virtual measurement" `Slow
+      (fun () ->
+        let options = { Trim.Pipeline.default_options with k = 3 } in
+        let run () = Trim.Pipeline.run ~options (Workloads.Suite.tiny_app ()) in
+        let plain = with_caches_disabled run in
+        let cached1 = run () in
+        let cached2 = run () in
+        Alcotest.(check int) "disabled run counts nothing" 0
+          (let c = plain.Trim.Pipeline.caches in
+           c.Trim.Pipeline.parse_hits + c.Trim.Pipeline.parse_misses
+           + c.Trim.Pipeline.oracle_hits + c.Trim.Pipeline.oracle_misses);
+        Alcotest.(check bool) "cached run reuses parses" true
+          (cached1.Trim.Pipeline.caches.Trim.Pipeline.parse_hits > 0);
+        Alcotest.(check bool) "warm run reuses observations" true
+          (cached2.Trim.Pipeline.caches.Trim.Pipeline.oracle_hits > 0);
+        List.iter
+          (fun (label, cached) ->
+             Alcotest.(check (list (pair string string)))
+               (label ^ ": identical debloated sources")
+               (sources_of plain.Trim.Pipeline.optimized)
+               (sources_of cached.Trim.Pipeline.optimized);
+             Alcotest.(check (list (list string)))
+               (label ^ ": identical removals")
+               (List.map
+                  (fun m -> m.Trim.Debloater.removed_attrs)
+                  plain.Trim.Pipeline.module_results)
+               (List.map
+                  (fun m -> m.Trim.Debloater.removed_attrs)
+                  cached.Trim.Pipeline.module_results);
+             Alcotest.(check int) (label ^ ": identical oracle query count")
+               plain.Trim.Pipeline.total_oracle_queries
+               cached.Trim.Pipeline.total_oracle_queries;
+             let rp = cold_record plain.Trim.Pipeline.optimized
+             and rc = cold_record cached.Trim.Pipeline.optimized in
+             Alcotest.(check (float 0.0)) (label ^ ": identical virtual e2e")
+               rp.Platform.Lambda_sim.e2e_ms rc.Platform.Lambda_sim.e2e_ms;
+             Alcotest.(check (float 0.0)) (label ^ ": identical virtual memory")
+               rp.Platform.Lambda_sim.peak_memory_mb
+               rc.Platform.Lambda_sim.peak_memory_mb;
+             Alcotest.(check (float 0.0)) (label ^ ": identical virtual cost")
+               rp.Platform.Lambda_sim.cost rc.Platform.Lambda_sim.cost)
+          [ ("cold", cached1); ("warm", cached2) ]) ]
+
+let suite =
+  [ ("caching.overlay", overlay_cases);
+    ("caching.parse_cache", parse_cache_cases);
+    ( "caching.properties",
+      List.map
+        (QCheck_alcotest.to_alcotest ~long:false)
+        [ overlay_freshness_prop ] );
+    ("caching.oracle_memo", oracle_cases);
+    ("caching.neutrality", neutrality_cases) ]

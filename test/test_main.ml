@@ -7,4 +7,5 @@ let () =
      @ Test_fallback.suite @ Test_pricing.suite @ Test_platform.suite
      @ Test_trace.suite @ Test_fleet.suite @ Test_resilience.suite @ Test_checkpoint.suite
      @ Test_workloads.suite
-     @ Test_baselines.suite @ Test_value.suite @ Test_experiments.suite @ Test_properties.suite)
+     @ Test_baselines.suite @ Test_value.suite @ Test_experiments.suite @ Test_properties.suite
+     @ Test_caching.suite)
