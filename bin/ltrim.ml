@@ -31,6 +31,30 @@ let scoring_arg =
   let doc = "Scoring method: combined, time, memory, or random." in
   Arg.(value & opt string "combined" & info [ "s"; "scoring" ] ~docv:"METHOD" ~doc)
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a Chrome trace-event JSON of the run to FILE \
+                 (load it in chrome://tracing or Perfetto).")
+
+(* Install a recording tracer around [f] and export it on the way out —
+   also on failure, so a crashed run still leaves its partial trace. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let sink = Obs.Span.recorder () in
+    Obs.Span.install sink;
+    Fun.protect
+      ~finally:(fun () ->
+          Obs.Span.install Obs.Span.null;
+          Obs.Export.to_file ~path
+            (Obs.Export.chrome_json ~metrics:Obs.Metrics.global sink);
+          Printf.eprintf "trace: %d spans written to %s\n%!"
+            (List.length (Obs.Span.spans sink))
+            path)
+      f
+
 (* --- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -98,7 +122,8 @@ let profile_cmd =
 (* --- debloat ------------------------------------------------------------- *)
 
 let debloat_cmd =
-  let run app k scoring verbose =
+  let run app k scoring verbose trace =
+    with_trace trace @@ fun () ->
     setup_logs verbose;
     let method_ = Trim.Scoring.method_of_string scoring in
     let d = Workloads.Suite.deployment_of app in
@@ -120,7 +145,7 @@ let debloat_cmd =
   in
   Cmd.v
     (Cmd.info "debloat" ~doc:"Run the full lambda-trim pipeline on an application.")
-    Term.(const run $ app_arg $ k_arg $ scoring_arg $ verbose_flag)
+    Term.(const run $ app_arg $ k_arg $ scoring_arg $ verbose_flag $ trace_arg)
 
 (* --- invoke -------------------------------------------------------------- *)
 
@@ -129,7 +154,8 @@ let invoke_cmd =
     Arg.(value & flag & info [ "trimmed" ]
            ~doc:"Invoke the lambda-trim optimized application.")
   in
-  let run app trimmed =
+  let run app trimmed trace =
+    with_trace trace @@ fun () ->
     let spec = Workloads.Suite.spec_of app in
     let d = Workloads.Suite.deployment_of app in
     let d =
@@ -154,7 +180,7 @@ let invoke_cmd =
   in
   Cmd.v
     (Cmd.info "invoke" ~doc:"Invoke an application on the platform simulator.")
-    Term.(const run $ app_arg $ trimmed_flag)
+    Term.(const run $ app_arg $ trimmed_flag $ trace_arg)
 
 (* --- fleet ---------------------------------------------------------------- *)
 
@@ -263,7 +289,8 @@ let fleet_cmd =
   let run app rate duration policy keep_alive max_idle capacity max_pending
       timeout fb_rate seed init_failure_rate crash_rate error_rate churn_rate
       retries retry_base retry_cap request_timeout breaker_threshold
-      breaker_window breaker_cooldown hedge_delay =
+      breaker_window breaker_cooldown hedge_delay trace =
+    with_trace trace @@ fun () ->
     if rate <= 0.0 then begin
       Printf.eprintf "--rate must be positive (got %g)\n" rate;
       exit 2
@@ -416,7 +443,8 @@ let fleet_cmd =
           $ timeout_arg $ fb_rate_arg $ seed_arg $ init_failure_arg
           $ crash_arg $ error_arg $ churn_arg $ retries_arg $ retry_base_arg
           $ retry_cap_arg $ request_timeout_arg $ breaker_threshold_arg
-          $ breaker_window_arg $ breaker_cooldown_arg $ hedge_delay_arg)
+          $ breaker_window_arg $ breaker_cooldown_arg $ hedge_delay_arg
+          $ trace_arg)
 
 (* --- calibrate ------------------------------------------------------------ *)
 
@@ -485,7 +513,8 @@ let experiments_cmd =
              ~doc:"Write machine-readable rows to DIR/<id>.csv (experiments \
                    with structured data only).")
   in
-  let run only out csv =
+  let run only out csv trace =
+    with_trace trace @@ fun () ->
     let entries =
       match only with
       | [] -> Experiments.Registry.all
@@ -536,7 +565,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures on the simulator.")
-    Term.(const run $ only_arg $ out_arg $ csv_arg)
+    Term.(const run $ only_arg $ out_arg $ csv_arg $ trace_arg)
 
 let main =
   Cmd.group

@@ -53,6 +53,7 @@ module Breaker = struct
 
   type t = {
     cfg : config;
+    obs_track : int;  (* fleet-domain trace track for transition marks *)
     samples : bool array;  (* ring buffer; [true] = removal error *)
     mutable count : int;
     mutable head : int;
@@ -60,9 +61,10 @@ module Breaker = struct
     mutable st : internal;
   }
 
-  let create cfg =
+  let create ?(obs_track = 0) cfg =
     validate cfg;
     { cfg;
+      obs_track;
       samples = Array.make cfg.window false;
       count = 0;
       head = 0;
@@ -83,8 +85,15 @@ module Breaker = struct
     t.head <- 0;
     t.failures <- 0
 
+  (* state transitions are marked on the trace (the breaker's own track in
+     the fleet domain) so its behaviour can be read against request lanes *)
+  let obs_transition t name ~now =
+    Obs.Span.instant (Obs.Span.installed ()) ~domain:Obs.Span.domain_fleet
+      ~track:t.obs_track ~cat:"fleet" ~name ~ts_ms:(now *. 1000.0)
+
   let trip t ~now =
     reset_window t;
+    obs_transition t "breaker:open" ~now;
     t.st <- St_open (now +. t.cfg.cooldown_s)
 
   type admission = Admit | Probe | Shed
@@ -94,6 +103,7 @@ module Breaker = struct
     | St_closed -> Admit
     | St_open until when now < until -> Shed
     | St_open _ ->
+      obs_transition t "breaker:half-open" ~now;
       t.st <- St_half_open (ref true);
       Probe
     | St_half_open probing ->
@@ -128,6 +138,7 @@ module Breaker = struct
       if failed then trip t ~now
       else begin
         reset_window t;
+        obs_transition t "breaker:close" ~now;
         t.st <- St_closed
       end
 end

@@ -54,7 +54,9 @@ module Breaker : sig
 
   type t
 
-  val create : config -> t
+  (** [obs_track] is the fleet-domain trace track on which state
+      transitions are marked when a tracer is installed (default 0). *)
+  val create : ?obs_track:int -> config -> t
 
   type state = Closed | Open | Half_open
 

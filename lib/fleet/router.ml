@@ -113,6 +113,8 @@ type req = {
   mutable shed : bool;          (* breaker routed this straight to original *)
   mutable role : breaker_role;
   mutable acc_billed_ms : float;
+  mutable lane : int;           (* trace lane while the request is live *)
+  mutable span : Obs.Span.h;    (* open request span (none when untraced) *)
 }
 
 type event =
@@ -134,11 +136,70 @@ let rank = function
   | Timeout _ -> 2
   | Expire _ | Fb_expire _ -> 3
 
+let outcome_label = function
+  | Served k -> "served-" ^ start_kind_name k
+  | Fallback_served { trimmed; original } ->
+    Printf.sprintf "fallback-%s-%s" (start_kind_name trimmed)
+      (start_kind_name original)
+  | Shed k -> "shed-" ^ start_kind_name k
+  | Rejected -> "rejected"
+  | Timed_out -> "timed-out"
+  | Failed f -> "failed-" ^ failure_name f
+
+(* Trace geometry (domain_fleet; simulation seconds exported as ms):
+   request spans live on a small set of reused lanes (allocated at arrival,
+   freed at finalize — concurrent requests get distinct lanes, so each lane
+   is a disjoint sequence of request intervals), while attempt spans live on
+   per-instance tracks: a hedged request's stale attempt can outlive the
+   request span that spawned it, so attempts cannot share the request's
+   lane without breaking well-nesting. Instance busy periods never overlap,
+   which makes per-instance tracks well-nested by construction.
+
+   Every [run] gets its own track namespace (a disjoint [run_base] stride):
+   two runs in one process replay overlapping simulation-time ranges with
+   colliding lane/instance numbering, so sharing tracks would interleave
+   their spans. *)
+let run_stride = 1_000_000
+
 (* --- the simulation ------------------------------------------------------ *)
 
 let run cfg (trace : Platform.Trace.t) : result =
   Faults.validate cfg.faults;
   Resilience.validate cfg.resilience;
+  let sink = Obs.Span.installed () in
+  let traced = Obs.Span.enabled sink in
+  let run_base =
+    if traced then run_stride * Obs.Span.fresh_track sink else 0
+  in
+  let attempt_track inst = run_base + 100_000 + inst.Pool.id in
+  let fb_attempt_track inst = run_base + 200_000 + inst.Pool.id in
+  let free_lanes = ref [] in
+  let next_lane = ref 0 in
+  let alloc_lane () =
+    match !free_lanes with
+    | l :: rest ->
+      free_lanes := rest;
+      l
+    | [] ->
+      incr next_lane;
+      run_base + !next_lane
+  in
+  (* an attempt's extent is known the moment it is scheduled: emit the span
+     immediately with both endpoints *)
+  let attempt_span ~track ~name ~start_s ~end_s ~(r : req) ~result =
+    if traced then begin
+      let sp =
+        Obs.Span.begin_ sink ~domain:Obs.Span.domain_fleet ~track ~cat:"fleet"
+          ~name ~ts_ms:(start_s *. 1000.0)
+      in
+      Obs.Span.end_ sp
+        ~attrs:
+          [ ("req", string_of_int r.idx);
+            ("attempt", string_of_int r.attempt);
+            ("result", result) ]
+        ~ts_ms:(end_s *. 1000.0)
+    end
+  in
   let q : event Events.t = Events.create () in
   let push ~time ev = Events.push q ~time ~rank:(rank ev) ev in
   let pool = Pool.create cfg.policy in
@@ -158,7 +219,8 @@ let run cfg (trace : Platform.Trace.t) : result =
   in
   let breaker =
     match cfg.resilience.Resilience.breaker, cfg.fallback with
-    | Some bcfg, Some _ -> Some (Resilience.Breaker.create bcfg)
+    | Some bcfg, Some _ ->
+      Some (Resilience.Breaker.create ~obs_track:run_base bcfg)
     | Some _, None ->
       invalid_arg "Router: a circuit breaker requires a configured fallback"
     | None, _ -> None
@@ -169,7 +231,8 @@ let run cfg (trace : Platform.Trace.t) : result =
          { idx; arrival; needs_fb = draws idx; status = Waiting;
            start = arrival; kind = None; attempt = 0; attempts = 0;
            retries = 0; hedged = false; hedge_inflight = false; shed = false;
-           role = Unsampled; acc_billed_ms = 0.0 }
+           role = Unsampled; acc_billed_ms = 0.0; lane = 0;
+           span = Obs.Span.none }
        in
        push ~time:arrival (Arrival r))
     trace.Platform.Trace.arrivals_s;
@@ -207,7 +270,18 @@ let run cfg (trace : Platform.Trace.t) : result =
         fb_billed_ms = fb_billed;
         attempts = r.attempts;
         hedged = r.hedged }
-      :: !records
+      :: !records;
+    if traced then begin
+      Obs.Span.end_ r.span
+        ~attrs:
+          [ ("outcome", outcome_label outcome);
+            ("attempts", string_of_int r.attempts);
+            ("retries", string_of_int r.retries);
+            ("hedged", string_of_bool r.hedged);
+            ("billed_ms", Printf.sprintf "%.3f" (billed +. fb_billed)) ]
+        ~ts_ms:(finish *. 1000.0);
+      free_lanes := r.lane :: !free_lanes
+    end
   in
   let serve (r : req) inst ~now ~kind =
     r.status <- Running;
@@ -221,6 +295,9 @@ let run cfg (trace : Platform.Trace.t) : result =
     | Faults.No_fault ->
       let finish = now +. service_s cfg.profile kind in
       inst.Pool.busy_until <- finish;
+      attempt_span ~track:(attempt_track inst)
+        ~name:("attempt:" ^ start_kind_name kind) ~start_s:now ~end_s:finish
+        ~r ~result:"ok";
       push ~time:finish (Complete (r, inst))
     | Faults.Init_failure ->
       (* only drawn for cold starts: init runs to its end, fails, and the
@@ -229,6 +306,9 @@ let run cfg (trace : Platform.Trace.t) : result =
         now +. cfg.profile.instance_init_s +. cfg.profile.func_init_s
       in
       inst.Pool.busy_until <- t_fail;
+      attempt_span ~track:(attempt_track inst)
+        ~name:("attempt:" ^ start_kind_name kind) ~start_s:now ~end_s:t_fail
+        ~r ~result:(failure_name Init_failed);
       push ~time:t_fail
         (Fault_hit (r, attempt, inst, Init_failed,
                     1000.0 *. cfg.profile.func_init_s));
@@ -254,11 +334,17 @@ let run cfg (trace : Platform.Trace.t) : result =
          | Warm -> 0.0)
         +. (1000.0 *. after_fraction *. cfg.profile.exec_s)
       in
+      attempt_span ~track:(attempt_track inst)
+        ~name:("attempt:" ^ start_kind_name kind) ~start_s:now ~end_s:t_crash
+        ~r ~result:(failure_name Crashed);
       push ~time:t_crash (Fault_hit (r, attempt, inst, Crashed, billed))
     | Faults.Transient_error ->
       (* runs to completion, billed in full, but returns an error *)
       let finish = now +. service_s cfg.profile kind in
       inst.Pool.busy_until <- finish;
+      attempt_span ~track:(attempt_track inst)
+        ~name:("attempt:" ^ start_kind_name kind) ~start_s:now ~end_s:finish
+        ~r ~result:(failure_name Errored);
       push ~time:finish
         (Fault_hit (r, attempt, inst, Errored, billed_ms cfg.profile kind))
   in
@@ -383,7 +469,16 @@ let run cfg (trace : Platform.Trace.t) : result =
     | Some (now, ev) ->
       incr events_processed;
       (match ev with
-       | Arrival r -> dispatch r ~now
+       | Arrival r ->
+         if traced then begin
+           r.lane <- alloc_lane ();
+           r.span <-
+             Obs.Span.begin_ sink ~domain:Obs.Span.domain_fleet ~track:r.lane
+               ~cat:"fleet"
+               ~name:(Printf.sprintf "request:%d" r.idx)
+               ~ts_ms:(now *. 1000.0)
+         end;
+         dispatch r ~now
        | Complete (r, inst) ->
          release_primary r inst ~now;
          r.acc_billed_ms <-
@@ -413,12 +508,20 @@ let run cfg (trace : Platform.Trace.t) : result =
          drain_pending ~now
        | Retry r ->
          if r.status = Retrying then begin
+           if traced then
+             Obs.Span.instant sink ~domain:Obs.Span.domain_fleet ~track:r.lane
+               ~cat:"fleet" ~name:"retry"
+               ~attrs:[ ("retry", string_of_int r.retries) ]
+               ~ts_ms:(now *. 1000.0);
            r.attempt <- r.attempt + 1;
            dispatch r ~now
          end
        | Hedge r ->
          r.hedge_inflight <- false;
          if r.status = Running || r.status = Retrying then begin
+           if traced then
+             Obs.Span.instant sink ~domain:Obs.Span.domain_fleet ~track:r.lane
+               ~cat:"fleet" ~name:"hedge" ~ts_ms:(now *. 1000.0);
            r.attempt <- r.attempt + 1;
            dispatch r ~now
          end
@@ -432,6 +535,9 @@ let run cfg (trace : Platform.Trace.t) : result =
          in
          let finish = now +. service_s fb.fb_profile kind in
          inst.Pool.busy_until <- finish;
+         attempt_span ~track:(fb_attempt_track inst)
+           ~name:("fb-attempt:" ^ start_kind_name kind) ~start_s:now
+           ~end_s:finish ~r ~result:"ok";
          push ~time:finish (Fb_complete (r, inst, kind))
        | Fb_complete (r, inst, fb_kind) ->
          let fb = Option.get cfg.fallback in

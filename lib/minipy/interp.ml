@@ -37,6 +37,14 @@ type t = {
   remote_store : (string, value) Hashtbl.t;  (* "service/key" -> value *)
   (* content-addressed AST store consulted on import instead of re-parsing *)
   parse_cache : Parse_cache.t;
+  (* tracing: import spans are recorded on [obs_sink] against the virtual
+     clock; [obs_offset_ms] maps this interpreter's vtime (which starts at
+     0) onto the embedding timeline (e.g. a Lambda_sim invocation's
+     position in simulation time), and [obs_track] is the lane spans land
+     on. All three are owned by the embedder; the defaults trace nothing. *)
+  mutable obs_sink : Obs.Span.sink;
+  mutable obs_track : int;
+  mutable obs_offset_ms : float;
 }
 
 (* Cost model constants (virtual). *)
@@ -900,6 +908,14 @@ and import_one t (parts : string list) : module_obj =
       | Importer.Not_found ->
         py_error "ModuleNotFoundError" "No module named '%s'" name
       | Importer.Package file | Importer.Module file ->
+        (* one span per executed module import, on the virtual clock (§5.2's
+           loader hook, as a trace); cached imports return above and cost
+           nothing, so they emit nothing *)
+        let sp =
+          Obs.Span.begin_ t.obs_sink ~domain:Obs.Span.domain_virtual
+            ~track:t.obs_track ~cat:"minipy" ~name:("import:" ^ name)
+            ~ts_ms:(t.obs_offset_ms +. t.vtime_ms)
+        in
         charge_time t import_resolve_ms;
         (* the virtual import-resolve charge above is fixed, so a parse-cache
            hit changes no measurement — only host wall-clock *)
@@ -922,7 +938,10 @@ and import_one t (parts : string list) : module_obj =
         List.iter (fun h -> h.on_before name) hooks;
         let finish () =
           t.import_stack <- List.tl t.import_stack;
-          List.iter (fun h -> h.on_after name) hooks
+          List.iter (fun h -> h.on_after name) hooks;
+          Obs.Span.end_ sp
+            ~attrs:[ ("file", file) ]
+            ~ts_ms:(t.obs_offset_ms +. t.vtime_ms)
         in
         (try
            exec_block t (module_env m) prog;
@@ -1027,10 +1046,14 @@ and exec_from_import t env (clause : Ast.from_clause) names =
 let default_max_steps = 5_000_000
 
 let create ?(max_steps = default_max_steps) ?(parse_cache = Parse_cache.global)
-    (vfs : Vfs.t) : t =
+    ?(obs = false) (vfs : Vfs.t) : t =
+  let obs_sink = if obs then Obs.Span.installed () else Obs.Span.null in
   let t =
     { vfs;
       parse_cache;
+      obs_sink;
+      obs_track = Obs.Span.fresh_track obs_sink;
+      obs_offset_ms = 0.0;
       modules = Hashtbl.create 32;
       stdout_buf = Buffer.create 256;
       vtime_ms = 0.0;

@@ -36,14 +36,23 @@ type t = {
   remote_store : (string, Value.value) Hashtbl.t;
   parse_cache : Parse_cache.t;
       (** content-addressed AST store consulted on import *)
+  mutable obs_sink : Obs.Span.sink;
+      (** sink for import spans; embedders (Lambda_sim) may retarget it *)
+  mutable obs_track : int;  (** trace lane for this interpreter's spans *)
+  mutable obs_offset_ms : float;
+      (** maps vtime (starts at 0) onto the embedding timeline *)
 }
 
 val default_max_steps : int
 
 (** Fresh interpreter over an image. Starts at a ~3 MB runtime footprint.
     [parse_cache] defaults to {!Parse_cache.global}: imports of unchanged
-    sources reuse previously parsed ASTs (virtual measurements unaffected). *)
-val create : ?max_steps:int -> ?parse_cache:Parse_cache.t -> Vfs.t -> t
+    sources reuse previously parsed ASTs (virtual measurements unaffected).
+    [obs] (default [false]) records one span per executed module import on
+    the installed tracer; oracle interpreters leave it off so DD's
+    thousands of probe runs do not flood the trace. *)
+val create :
+  ?max_steps:int -> ?parse_cache:Parse_cache.t -> ?obs:bool -> Vfs.t -> t
 
 val heap_mb : t -> float
 val stdout_contents : t -> string

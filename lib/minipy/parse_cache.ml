@@ -17,24 +17,36 @@
    access; parsing runs outside the lock). Parse failures are never cached:
    the exception propagates and a retry re-parses. *)
 
+(* Hit/miss counts live in an Obs.Metrics registry rather than in private
+   mutable fields, so one aggregation point serves both the cache-stats CLI
+   line and the trace exporters. Private caches default to a fresh registry
+   (names must be unique per registry); the global cache registers in
+   Obs.Metrics.global. *)
 type t = {
   store : (string, Ast.program) Hashtbl.t;
   lock : Mutex.t;
-  mutable hits : int;
-  mutable misses : int;
+  c_hits : Obs.Metrics.counter;
+  c_misses : Obs.Metrics.counter;
   mutable enabled : bool;
 }
 
-let create ?(enabled = true) () =
+let make ~registry ~prefix ~enabled =
   { store = Hashtbl.create 256;
     lock = Mutex.create ();
-    hits = 0;
-    misses = 0;
+    c_hits = Obs.Metrics.counter registry (prefix ^ ".hits");
+    c_misses = Obs.Metrics.counter registry (prefix ^ ".misses");
     enabled }
+
+let create ?(enabled = true) ?registry ?(prefix = "minipy.parse_cache") () =
+  let registry =
+    match registry with Some r -> r | None -> Obs.Metrics.create ()
+  in
+  make ~registry ~prefix ~enabled
 
 (* The default store shared by every interpreter that is not handed an
    explicit cache. *)
-let global = create ()
+let global =
+  make ~registry:Obs.Metrics.global ~prefix:"minipy.parse_cache" ~enabled:true
 
 let set_enabled t flag = t.enabled <- flag
 
@@ -44,17 +56,17 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let hits t = locked t (fun () -> t.hits)
+let hits t = locked t (fun () -> Obs.Metrics.value t.c_hits)
 
-let misses t = locked t (fun () -> t.misses)
+let misses t = locked t (fun () -> Obs.Metrics.value t.c_misses)
 
 let size t = locked t (fun () -> Hashtbl.length t.store)
 
 let clear t =
   locked t (fun () ->
       Hashtbl.reset t.store;
-      t.hits <- 0;
-      t.misses <- 0)
+      Obs.Metrics.incr ~by:(-Obs.Metrics.value t.c_hits) t.c_hits;
+      Obs.Metrics.incr ~by:(-Obs.Metrics.value t.c_misses) t.c_misses)
 
 (* Look up [key]; on a miss run [parse ()] outside the lock and store the
    result. Concurrent misses on the same key parse twice and converge — the
@@ -66,10 +78,10 @@ let find_or_parse t key parse =
       locked t (fun () ->
           match Hashtbl.find_opt t.store key with
           | Some prog ->
-            t.hits <- t.hits + 1;
+            Obs.Metrics.incr t.c_hits;
             Some prog
           | None ->
-            t.misses <- t.misses + 1;
+            Obs.Metrics.incr t.c_misses;
             None)
     in
     match cached with

@@ -10,7 +10,11 @@
 
 type t
 
-val create : ?enabled:bool -> unit -> t
+(** Hit/miss counts live in an {!Obs.Metrics} registry (default: a fresh
+    private one; pass [~registry:Obs.Metrics.global] to aggregate with the
+    rest of the run) under [<prefix>.hits] / [<prefix>.misses]. *)
+val create :
+  ?enabled:bool -> ?registry:Obs.Metrics.registry -> ?prefix:string -> unit -> t
 
 (** The default store shared by every interpreter not handed an explicit
     cache ({!Interp.create}'s [?parse_cache]). *)

@@ -1,0 +1,207 @@
+(* Virtual-clock span tracing.
+
+   The substrate never reads a clock itself: every [begin_]/[end_]/[instant]
+   takes an explicit timestamp, so each layer records against its natural
+   timeline — the interpreter's virtual clock, the fleet simulator's event
+   time, or host wall-clock for the debloating pipeline (which has no virtual
+   timeline of its own). Timelines that cannot be compared live in separate
+   *domains* (exported as Chrome trace pids); within a domain, spans are laid
+   out on *tracks* (tids) and must be well-nested per track.
+
+   The null sink makes disabled tracing measurement-neutral by construction:
+   [begin_] returns the preallocated [none] handle without allocating, and
+   every other operation is a single pattern match. Virtual measurements
+   could not be perturbed either way (the clock and byte ledger are charged
+   at fixed points), but allocation-freedom keeps host-side benchmarks honest
+   too. *)
+
+type attr = string * string
+
+type kind = Complete | Instant
+
+type span = {
+  sp_name : string;
+  sp_cat : string;            (* instrumented layer: minipy, platform, ... *)
+  sp_domain : int;            (* clock domain; Chrome pid *)
+  sp_track : int;             (* lane within the domain; Chrome tid *)
+  sp_start_ms : float;
+  mutable sp_dur_ms : float;  (* -1 while open; 0 for instants *)
+  mutable sp_attrs : attr list;
+  sp_kind : kind;
+  sp_seq : int;               (* begin order, for stable export *)
+}
+
+(* Sink contract: a completed span (or instant) is pushed exactly once, at
+   [end_]/[instant] time. [keep = false] sinks only observe the stream. *)
+type state = {
+  mutable spans : span list;  (* completed, newest first *)
+  mutable seq : int;
+  mutable next_track : int;
+  keep : bool;
+  on_complete : span -> unit;
+}
+
+type sink = Null | Active of state
+
+let null = Null
+
+let recorder () =
+  Active
+    { spans = []; seq = 0; next_track = 0; keep = true; on_complete = ignore }
+
+let custom ~on_complete =
+  Active { spans = []; seq = 0; next_track = 0; keep = false; on_complete }
+
+let enabled = function Null -> false | Active _ -> true
+
+let spans = function
+  | Null -> []
+  | Active st ->
+    List.sort (fun a b -> compare a.sp_seq b.sp_seq) st.spans
+
+let fresh_track = function
+  | Null -> 0
+  | Active st ->
+    st.next_track <- st.next_track + 1;
+    st.next_track
+
+(* --- clock domains -------------------------------------------------------- *)
+
+let domain_virtual = 1  (* interpreter / platform-simulator virtual clock *)
+let domain_wall = 2     (* host wall-clock: pipeline, DD, oracle queries *)
+let domain_fleet = 3    (* fleet discrete-event simulation time *)
+
+let domain_name = function
+  | 1 -> "virtual-clock"
+  | 2 -> "wall-clock"
+  | 3 -> "fleet-sim"
+  | d -> Printf.sprintf "domain-%d" d
+
+(* The shared wall clock for [domain_wall] spans, relative to a process
+   epoch: absolute epoch microseconds (~1.8e15) exceed the double mantissa
+   (ULP ≈ 0.25 µs), so exported timestamps would lose the sub-µs ordering
+   that nesting checks rely on. All wall-clock instrumentation must use
+   this one clock — mixing epochs breaks cross-module nesting. *)
+let wall_epoch_s = ref Float.nan
+
+let wall_ms () =
+  let now = Unix.gettimeofday () in
+  if Float.is_nan !wall_epoch_s then wall_epoch_s := now;
+  (now -. !wall_epoch_s) *. 1000.0
+
+(* --- the global tracer ---------------------------------------------------- *)
+
+(* One process-wide sink, installed by the CLI's [--trace] (or a test) and
+   consulted by every instrumented layer. Defaults to [Null]: tracing is off
+   unless something turns it on. *)
+let current = ref Null
+
+let install s = current := s
+
+let installed () = !current
+
+(* --- span lifecycle ------------------------------------------------------- *)
+
+type h = No_span | Open of state * span
+
+let none = No_span
+
+let begin_ t ~domain ~track ~cat ~name ~ts_ms =
+  match t with
+  | Null -> No_span
+  | Active st ->
+    st.seq <- st.seq + 1;
+    Open
+      ( st,
+        { sp_name = name;
+          sp_cat = cat;
+          sp_domain = domain;
+          sp_track = track;
+          sp_start_ms = ts_ms;
+          sp_dur_ms = -1.0;
+          sp_attrs = [];
+          sp_kind = Complete;
+          sp_seq = st.seq } )
+
+let add_attr h key value =
+  match h with
+  | No_span -> ()
+  | Open (_, sp) -> sp.sp_attrs <- sp.sp_attrs @ [ (key, value) ]
+
+let end_ ?(attrs = []) h ~ts_ms =
+  match h with
+  | No_span -> ()
+  | Open (st, sp) ->
+    (* defensive clamp: wall clocks are not guaranteed monotone *)
+    sp.sp_dur_ms <- Float.max 0.0 (ts_ms -. sp.sp_start_ms);
+    if attrs <> [] then sp.sp_attrs <- sp.sp_attrs @ attrs;
+    if st.keep then st.spans <- sp :: st.spans;
+    st.on_complete sp
+
+let instant ?(attrs = []) t ~domain ~track ~cat ~name ~ts_ms =
+  match t with
+  | Null -> ()
+  | Active st ->
+    st.seq <- st.seq + 1;
+    let sp =
+      { sp_name = name;
+        sp_cat = cat;
+        sp_domain = domain;
+        sp_track = track;
+        sp_start_ms = ts_ms;
+        sp_dur_ms = 0.0;
+        sp_attrs = attrs;
+        sp_kind = Instant;
+        sp_seq = st.seq }
+    in
+    if st.keep then st.spans <- sp :: st.spans;
+    st.on_complete sp
+
+let with_span t ~domain ~track ~cat ~name ~clock f =
+  match t with
+  | Null -> f ()
+  | Active _ ->
+    let h = begin_ t ~domain ~track ~cat ~name ~ts_ms:(clock ()) in
+    Fun.protect ~finally:(fun () -> end_ h ~ts_ms:(clock ())) f
+
+(* --- invariant checking (tests, CI) --------------------------------------- *)
+
+(* Complete spans on the same (domain, track) must pairwise nest or be
+   disjoint; instants are points and always fine. Returns the first offending
+   pair, if any. *)
+let nesting_violation all =
+  let completes =
+    List.filter (fun s -> s.sp_kind = Complete && s.sp_dur_ms >= 0.0) all
+  in
+  let by_track = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+       let k = (s.sp_domain, s.sp_track) in
+       Hashtbl.replace by_track k
+         (s :: (Option.value ~default:[] (Hashtbl.find_opt by_track k))))
+    completes;
+  let bad = ref None in
+  Hashtbl.iter
+    (fun _ spans ->
+       if !bad = None then
+         let arr = Array.of_list spans in
+         let n = Array.length arr in
+         for i = 0 to n - 1 do
+           for j = i + 1 to n - 1 do
+             if !bad = None then begin
+               let a = arr.(i) and b = arr.(j) in
+               let a_end = a.sp_start_ms +. a.sp_dur_ms in
+               let b_end = b.sp_start_ms +. b.sp_dur_ms in
+               let nested =
+                 (b.sp_start_ms >= a.sp_start_ms && b_end <= a_end)
+                 || (a.sp_start_ms >= b.sp_start_ms && a_end <= b_end)
+               in
+               let disjoint = b.sp_start_ms >= a_end || a.sp_start_ms >= b_end in
+               if not (nested || disjoint) then bad := Some (a, b)
+             end
+           done
+         done)
+    by_track;
+  !bad
+
+let well_nested all = nesting_violation all = None

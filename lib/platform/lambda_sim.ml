@@ -61,12 +61,16 @@ type t = {
   deployment : Deployment.t;
   pricing : Pricing.t;
   params : params;
+  obs : bool;   (* emit Fig.-1 phase spans on the installed tracer; the
+                   oracle's probe sims turn this off to keep DD's thousands
+                   of runs out of the trace *)
   mutable live : instance option;   (* single-concurrency pool *)
   mutable records : record list;    (* newest first *)
 }
 
-let create ?(pricing = Pricing.aws) ?(params = default_params) deployment =
-  { deployment; pricing; params; live = None; records = [] }
+let create ?(pricing = Pricing.aws) ?(params = default_params) ?(obs = true)
+    deployment =
+  { deployment; pricing; params; obs; live = None; records = [] }
 
 let eval_expr interp src =
   (* test-case events repeat across thousands of oracle invocations; the
@@ -79,11 +83,18 @@ let eval_expr interp src =
     Minipy.Interp.eval interp (Minipy.Interp.module_env m) e
   | _ -> invalid_arg (Printf.sprintf "not a single expression: %S" src)
 
-(* Run Function Initialization: execute the handler module top-level. *)
-let initialize t : instance * float =
+(* Run Function Initialization: execute the handler module top-level.
+   [sink]/[track]/[at_ms] aim the interpreter's import spans at this
+   invocation's trace lane, with vtime 0 mapped to [at_ms] (the phase's
+   position in simulation time). *)
+let initialize ?(sink = Obs.Span.null) ?(track = 0) ?(at_ms = 0.0) t :
+    instance * float =
   let interp =
     Minipy.Interp.create ~max_steps:t.params.max_steps t.deployment.Deployment.vfs
   in
+  interp.Minipy.Interp.obs_sink <- sink;
+  interp.Minipy.Interp.obs_track <- track;
+  interp.Minipy.Interp.obs_offset_ms <- at_ms -. interp.Minipy.Interp.vtime_ms;
   let prog = Deployment.parse_handler t.deployment in
   let t0 = interp.Minipy.Interp.vtime_ms in
   let namespace = Minipy.Interp.exec_main interp prog in
@@ -96,6 +107,16 @@ let transmission_ms t =
 (* Invoke the deployed function at time [now_s] with oracle test case inputs
    given as minipy expression sources. *)
 let invoke ?(event = "{}") ?(context = Deployment.default_context) t ~now_s () =
+  (* each invocation gets its own trace lane: overlapping invocations
+     (cold at sim time 0, warm at 1000 ms) would otherwise collide on one
+     track and break well-nesting *)
+  let sink = if t.obs then Obs.Span.installed () else Obs.Span.null in
+  let track = Obs.Span.fresh_track sink in
+  let base_ms = now_s *. 1000.0 in
+  let inv_sp =
+    Obs.Span.begin_ sink ~domain:Obs.Span.domain_virtual ~track ~cat:"platform"
+      ~name:"invoke" ~ts_ms:base_ms
+  in
   let reusable =
     match t.live with
     | Some inst when inst.expires_at >= now_s -> Some inst
@@ -107,7 +128,10 @@ let invoke ?(event = "{}") ?(context = Deployment.default_context) t ~now_s () =
     | None ->
       (* an init-phase crash is billed for the time spent and surfaces as a
          function error, exactly as the platform reports it *)
-      (match initialize t with
+      (match
+         initialize t ~sink ~track
+           ~at_ms:(base_ms +. t.params.instance_init_ms +. transmission_ms t)
+       with
        | inst, init_ms ->
          (Cold, inst, t.params.instance_init_ms, transmission_ms t, init_ms,
           None)
@@ -127,6 +151,12 @@ let invoke ?(event = "{}") ?(context = Deployment.default_context) t ~now_s () =
   let stdout_before = Buffer.length interp.Minipy.Interp.stdout_buf in
   let calls_before = List.length interp.Minipy.Interp.external_calls in
   let t0 = interp.Minipy.Interp.vtime_ms in
+  let exec_base_ms = base_ms +. instance_init_ms +. trans_ms +. init_ms in
+  (* retarget the (possibly reused) interpreter at this invocation's lane:
+     lazy imports made inside the handler trace into the exec phase *)
+  interp.Minipy.Interp.obs_sink <- sink;
+  interp.Minipy.Interp.obs_track <- track;
+  interp.Minipy.Interp.obs_offset_ms <- exec_base_ms -. t0;
   let outcome =
     match init_error with
     | Some e -> Error e
@@ -173,6 +203,33 @@ let invoke ?(event = "{}") ?(context = Deployment.default_context) t ~now_s () =
       e2e_ms; billed_ms; peak_memory_mb; cost; outcome; stdout; external_calls }
   in
   t.records <- record :: t.records;
+  if Obs.Span.enabled sink then begin
+    (* phase boundaries are all known now; emit the Fig.-1 breakdown as
+       immediate spans on this invocation's lane *)
+    let phase name start_ms dur_ms =
+      let sp =
+        Obs.Span.begin_ sink ~domain:Obs.Span.domain_virtual ~track
+          ~cat:"platform" ~name ~ts_ms:start_ms
+      in
+      Obs.Span.end_ sp ~ts_ms:(start_ms +. dur_ms)
+    in
+    (match kind with
+     | Cold ->
+       phase "phase:instance_init" base_ms instance_init_ms;
+       phase "phase:transmission" (base_ms +. instance_init_ms) trans_ms;
+       phase "phase:function_init"
+         (base_ms +. instance_init_ms +. trans_ms)
+         init_ms
+     | Warm -> ());
+    phase "phase:function_exec" exec_base_ms exec_ms
+  end;
+  Obs.Span.end_ inv_sp
+    ~attrs:
+      [ ("kind", start_kind_name kind);
+        ("billed_ms", Printf.sprintf "%.3f" billed_ms);
+        ("cost_usd", Printf.sprintf "%.9f" cost);
+        ("memory_mb", Printf.sprintf "%.2f" peak_memory_mb) ]
+    ~ts_ms:(base_ms +. e2e_ms);
   record
 
 (* Force the platform to discard the warm instance — the evaluation triggers

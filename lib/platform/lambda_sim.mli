@@ -51,11 +51,16 @@ type t = {
   deployment : Deployment.t;
   pricing : Pricing.t;
   params : params;
+  obs : bool;  (** emit Fig.-1 phase spans on the installed tracer *)
   mutable live : instance option;
   mutable records : record list;
 }
 
-val create : ?pricing:Pricing.t -> ?params:params -> Deployment.t -> t
+(** [obs] (default [true]) records each invocation on the installed tracer:
+    an [invoke] span per request on a fresh lane, with the Fig.-1 phase
+    breakdown and the interpreter's import spans nested inside. The oracle's
+    probe sims pass [~obs:false]. *)
+val create : ?pricing:Pricing.t -> ?params:params -> ?obs:bool -> Deployment.t -> t
 
 (** Time to pull the deployment image at the configured bandwidth. *)
 val transmission_ms : t -> float

@@ -1,5 +1,18 @@
 (* Summary statistics for experiment reporting: means, percentiles, CDFs. *)
 
+(* NaN policy for the order statistics: polymorphic [compare] places NaN
+   inconsistently (its comparisons all lie), so a single NaN used to poison
+   every rank. NaNs carry no order information — drop them before sorting,
+   counting each drop so a polluted data set is visible in the metrics
+   export rather than silently shrunk. *)
+let nan_dropped = Obs.Metrics.counter Obs.Metrics.global "platform.metrics.nan_dropped"
+
+let drop_nans xs =
+  let kept = List.filter (fun x -> not (Float.is_nan x)) xs in
+  let dropped = List.length xs - List.length kept in
+  if dropped > 0 then Obs.Metrics.incr ~by:dropped nan_dropped;
+  kept
+
 let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
@@ -7,11 +20,11 @@ let mean = function
 (* Sort into an array once: [List.nth] over a sorted list made each lookup
    O(n), which turned report aggregation over large fleets quadratic. *)
 let percentile p xs =
-  match xs with
+  match drop_nans xs with
   | [] -> 0.0
-  | _ ->
+  | xs ->
     let a = Array.of_list xs in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let n = Array.length a in
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in
@@ -37,7 +50,7 @@ let stddev xs =
 
 (* CDF sample points: fraction of values <= x for each x in the sorted data. *)
 let cdf xs =
-  let sorted = List.sort compare xs in
+  let sorted = List.sort Float.compare (drop_nans xs) in
   let n = float_of_int (List.length sorted) in
   List.mapi (fun i x -> (x, float_of_int (i + 1) /. n)) sorted
 

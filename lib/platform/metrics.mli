@@ -3,7 +3,12 @@
     Every function here is total: on the empty list, [mean], [percentile]
     (and its [median]/[p95]/[p99] conveniences) and [stddev] return [0.0]
     rather than raising, so report code can aggregate sparse buckets (e.g. a
-    fleet run where no request timed out) without guarding. *)
+    fleet run where no request timed out) without guarding.
+
+    NaN policy: the order statistics ([percentile]/[median]/[p95]/[p99] and
+    [cdf]) sort with [Float.compare] and drop NaN inputs, counting each drop
+    in the [platform.metrics.nan_dropped] counter of {!Obs.Metrics.global}
+    so polluted data is visible rather than rank-poisoning. *)
 
 (** [0.0] on the empty list. *)
 val mean : float list -> float

@@ -45,12 +45,25 @@ let azure =
 
 let provider_name = function Aws -> "aws" | Gcp -> "gcp" | Azure -> "azure"
 
-(* Round a raw duration up to the billing granularity. *)
+(* Round a raw duration up to the billing granularity.
+
+   Durations arrive as sums of many small float charges, so a run that is
+   exactly on a tick boundary can land at e.g. 1000.0000000002 ms and a
+   naive ceil would bill a whole extra tick (a 100% overcharge at Azure's
+   1 s granularity). Snap quotients within one part in 10^9 of an integer
+   tick count before rounding up. *)
 let billed_duration_ms t raw_ms =
   if raw_ms <= 0.0 then 0.0
   else
     let g = t.billing_granularity_ms in
-    Float.of_int (int_of_float (Float.ceil (raw_ms /. g))) *. g
+    let q = raw_ms /. g in
+    let nearest = Float.round q in
+    let ticks =
+      if Float.abs (q -. nearest) <= 1e-9 *. Float.max 1.0 (Float.abs q)
+      then nearest
+      else Float.ceil q
+    in
+    ticks *. g
 
 (* The memory configuration implied by a measured peak footprint: the peak
    rounded up to a whole MB, clamped to the provider's floor and ceiling. *)

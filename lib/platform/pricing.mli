@@ -24,7 +24,10 @@ val gcp : t
 val azure : t
 val provider_name : provider -> string
 
-(** Round a raw duration up to the provider's billing granularity. *)
+(** Round a raw duration up to the provider's billing granularity.
+    Epsilon-safe on exact boundaries: a duration within one part in 10^9 of
+    a whole number of ticks (float error accumulated from summed charges)
+    bills that tick count, not an extra one. *)
 val billed_duration_ms : t -> float -> float
 
 (** The memory configuration implied by a measured peak footprint: rounded up

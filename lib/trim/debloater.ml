@@ -57,6 +57,46 @@ let with_restricted (d : Platform.Deployment.t) ~file ~keep =
   Minipy.Vfs.add_file d'.Platform.Deployment.vfs file rewritten;
   d'
 
+(* DD has no virtual timeline — its spans run on the host wall clock
+   (Obs.Span.wall_ms, shared with the pipeline), on the same sequential
+   lane as the pipeline phases (see Pipeline.obs_track), so dd:<module>
+   nests inside phase:debloat and oracle:query inside dd:<module>. *)
+let wall_ms = Obs.Span.wall_ms
+
+let obs_track = 1
+
+let obs_dd_span ~module_name f =
+  Obs.Span.with_span (Obs.Span.installed ()) ~domain:Obs.Span.domain_wall
+    ~track:obs_track ~cat:"dd" ~name:("dd:" ^ module_name) ~clock:wall_ms f
+
+(* Wrap a DD oracle so every query is a span carrying its verdict, the
+   candidate size, and the observation-memo traffic it generated. Off the
+   tracer this is the bare oracle call. *)
+let traced_oracle ~module_name ~(cache : Oracle.Cache.t) dd_oracle subset =
+  let sink = Obs.Span.installed () in
+  if not (Obs.Span.enabled sink) then dd_oracle subset
+  else begin
+    let sp =
+      Obs.Span.begin_ sink ~domain:Obs.Span.domain_wall ~track:obs_track
+        ~cat:"oracle" ~name:"oracle:query" ~ts_ms:(wall_ms ())
+    in
+    let h0 = Oracle.Cache.hits cache and m0 = Oracle.Cache.misses cache in
+    match dd_oracle subset with
+    | pass ->
+      Obs.Span.end_ sp
+        ~attrs:
+          [ ("module", module_name);
+            ("subset_size", string_of_int (List.length subset));
+            ("pass", string_of_bool pass);
+            ("memo_hits", string_of_int (Oracle.Cache.hits cache - h0));
+            ("memo_misses", string_of_int (Oracle.Cache.misses cache - m0)) ]
+        ~ts_ms:(wall_ms ());
+      pass
+    | exception e ->
+      Obs.Span.end_ sp ~ts_ms:(wall_ms ());
+      raise e
+  end
+
 (* Record the observation-memo traffic of [f ()] into [stats]. *)
 let with_memo_stats (cache : Oracle.Cache.t) (f : unit -> 'a * Dd.stats) :
   'a * Dd.stats =
@@ -108,9 +148,11 @@ let debloat_module ?(on_step = fun (_ : string Dd.step) -> ())
     let dd_oracle subset =
       oracle (with_restricted d ~file ~keep:(protected_list @ subset))
     in
+    let dd_oracle = traced_oracle ~module_name ~cache:oracle_cache dd_oracle in
     let kept, stats =
-      with_memo_stats oracle_cache (fun () ->
-          Dd.minimize ~on_step ~oracle:dd_oracle candidates)
+      obs_dd_span ~module_name (fun () ->
+          with_memo_stats oracle_cache (fun () ->
+              Dd.minimize ~on_step ~oracle:dd_oracle candidates))
     in
     let final_keep = protected_list @ kept in
     let d' = with_restricted d ~file ~keep:final_keep in
@@ -152,9 +194,11 @@ let debloat_module_statements ?(oracle_cache = Oracle.Cache.global)
     let dd_oracle subset =
       oracle (with_restricted_statements d ~file ~keep:(always_keep @ subset))
     in
+    let dd_oracle = traced_oracle ~module_name ~cache:oracle_cache dd_oracle in
     let kept, stats =
-      with_memo_stats oracle_cache (fun () ->
-          Dd.minimize ~oracle:dd_oracle candidates)
+      obs_dd_span ~module_name (fun () ->
+          with_memo_stats oracle_cache (fun () ->
+              Dd.minimize ~oracle:dd_oracle candidates))
     in
     let final_keep = always_keep @ kept in
     let d' = with_restricted_statements d ~file ~keep:final_keep in
@@ -202,13 +246,15 @@ let debloat_module_seeded ?(oracle_cache = Oracle.Cache.global)
     let dd_oracle subset =
       oracle (with_restricted d ~file ~keep:(protected_list @ subset))
     in
+    let dd_oracle = traced_oracle ~module_name ~cache:oracle_cache dd_oracle in
     let seed = List.filter (fun a -> List.mem a candidates) seed_keep in
     let (kept, seed_hit), stats =
-      with_memo_stats oracle_cache (fun () ->
-          let kept, stats, seed_hit =
-            Dd.minimize_with_seed ~oracle:dd_oracle ~seed candidates
-          in
-          ((kept, seed_hit), stats))
+      obs_dd_span ~module_name (fun () ->
+          with_memo_stats oracle_cache (fun () ->
+              let kept, stats, seed_hit =
+                Dd.minimize_with_seed ~oracle:dd_oracle ~seed candidates
+              in
+              ((kept, seed_hit), stats)))
     in
     let final_keep = protected_list @ kept in
     let d' = with_restricted d ~file ~keep:final_keep in

@@ -23,22 +23,32 @@ type observation = {
 (* --- observation memo ----------------------------------------------------- *)
 
 module Cache = struct
+  (* Hit/miss counts live in an Obs.Metrics registry (the global memo in
+     Obs.Metrics.global as oracle.memo.hits/misses) so trace exports see the
+     same numbers the cache-stats line prints. *)
   type t = {
     store : (string, string) Hashtbl.t;  (* per-test key -> canonical output *)
     lock : Mutex.t;
-    mutable hits : int;
-    mutable misses : int;
+    c_hits : Obs.Metrics.counter;
+    c_misses : Obs.Metrics.counter;
     mutable enabled : bool;
   }
 
-  let create ?(enabled = true) () =
+  let make ~registry ~prefix ~enabled =
     { store = Hashtbl.create 1024;
       lock = Mutex.create ();
-      hits = 0;
-      misses = 0;
+      c_hits = Obs.Metrics.counter registry (prefix ^ ".hits");
+      c_misses = Obs.Metrics.counter registry (prefix ^ ".misses");
       enabled }
 
-  let global = create ()
+  let create ?(enabled = true) ?registry ?(prefix = "oracle.memo") () =
+    let registry =
+      match registry with Some r -> r | None -> Obs.Metrics.create ()
+    in
+    make ~registry ~prefix ~enabled
+
+  let global =
+    make ~registry:Obs.Metrics.global ~prefix:"oracle.memo" ~enabled:true
 
   let set_enabled t flag = t.enabled <- flag
 
@@ -48,26 +58,26 @@ module Cache = struct
     Mutex.lock t.lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-  let hits t = locked t (fun () -> t.hits)
+  let hits t = locked t (fun () -> Obs.Metrics.value t.c_hits)
 
-  let misses t = locked t (fun () -> t.misses)
+  let misses t = locked t (fun () -> Obs.Metrics.value t.c_misses)
 
   let size t = locked t (fun () -> Hashtbl.length t.store)
 
   let clear t =
     locked t (fun () ->
         Hashtbl.reset t.store;
-        t.hits <- 0;
-        t.misses <- 0)
+        Obs.Metrics.incr ~by:(-Obs.Metrics.value t.c_hits) t.c_hits;
+        Obs.Metrics.incr ~by:(-Obs.Metrics.value t.c_misses) t.c_misses)
 
   let find t key =
     locked t (fun () ->
         match Hashtbl.find_opt t.store key with
         | Some out ->
-          t.hits <- t.hits + 1;
+          Obs.Metrics.incr t.c_hits;
           Some out
         | None ->
-          t.misses <- t.misses + 1;
+          Obs.Metrics.incr t.c_misses;
           None)
 
   let store t key out = locked t (fun () -> Hashtbl.replace t.store key out)
@@ -87,10 +97,13 @@ let canonical_of_record (r : Platform.Lambda_sim.record) =
     Printf.sprintf "%sERR:%s:%s%s" r.Platform.Lambda_sim.stdout
       e.Minipy.Value.exc_class e.Minipy.Value.exc_msg calls
 
-(* Run one test case in a fresh interpreter — the uncached path. *)
+(* Run one test case in a fresh interpreter — the uncached path. The probe
+   sim is untraced: DD issues thousands of these per module, and their
+   per-invocation spans would drown the trace (the query itself is spanned
+   at the DD layer, with memo traffic attached). *)
 let run_test_case (d : Platform.Deployment.t)
     (tc : Platform.Deployment.test_case) : string =
-  let sim = Platform.Lambda_sim.create d in
+  let sim = Platform.Lambda_sim.create ~obs:false d in
   try
     let r =
       Platform.Lambda_sim.invoke sim ~now_s:0.0

@@ -20,7 +20,12 @@ type observation = {
 module Cache : sig
   type t
 
-  val create : ?enabled:bool -> unit -> t
+  (** Hit/miss counts live in an {!Obs.Metrics} registry (default: a fresh
+      private one) under [<prefix>.hits] / [<prefix>.misses]; the {!global}
+      memo registers as [oracle.memo.*] in [Obs.Metrics.global]. *)
+  val create :
+    ?enabled:bool -> ?registry:Obs.Metrics.registry -> ?prefix:string ->
+    unit -> t
 
   (** The default memo shared by {!observe} and {!for_reference} callers
       that do not inject their own — this is what lets continuous re-runs

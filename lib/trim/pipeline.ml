@@ -61,20 +61,40 @@ let with_cache_stats f =
       oracle_hits = Oracle.Cache.hits oc - oh0;
       oracle_misses = Oracle.Cache.misses oc - om0 } )
 
+(* Pipeline stages have no virtual timeline, so their spans live on the
+   host wall clock (Obs.Span.wall_ms — the process-epoch-relative clock
+   every wall-clock span must share). The stages are sequential, so every
+   wall-clock span in a process (pipeline phases, per-module DD, oracle
+   queries) shares one lane and nests by construction. *)
+let wall_ms = Obs.Span.wall_ms
+
+let obs_track = 1
+
+let obs_phase name f =
+  Obs.Span.with_span (Obs.Span.installed ()) ~domain:Obs.Span.domain_wall
+    ~track:obs_track ~cat:"pipeline" ~name ~clock:wall_ms f
+
 let run ?(options = default_options) (app : Platform.Deployment.t) : report =
   let wall_start = Unix.gettimeofday () in
   let (analysis, profile, ranked, optimized, module_results), caches =
     with_cache_stats (fun () ->
+        obs_phase "pipeline:run" (fun () ->
         (* Stage 1: static analysis *)
-        let analysis = Static_analyzer.analyze app in
+        let analysis =
+          obs_phase "phase:static_analysis" (fun () ->
+              Static_analyzer.analyze app)
+        in
         if options.log then
           Log.info (fun m ->
               m "static analysis: %d imported roots"
                 (List.length analysis.Static_analyzer.imported_roots));
         (* Stage 2: profiling + top-K ranking by marginal monetary cost *)
-        let profile = Profiler.profile app in
-        let top = Scoring.top_k options.scoring profile ~k:options.k in
-        let ranked = List.map (fun mp -> mp.Profiler.mp_name) top in
+        let profile, ranked =
+          obs_phase "phase:profile" (fun () ->
+              let profile = Profiler.profile app in
+              let top = Scoring.top_k options.scoring profile ~k:options.k in
+              (profile, List.map (fun mp -> mp.Profiler.mp_name) top))
+        in
         if options.log then
           Log.info (fun m -> m "profiler ranked top-%d: %s" options.k
                        (String.concat ", " ranked));
@@ -83,22 +103,23 @@ let run ?(options = default_options) (app : Platform.Deployment.t) : report =
            each module is debloated against the deployment produced so far,
            so later modules see earlier trims (the paper debloats the top-K
            sequentially). *)
-        let oracle, _expected = Oracle.for_reference app in
         let optimized, module_results =
-          List.fold_left
-            (fun (d, results) module_name ->
-               let protected =
-                 Static_analyzer.protected_attrs analysis ~module_name
-               in
-               let d', r =
-                 Debloater.debloat_module ~oracle ~protected d ~module_name
-               in
-               if options.log then
-                 Log.info (fun m -> m "%a" Debloater.pp_module_result r);
-               (d', r :: results))
-            (app, []) ranked
+          obs_phase "phase:debloat" (fun () ->
+              let oracle, _expected = Oracle.for_reference app in
+              List.fold_left
+                (fun (d, results) module_name ->
+                   let protected =
+                     Static_analyzer.protected_attrs analysis ~module_name
+                   in
+                   let d', r =
+                     Debloater.debloat_module ~oracle ~protected d ~module_name
+                   in
+                   if options.log then
+                     Log.info (fun m -> m "%a" Debloater.pp_module_result r);
+                   (d', r :: results))
+                (app, []) ranked)
         in
-        (analysis, profile, ranked, optimized, List.rev module_results))
+        (analysis, profile, ranked, optimized, List.rev module_results)))
   in
   { app_name = app.Platform.Deployment.name;
     original = app;
@@ -154,10 +175,17 @@ let run_continuous ?(options = default_options)
          seeded),
         caches ) =
     with_cache_stats (fun () ->
-        let analysis = Static_analyzer.analyze app in
-        let profile = Profiler.profile app in
-        let top = Scoring.top_k options.scoring profile ~k:options.k in
-        let ranked = List.map (fun mp -> mp.Profiler.mp_name) top in
+        obs_phase "pipeline:run_continuous" (fun () ->
+        let analysis =
+          obs_phase "phase:static_analysis" (fun () ->
+              Static_analyzer.analyze app)
+        in
+        let profile, ranked =
+          obs_phase "phase:profile" (fun () ->
+              let profile = Profiler.profile app in
+              let top = Scoring.top_k options.scoring profile ~k:options.k in
+              (profile, List.map (fun mp -> mp.Profiler.mp_name) top))
+        in
         let oracle, _expected = Oracle.for_reference app in
         (* previous keep-set per module: everything it did NOT remove *)
         let seed_for module_name =
@@ -185,28 +213,30 @@ let run_continuous ?(options = default_options)
           | None -> []
         in
         let optimized, module_results, seed_hits, seeded =
-          List.fold_left
-            (fun (d, results, hits, seeded) module_name ->
-               let protected =
-                 Static_analyzer.protected_attrs analysis ~module_name
-               in
-               let seed_keep = seed_for module_name in
-               if seed_keep = [] then
-                 let d', r =
-                   Debloater.debloat_module ~oracle ~protected d ~module_name
-                 in
-                 (d', r :: results, hits, seeded)
-               else
-                 let d', r, hit =
-                   Debloater.debloat_module_seeded ~oracle ~protected
-                     ~seed_keep d ~module_name
-                 in
-                 (d', r :: results, (if hit then hits + 1 else hits),
-                  seeded + 1))
-            (app, [], 0, 0) ranked
+          obs_phase "phase:debloat" (fun () ->
+              List.fold_left
+                (fun (d, results, hits, seeded) module_name ->
+                   let protected =
+                     Static_analyzer.protected_attrs analysis ~module_name
+                   in
+                   let seed_keep = seed_for module_name in
+                   if seed_keep = [] then
+                     let d', r =
+                       Debloater.debloat_module ~oracle ~protected d
+                         ~module_name
+                     in
+                     (d', r :: results, hits, seeded)
+                   else
+                     let d', r, hit =
+                       Debloater.debloat_module_seeded ~oracle ~protected
+                         ~seed_keep d ~module_name
+                     in
+                     (d', r :: results, (if hit then hits + 1 else hits),
+                      seeded + 1))
+                (app, [], 0, 0) ranked)
         in
         (analysis, profile, ranked, optimized, List.rev module_results,
-         seed_hits, seeded))
+         seed_hits, seeded)))
   in
   { base =
       { app_name = app.Platform.Deployment.name;

@@ -37,7 +37,12 @@ type frame = {
 (* Profile Function Initialization of a deployment by executing the handler
    module with measurement hooks installed, in a fresh interpreter. *)
 let profile (d : Platform.Deployment.t) : result =
-  let interp = Minipy.Interp.create ~max_steps:20_000_000 d.Platform.Deployment.vfs in
+  (* obs: the profiler's import tree is exactly what §5.2's hooks measure,
+     so it doubles as the trace's per-module import breakdown *)
+  let interp =
+    Minipy.Interp.create ~max_steps:20_000_000 ~obs:true
+      d.Platform.Deployment.vfs
+  in
   let stack : frame list ref = ref [] in
   let finished : module_profile list ref = ref [] in
   let order = ref 0 in

@@ -102,8 +102,30 @@ let mechanics =
           true
           (stats.Dd.oracle_queries < 20 * n)) ]
 
+let duplicates =
+  [ Alcotest.test_case "duplicate items are removed positionally" `Quick
+      (fun () ->
+        (* [5; 5] passes a mem-oracle but is not 1-minimal: dropping either
+           copy still passes. The former physical-inequality filter removed
+           both structurally equal copies at once, so the oracle saw [] and
+           the doubleton was wrongly judged minimal. *)
+        let oracle subset = List.mem 5 subset in
+        Alcotest.(check bool) "[5] is 1-minimal" true
+          (Dd.is_one_minimal ~oracle [ 5 ]);
+        Alcotest.(check bool) "[5; 5] is not 1-minimal" false
+          (Dd.is_one_minimal ~oracle [ 5; 5 ]));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:500
+         ~name:"mem-oracle: 1-minimal iff exactly the needed singleton"
+         (* a tiny value domain so duplicates and hits are common *)
+         QCheck.(pair (int_bound 3) (small_list (int_bound 3)))
+         (fun (t, l) ->
+            let oracle subset = List.mem t subset in
+            Dd.is_one_minimal ~oracle l = (l = [ t ]))) ]
+
 let suite =
   [ ("dd.minimize", minimize_cases);
     ("dd.fig6", fig6);
     ("dd.one_minimality", one_minimality);
+    ("dd.duplicates", duplicates);
     ("dd.mechanics", mechanics) ]

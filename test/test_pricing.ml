@@ -51,6 +51,36 @@ let eq1 =
           (Pricing.cost_of_invocations aws ~n:100_000 ~duration_ms:250.0
              ~memory_mb:512.0)) ]
 
+(* Float dust from accumulated arithmetic must not push a duration that is
+   a whole number of ticks (up to rounding error) over the boundary into an
+   extra billed tick; genuinely fractional durations still round up. *)
+let boundary =
+  [ Alcotest.test_case "aws: accumulated dust at a 1ms boundary" `Quick
+      (fun () ->
+        (* 29.9 +. 0.1 = 30.000000000000004 *)
+        Alcotest.(check (float 1e-9)) "bills 30, not 31" 30.0
+          (Pricing.billed_duration_ms aws (29.9 +. 0.1));
+        Alcotest.(check (float 1e-9)) "real fraction still rounds up" 31.0
+          (Pricing.billed_duration_ms aws 30.001));
+    Alcotest.test_case "gcp: dust at a 100ms boundary" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "bills 1000, not 1100" 1000.0
+          (Pricing.billed_duration_ms Pricing.gcp 1000.0000000002);
+        Alcotest.(check (float 1e-9)) "real fraction still rounds up" 1100.0
+          (Pricing.billed_duration_ms Pricing.gcp 1001.0));
+    Alcotest.test_case "azure: dust at a 1s boundary" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "above: bills 3000, not 4000" 3000.0
+          (Pricing.billed_duration_ms Pricing.azure 3000.0000000000005);
+        Alcotest.(check (float 1e-9)) "below: bills 3000, not 2000" 3000.0
+          (Pricing.billed_duration_ms Pricing.azure 2999.9999999999995);
+        Alcotest.(check (float 1e-9)) "real fraction still rounds up" 3000.0
+          (Pricing.billed_duration_ms Pricing.azure 2000.5));
+    Alcotest.test_case "tiny positive durations bill one tick" `Quick
+      (fun () ->
+        Alcotest.(check (float 1e-9)) "aws 0.3ms -> 1ms" 1.0
+          (Pricing.billed_duration_ms aws 0.3);
+        Alcotest.(check (float 1e-9)) "gcp 1ms -> 100ms" 100.0
+          (Pricing.billed_duration_ms Pricing.gcp 1.0)) ]
+
 let suite =
-  [ ("pricing.duration", duration); ("pricing.memory", memory);
-    ("pricing.eq1", eq1) ]
+  [ ("pricing.duration", duration); ("pricing.boundary", boundary);
+    ("pricing.memory", memory); ("pricing.eq1", eq1) ]

@@ -217,7 +217,35 @@ let concurrent =
         Alcotest.(check int) "total" (Trace.length t)
           (conc.Trace.c_cold_starts + conc.Trace.c_warm_starts)) ]
 
+(* NaNs in a latency list must be dropped and counted, not silently
+   rank-poison the order statistics (the polymorphic-compare sort used to
+   scatter them through the sorted array). *)
+let nan_policy =
+  [ Alcotest.test_case "order statistics drop NaNs" `Quick (fun () ->
+        let nan = Float.nan in
+        Alcotest.(check (float 1e-9)) "p50" 1.5
+          (Metrics.percentile 50.0 [ nan; 1.0; 2.0; nan ]);
+        Alcotest.(check (float 1e-9)) "p100 is the finite max" 2.0
+          (Metrics.percentile 100.0 [ 2.0; nan; 1.0 ]);
+        Alcotest.(check bool) "p99 stays finite" true
+          (Float.is_finite (Metrics.p99 [ nan; 3.0; 1.0; 2.0 ]));
+        Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+          "cdf over finite points only"
+          [ (1.0, 0.5); (2.0, 1.0) ]
+          (Metrics.cdf [ nan; 2.0; 1.0 ]);
+        Alcotest.(check (float 1e-12)) "all-NaN degrades to empty" 0.0
+          (Metrics.percentile 99.0 [ nan; nan ]));
+    Alcotest.test_case "dropped NaNs are counted" `Quick (fun () ->
+        let c =
+          Obs.Metrics.counter Obs.Metrics.global "platform.metrics.nan_dropped"
+        in
+        let before = Obs.Metrics.value c in
+        ignore (Metrics.percentile 50.0 [ Float.nan; 1.0; Float.nan ]);
+        ignore (Metrics.cdf [ Float.nan ]);
+        Alcotest.(check int) "three drops counted" (before + 3)
+          (Obs.Metrics.value c)) ]
+
 let suite =
   [ ("trace.generators", generators); ("trace.replay", replay);
     ("trace.concurrent", concurrent); ("trace.azure", azure);
-    ("trace.metrics", metrics) ]
+    ("trace.metrics", metrics); ("trace.nan_policy", nan_policy) ]
