@@ -420,6 +420,59 @@ let extension_tests =
           fun () ->
             Minipy.Json_support.loads (Minipy.Json_support.dumps (Lazy.force v)))) ]
 
+(* Kernels for the domain work pool (§9 parallel execution). The DD kernels
+   run the same committed-prefix search against real pools of 1/2/4/8
+   domains: queries are scheduling-invariant, so only wall-clock — bounded
+   by physical cores — may differ between them. Pools are created lazily,
+   reused across runs, and left for process exit to reap. *)
+let dd_pool_kernel domains =
+  Test.make ~name:(Printf.sprintf "par.dd_oracle_%ddomains" domains)
+    (Staged.stage
+       (let pool = lazy (Parallel.Pool.create ~domains) in
+        let setup =
+          lazy
+            (let app = Workloads.Suite.tiny_app ~attrs:48 () in
+             let file = "site-packages/tinylib/__init__.py" in
+             let prog =
+               Minipy.Parser.parse ~file
+                 (Minipy.Vfs.read_exn app.Platform.Deployment.vfs file)
+             in
+             (app, file, Trim.Attrs.attrs_of_program prog))
+        in
+        fun () ->
+          let app, file, candidates = Lazy.force setup in
+          (* fresh memo per run — the shared global memo would answer every
+             query after the first run and leave nothing to parallelize *)
+          let cache = Trim.Oracle.Cache.create () in
+          let oracle, _ = Trim.Oracle.for_reference ~cache app in
+          let dd_oracle subset =
+            oracle (Trim.Debloater.with_restricted app ~file ~keep:subset)
+          in
+          Trim.Dd.minimize_parallel ~pool:(Lazy.force pool) ~oracle:dd_oracle
+            candidates))
+
+let parallel_tests =
+  [ Test.make ~name:"par.pool_overhead"
+      (Staged.stage
+         (* submit/collect cost of 64 no-op tasks: the fixed price every
+            parallel DD batch pays on top of its oracle work *)
+         (let pool = lazy (Parallel.Pool.create ~domains:4) in
+          let xs = List.init 64 Fun.id in
+          fun () -> Parallel.Pool.map (Lazy.force pool) Fun.id xs));
+    dd_pool_kernel 1; dd_pool_kernel 2; dd_pool_kernel 4; dd_pool_kernel 8;
+    Test.make ~name:"par.pipeline_fig9_jobs4"
+      (Staged.stage (fun () ->
+           (* the full fig9 experiment through the jobs=4 fan-out; global
+              caches stay warm, so this isolates orchestration overhead *)
+           Experiments.Common.reset_cache ();
+           Parallel.Pool.configure ~jobs:4;
+           Fun.protect
+             ~finally:(fun () -> Parallel.Pool.configure ~jobs:1)
+             (fun () ->
+                match Experiments.Registry.find "fig9" with
+                | Some e -> ignore (e.Experiments.Registry.print ())
+                | None -> ()))) ]
+
 let benchmark tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -510,6 +563,39 @@ let e2e_cache_timings () =
     timings;
   timings
 
+(* --- end-to-end parallel speedup ------------------------------------------- *)
+
+(* Wall-clock of fig9 regenerated from scratch at --jobs 1 vs --jobs 4.
+   Caches are cleared before each run so both sides do the full oracle work;
+   the committed CSV is bit-identical either way — only the wall-clock (and
+   hence this section of the JSON) depends on the host's core count, which
+   is recorded alongside so a 1-core container's honest ~1.0x is not read as
+   a regression. *)
+let time_fig9 ~jobs =
+  Experiments.Common.reset_cache ();
+  Minipy.Parse_cache.clear Minipy.Parse_cache.global;
+  Trim.Oracle.Cache.clear Trim.Oracle.Cache.global;
+  Parallel.Pool.configure ~jobs;
+  let t0 = Unix.gettimeofday () in
+  (match Experiments.Registry.find "fig9" with
+   | Some e -> ignore (e.Experiments.Registry.print ())
+   | None -> ());
+  let dt = Unix.gettimeofday () -. t0 in
+  Parallel.Pool.configure ~jobs:1;
+  dt
+
+let e2e_parallel_timings () =
+  let host = Domain.recommended_domain_count () in
+  let j1 = time_fig9 ~jobs:1 in
+  let j4 = time_fig9 ~jobs:4 in
+  Experiments.Common.reset_cache ();
+  Printf.printf
+    "\nfig9 end-to-end wall-clock, --jobs 1 -> --jobs 4 (host: %d core%s):\n\
+    \  %7.3f s -> %7.3f s (%.2fx)\n"
+    host (if host = 1 then "" else "s")
+    j1 j4 (if j4 > 0.0 then j1 /. j4 else 0.0);
+  (host, j1, j4)
+
 (* --- JSON output ----------------------------------------------------------- *)
 
 let json_escape s =
@@ -528,7 +614,7 @@ let ns_of rows name =
   | Some (_, Some e, _) -> Some e
   | _ -> None
 
-let write_json path rows e2e fleet_meps =
+let write_json path rows e2e fleet_meps (par_host, par_j1, par_j4) =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"schema\": \"ltrim-bench/1\",\n";
@@ -550,6 +636,13 @@ let write_json path rows e2e fleet_meps =
                (json_escape id) off on)
           e2e));
   out "\n  },\n";
+  out "  \"parallel_speedup\": {\n";
+  out "    \"host_domains\": %d,\n" par_host;
+  out
+    "    \"fig9\": { \"jobs1_s\": %.4f, \"jobs4_s\": %.4f, \"speedup\": %.2f }\n"
+    par_j1 par_j4
+    (if par_j4 > 0.0 then par_j1 /. par_j4 else 0.0);
+  out "  },\n";
   out "  \"fleet_throughput_meps\": %.3f,\n" fleet_meps;
   out "  \"micro_ns_per_run\": {\n";
   let micro =
@@ -583,13 +676,15 @@ let () =
          "Bechamel micro-benchmarks (one kernel per table/figure + substrate)");
     let results =
       benchmark
-        (substrate_tests @ experiment_tests @ cache_tests @ extension_tests)
+        (substrate_tests @ experiment_tests @ cache_tests @ extension_tests
+         @ parallel_tests)
     in
     let rows = rows_of_results results in
     print_rows rows;
     let fleet_meps = print_fleet_throughput () in
     let e2e = e2e_cache_timings () in
+    let par = e2e_parallel_timings () in
     match json_path with
-    | Some path -> write_json path rows e2e fleet_meps
+    | Some path -> write_json path rows e2e fleet_meps par
     | None -> ()
   end

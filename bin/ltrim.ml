@@ -37,6 +37,23 @@ let trace_arg =
            ~doc:"Record a Chrome trace-event JSON of the run to FILE \
                  (load it in chrome://tracing or Perfetto).")
 
+let jobs_arg =
+  Arg.(value & opt int (Domain.recommended_domain_count ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the debloater and the experiment runner \
+                 (default: this machine's recommended domain count). \
+                 Committed results are bit-identical at any N; only \
+                 wall-clock columns change.")
+
+(* Install the process-wide pool the pipeline and the experiment registry
+   fan out on. Call before any work; the pool is torn down at exit. *)
+let setup_jobs jobs =
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
+    exit 2
+  end;
+  Parallel.Pool.configure ~jobs
+
 (* Install a recording tracer around [f] and export it on the way out —
    also on failure, so a crashed run still leaves its partial trace. *)
 let with_trace trace f =
@@ -122,7 +139,8 @@ let profile_cmd =
 (* --- debloat ------------------------------------------------------------- *)
 
 let debloat_cmd =
-  let run app k scoring verbose trace =
+  let run app k scoring verbose jobs trace =
+    setup_jobs jobs;
     with_trace trace @@ fun () ->
     setup_logs verbose;
     let method_ = Trim.Scoring.method_of_string scoring in
@@ -145,7 +163,8 @@ let debloat_cmd =
   in
   Cmd.v
     (Cmd.info "debloat" ~doc:"Run the full lambda-trim pipeline on an application.")
-    Term.(const run $ app_arg $ k_arg $ scoring_arg $ verbose_flag $ trace_arg)
+    Term.(const run $ app_arg $ k_arg $ scoring_arg $ verbose_flag $ jobs_arg
+          $ trace_arg)
 
 (* --- invoke -------------------------------------------------------------- *)
 
@@ -154,7 +173,8 @@ let invoke_cmd =
     Arg.(value & flag & info [ "trimmed" ]
            ~doc:"Invoke the lambda-trim optimized application.")
   in
-  let run app trimmed trace =
+  let run app trimmed jobs trace =
+    setup_jobs jobs;
     with_trace trace @@ fun () ->
     let spec = Workloads.Suite.spec_of app in
     let d = Workloads.Suite.deployment_of app in
@@ -180,7 +200,7 @@ let invoke_cmd =
   in
   Cmd.v
     (Cmd.info "invoke" ~doc:"Invoke an application on the platform simulator.")
-    Term.(const run $ app_arg $ trimmed_flag $ trace_arg)
+    Term.(const run $ app_arg $ trimmed_flag $ jobs_arg $ trace_arg)
 
 (* --- fleet ---------------------------------------------------------------- *)
 
@@ -289,7 +309,8 @@ let fleet_cmd =
   let run app rate duration policy keep_alive max_idle capacity max_pending
       timeout fb_rate seed init_failure_rate crash_rate error_rate churn_rate
       retries retry_base retry_cap request_timeout breaker_threshold
-      breaker_window breaker_cooldown hedge_delay trace =
+      breaker_window breaker_cooldown hedge_delay jobs trace =
+    setup_jobs jobs;
     with_trace trace @@ fun () ->
     if rate <= 0.0 then begin
       Printf.eprintf "--rate must be positive (got %g)\n" rate;
@@ -444,7 +465,7 @@ let fleet_cmd =
           $ crash_arg $ error_arg $ churn_arg $ retries_arg $ retry_base_arg
           $ retry_cap_arg $ request_timeout_arg $ breaker_threshold_arg
           $ breaker_window_arg $ breaker_cooldown_arg $ hedge_delay_arg
-          $ trace_arg)
+          $ jobs_arg $ trace_arg)
 
 (* --- calibrate ------------------------------------------------------------ *)
 
@@ -513,7 +534,8 @@ let experiments_cmd =
              ~doc:"Write machine-readable rows to DIR/<id>.csv (experiments \
                    with structured data only).")
   in
-  let run only out csv trace =
+  let run only out csv jobs trace =
+    setup_jobs jobs;
     with_trace trace @@ fun () ->
     let entries =
       match only with
@@ -565,7 +587,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures on the simulator.")
-    Term.(const run $ only_arg $ out_arg $ csv_arg $ trace_arg)
+    Term.(const run $ only_arg $ out_arg $ csv_arg $ jobs_arg $ trace_arg)
 
 let main =
   Cmd.group

@@ -41,7 +41,14 @@ type trimmed = {
   trimmed_m : measurement;
 }
 
+(* The memo is hit from concurrent per-app tasks when the experiment runner
+   fans out (--jobs), so it is mutex-guarded. Concurrent tasks use distinct
+   keys (one per app), so a racing duplicate computation cannot happen
+   within one experiment; were one to occur across experiments it would
+   compute the identical (deterministic) value. *)
 let cache : (string, trimmed) Hashtbl.t = Hashtbl.create 64
+
+let cache_lock = Mutex.create ()
 
 let key name scoring k =
   Printf.sprintf "%s/%s/%d" name (Trim.Scoring.method_name scoring) k
@@ -49,11 +56,20 @@ let key name scoring k =
 (* Forget all memoized pipeline runs. The benchmark harness uses this to time
    the same experiment twice (caching substrate off vs on) from a cold
    start. *)
-let reset_cache () = Hashtbl.reset cache
+let reset_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_lock
 
 let trimmed ?(scoring = Trim.Scoring.Combined) ?(k = 20) name : trimmed =
   let cache_key = key name scoring k in
-  match Hashtbl.find_opt cache cache_key with
+  let memo =
+    Mutex.lock cache_lock;
+    let m = Hashtbl.find_opt cache cache_key in
+    Mutex.unlock cache_lock;
+    m
+  in
+  match memo with
   | Some t -> t
   | None ->
     let spec = Workloads.Apps.find name in
@@ -68,8 +84,16 @@ let trimmed ?(scoring = Trim.Scoring.Combined) ?(k = 20) name : trimmed =
         original_m = measure spec deployment;
         trimmed_m = measure spec report.Trim.Pipeline.optimized }
     in
+    Mutex.lock cache_lock;
     Hashtbl.replace cache cache_key t;
+    Mutex.unlock cache_lock;
     t
+
+(* Fan a per-app computation out on the configured pool (ltrim --jobs);
+   plain List.map when none is installed. Order is preserved and every row
+   is computed from deterministic virtual measurements, so experiment
+   output is byte-identical at any --jobs. *)
+let map_apps f names = Parallel.Pool.map_default f names
 
 let all_app_names = Workloads.Suite.names
 

@@ -32,8 +32,10 @@ let cell_of name scoring =
     mem_pct = Common.pct ~before:b.peak_memory_mb ~after:a.peak_memory_mb;
     e2e_pct = Common.pct ~before:b.e2e_ms ~after:a.e2e_ms }
 
+(* One task per app (--jobs fans them out); the per-app method sweep stays
+   sequential inside the task. *)
 let run () : row list =
-  List.map
+  Common.map_apps
     (fun app ->
        { app;
          per_method =

@@ -42,7 +42,7 @@ let row_of name =
     e2e_faaslight_pct = Common.pct ~before:base.e2e_ms ~after:fl.e2e_ms;
     e2e_trim_pct = Common.pct ~before:base.e2e_ms ~after:trim.e2e_ms }
 
-let run () : row list = List.map row_of Workloads.Apps.faaslight_apps
+let run () : row list = Common.map_apps row_of Workloads.Apps.faaslight_apps
 
 let print () =
   let rows = run () in

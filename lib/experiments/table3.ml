@@ -40,7 +40,7 @@ let row_of name =
     ckpt_post_mb = ckpt t.Common.trimmed_m.Common.cold.peak_memory_mb;
     ckpt_pre_mb = ckpt t.Common.original_m.Common.cold.peak_memory_mb }
 
-let run () : row list = List.map row_of Common.all_app_names
+let run () : row list = Common.map_apps row_of Common.all_app_names
 
 let print () =
   let rows = run () in

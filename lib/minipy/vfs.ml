@@ -34,25 +34,36 @@ type t = {
   (* path -> hex content digest, for entries owned by THIS layer only; a
      lookup that falls through to the parent also shares the parent's memo *)
   digests : (string, string) Hashtbl.t;
+  (* The digest memo is written lazily on reads, and parallel DD evaluates
+     candidate overlays that share one base layer from several domains at
+     once — so [digests] alone among the tables is mutex-guarded. The other
+     tables need no lock because of the structural invariant (see overlay):
+     a layer's [files]/[phantoms] are only mutated before any overlay of it
+     exists, after which all access is read-only. *)
+  dig_lock : Mutex.t;
 }
 
 let create () =
   { parent = None;
     files = Hashtbl.create 64;
     phantoms = Hashtbl.create 4;
-    digests = Hashtbl.create 64 }
+    digests = Hashtbl.create 64;
+    dig_lock = Mutex.create () }
 
 let overlay base =
   { parent = Some base;
     files = Hashtbl.create 8;
     phantoms = Hashtbl.create 2;
-    digests = Hashtbl.create 8 }
+    digests = Hashtbl.create 8;
+    dig_lock = Mutex.create () }
 
 let is_overlay t = t.parent <> None
 
 let add_file t path content =
   Hashtbl.replace t.files path (Source content);
-  Hashtbl.remove t.digests path
+  Mutex.lock t.dig_lock;
+  Hashtbl.remove t.digests path;
+  Mutex.unlock t.dig_lock
 
 let add_phantom t path ~bytes = Hashtbl.replace t.phantoms path bytes
 
@@ -60,7 +71,9 @@ let remove_file t path =
   (match t.parent with
    | None -> Hashtbl.remove t.files path
    | Some _ -> Hashtbl.replace t.files path Tombstone);
-  Hashtbl.remove t.digests path
+  Mutex.lock t.dig_lock;
+  Hashtbl.remove t.digests path;
+  Mutex.unlock t.dig_lock
 
 let rec read t path =
   match Hashtbl.find_opt t.files path with
@@ -142,11 +155,20 @@ let files_under t prefix =
 let rec file_digest t path =
   match Hashtbl.find_opt t.files path with
   | Some (Source c) ->
-    (match Hashtbl.find_opt t.digests path with
+    let memo =
+      Mutex.lock t.dig_lock;
+      let d = Hashtbl.find_opt t.digests path in
+      Mutex.unlock t.dig_lock;
+      d
+    in
+    (match memo with
      | Some d -> Some d
      | None ->
+       (* hash outside the lock; a racing duplicate computes the same value *)
        let d = Digest.to_hex (Digest.string c) in
+       Mutex.lock t.dig_lock;
        Hashtbl.replace t.digests path d;
+       Mutex.unlock t.dig_lock;
        Some d)
   | Some Tombstone -> None
   | None ->

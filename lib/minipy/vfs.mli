@@ -18,7 +18,12 @@ val create : unit -> t
 
 (** [overlay base] is a copy-on-write view of [base]: O(1) to build, reads
     fall through, [add_file]/[remove_file] affect only the overlay. The base
-    must not be mutated while the overlay is alive. *)
+    must not be mutated while the overlay is alive.
+
+    Domain safety: a frozen base (no further mutation — the invariant above)
+    may be read, overlaid, and digested from many domains at once; the
+    lazily-written digest memo is mutex-guarded per layer. A single overlay
+    is still single-writer: only the domain that built it may mutate it. *)
 val overlay : t -> t
 
 val is_overlay : t -> bool

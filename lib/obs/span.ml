@@ -39,31 +39,46 @@ type state = {
   mutable next_track : int;
   keep : bool;
   on_complete : span -> unit;
+  st_lock : Mutex.t;
+      (* Worker domains of the parallel pool record spans concurrently (each
+         on its own track), so the shared sink state — seq counter, span
+         list, track allocator, custom callbacks — is mutex-guarded. Span
+         records themselves need no lock: a handle is owned by the domain
+         that opened it until [end_] publishes it under this lock. *)
 }
 
 type sink = Null | Active of state
+
+let with_lock st f =
+  Mutex.lock st.st_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.st_lock) f
 
 let null = Null
 
 let recorder () =
   Active
-    { spans = []; seq = 0; next_track = 0; keep = true; on_complete = ignore }
+    { spans = []; seq = 0; next_track = 0; keep = true; on_complete = ignore;
+      st_lock = Mutex.create () }
 
 let custom ~on_complete =
-  Active { spans = []; seq = 0; next_track = 0; keep = false; on_complete }
+  Active
+    { spans = []; seq = 0; next_track = 0; keep = false; on_complete;
+      st_lock = Mutex.create () }
 
 let enabled = function Null -> false | Active _ -> true
 
 let spans = function
   | Null -> []
   | Active st ->
-    List.sort (fun a b -> compare a.sp_seq b.sp_seq) st.spans
+    let snapshot = with_lock st (fun () -> st.spans) in
+    List.sort (fun a b -> compare a.sp_seq b.sp_seq) snapshot
 
 let fresh_track = function
   | Null -> 0
   | Active st ->
-    st.next_track <- st.next_track + 1;
-    st.next_track
+    with_lock st (fun () ->
+        st.next_track <- st.next_track + 1;
+        st.next_track)
 
 (* --- clock domains -------------------------------------------------------- *)
 
@@ -81,13 +96,26 @@ let domain_name = function
    epoch: absolute epoch microseconds (~1.8e15) exceed the double mantissa
    (ULP ≈ 0.25 µs), so exported timestamps would lose the sub-µs ordering
    that nesting checks rely on. All wall-clock instrumentation must use
-   this one clock — mixing epochs breaks cross-module nesting. *)
-let wall_epoch_s = ref Float.nan
+   this one clock — mixing epochs breaks cross-module nesting.
+
+   The epoch is captured once, atomically: were each domain to lazily set
+   its own ref, two domains racing on first use could observe different
+   epochs and their spans would no longer share a timeline. The CAS must
+   compare against the exact boxed NaN read (Atomic uses physical
+   equality); on CAS failure another domain won and we read its epoch. *)
+let wall_epoch_s = Atomic.make Float.nan
 
 let wall_ms () =
   let now = Unix.gettimeofday () in
-  if Float.is_nan !wall_epoch_s then wall_epoch_s := now;
-  (now -. !wall_epoch_s) *. 1000.0
+  let e = Atomic.get wall_epoch_s in
+  let epoch =
+    if Float.is_nan e then begin
+      ignore (Atomic.compare_and_set wall_epoch_s e now : bool);
+      Atomic.get wall_epoch_s
+    end
+    else e
+  in
+  (now -. epoch) *. 1000.0
 
 (* --- the global tracer ---------------------------------------------------- *)
 
@@ -110,7 +138,11 @@ let begin_ t ~domain ~track ~cat ~name ~ts_ms =
   match t with
   | Null -> No_span
   | Active st ->
-    st.seq <- st.seq + 1;
+    let seq =
+      with_lock st (fun () ->
+          st.seq <- st.seq + 1;
+          st.seq)
+    in
     Open
       ( st,
         { sp_name = name;
@@ -121,7 +153,7 @@ let begin_ t ~domain ~track ~cat ~name ~ts_ms =
           sp_dur_ms = -1.0;
           sp_attrs = [];
           sp_kind = Complete;
-          sp_seq = st.seq } )
+          sp_seq = seq } )
 
 let add_attr h key value =
   match h with
@@ -135,27 +167,29 @@ let end_ ?(attrs = []) h ~ts_ms =
     (* defensive clamp: wall clocks are not guaranteed monotone *)
     sp.sp_dur_ms <- Float.max 0.0 (ts_ms -. sp.sp_start_ms);
     if attrs <> [] then sp.sp_attrs <- sp.sp_attrs @ attrs;
-    if st.keep then st.spans <- sp :: st.spans;
-    st.on_complete sp
+    with_lock st (fun () ->
+        if st.keep then st.spans <- sp :: st.spans;
+        st.on_complete sp)
 
 let instant ?(attrs = []) t ~domain ~track ~cat ~name ~ts_ms =
   match t with
   | Null -> ()
   | Active st ->
-    st.seq <- st.seq + 1;
-    let sp =
-      { sp_name = name;
-        sp_cat = cat;
-        sp_domain = domain;
-        sp_track = track;
-        sp_start_ms = ts_ms;
-        sp_dur_ms = 0.0;
-        sp_attrs = attrs;
-        sp_kind = Instant;
-        sp_seq = st.seq }
-    in
-    if st.keep then st.spans <- sp :: st.spans;
-    st.on_complete sp
+    with_lock st (fun () ->
+        st.seq <- st.seq + 1;
+        let sp =
+          { sp_name = name;
+            sp_cat = cat;
+            sp_domain = domain;
+            sp_track = track;
+            sp_start_ms = ts_ms;
+            sp_dur_ms = 0.0;
+            sp_attrs = attrs;
+            sp_kind = Instant;
+            sp_seq = st.seq }
+        in
+        if st.keep then st.spans <- sp :: st.spans;
+        st.on_complete sp)
 
 let with_span t ~domain ~track ~cat ~name ~clock f =
   match t with

@@ -118,79 +118,142 @@ let is_one_minimal ~oracle subset =
 (* --- §9 extensions ------------------------------------------------------- *)
 
 type parallel_stats = {
-  p_oracle_queries : int;   (* total oracle evaluations *)
-  p_rounds : int;           (* batches of concurrent evaluations *)
-  p_max_batch : int;        (* widest batch issued *)
+  p_oracle_queries : int;   (* issued queries — equals sequential minimize's *)
+  p_cache_hits : int;       (* subset-cache hits — equals sequential's *)
+  p_speculative : int;      (* extra evaluations that were never committed *)
+  p_rounds : int;           (* critical-path length in worker batches *)
+  p_max_batch : int;        (* widest issued batch (≤ workers) *)
+  p_iterations : int;       (* granularity rounds — equals sequential's *)
 }
 
 (* Intra-module parallel DD (§9: "multiple sets of attributes of the same
-   module in parallel"). Algorithm 1's partition tests within one iteration
-   are independent, so a worker pool evaluates each phase as ⌈tests/workers⌉
-   rounds. The search is the same — each phase still commits to the first
-   passing candidate in partition order, so the result equals the sequential
-   algorithm's — but the critical-path length drops from #queries to #rounds. *)
-let minimize_parallel ?(workers = 8) ~oracle items =
+   module in parallel"). Algorithm 1's candidate tests within one phase are
+   independent, so the pool evaluates a whole phase's batch concurrently —
+   *speculatively*, because the sequential algorithm stops at the first
+   passing candidate and never looks at the rest.
+
+   The committed-prefix discipline keeps the search byte-identical to
+   [minimize] anyway: verdicts live in a [speculative] table until a commit
+   walk revisits the candidates in partition order, replaying exactly the
+   sequential control flow against a [committed] table that therefore always
+   equals the sequential cache. A candidate the walk reaches is either a
+   committed-cache hit ([p_cache_hits]) or an issue ([p_oracle_queries]);
+   the walk stops at the first pass. Speculative verdicts the walk never
+   reached stay in their table: if a later phase's walk reaches that subset,
+   committing it counts as an issue — the sequential algorithm would have
+   queried the oracle right there — it just costs no oracle time anymore.
+
+   Net effect: keep-set, [p_oracle_queries], [p_cache_hits] and
+   [p_iterations] all equal the sequential run's numbers regardless of
+   [workers] or scheduling, while the oracle calls themselves run on
+   [pool]; the surplus [p_speculative] evaluations are the price of the
+   wall-clock win (and they pre-warm the observation memo). [p_rounds] is
+   the modelled critical path: each phase contributes ⌈issued/workers⌉.
+   Without a [pool], evaluation falls back to sequential execution of the
+   same batches — accounting (and result) stay identical. *)
+let minimize_parallel ?workers ?pool ~oracle items =
+  let workers =
+    match (workers, pool) with
+    | Some w, _ -> w
+    | None, Some p -> Parallel.Pool.size p
+    | None, None -> 8
+  in
   if workers < 1 then invalid_arg "Dd.minimize_parallel: workers < 1";
-  let stats = { p_oracle_queries = 0; p_rounds = 0; p_max_batch = 0 } in
-  let stats = ref stats in
-  let cache : (string, bool) Hashtbl.t = Hashtbl.create 64 in
   let arr = Array.of_list items in
   let to_items idxs = List.map (fun i -> arr.(i)) idxs in
-  (* evaluate a batch of candidate subsets "concurrently" *)
-  let test_batch idxs_list =
-    let fresh =
+  let key idxs = String.concat "," (List.map string_of_int idxs) in
+  let committed : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let speculative : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  let issued = ref 0 and hits = ref 0 and evals = ref 0 in
+  let rounds = ref 0 and max_batch = ref 0 and iters = ref 0 in
+  (* concurrently evaluate every candidate of the phase not yet known *)
+  let evaluate idxs_list =
+    let needed =
       List.filter
         (fun idxs ->
-           not (Hashtbl.mem cache (String.concat "," (List.map string_of_int idxs))))
+           let k = key idxs in
+           not (Hashtbl.mem committed k || Hashtbl.mem speculative k))
         idxs_list
     in
-    if fresh <> [] then begin
-      let n = List.length fresh in
-      stats :=
-        { p_oracle_queries = !stats.p_oracle_queries + n;
-          p_rounds =
-            !stats.p_rounds + ((n + workers - 1) / workers);
-          p_max_batch = max !stats.p_max_batch (min n workers) };
-      List.iter
-        (fun idxs ->
-           let k = String.concat "," (List.map string_of_int idxs) in
-           Hashtbl.replace cache k (oracle (to_items idxs)))
-        fresh
+    if needed <> [] then begin
+      evals := !evals + List.length needed;
+      let verdicts =
+        match pool with
+        | Some p when Parallel.Pool.size p > 1 ->
+          Parallel.Pool.map p (fun idxs -> oracle (to_items idxs)) needed
+        | _ -> List.map (fun idxs -> oracle (to_items idxs)) needed
+      in
+      List.iter2
+        (fun idxs verdict -> Hashtbl.replace speculative (key idxs) verdict)
+        needed verdicts
+    end
+  in
+  (* replay the sequential walk over the batch: first pass wins; rounds are
+     counted over the candidates actually issued, not the whole batch *)
+  let commit_walk idxs_list =
+    let batch_issued = ref 0 in
+    let rec walk = function
+      | [] -> None
+      | idxs :: rest ->
+        let verdict =
+          let k = key idxs in
+          match Hashtbl.find_opt committed k with
+          | Some v ->
+            incr hits;
+            v
+          | None ->
+            let v = Hashtbl.find speculative k in
+            Hashtbl.remove speculative k;
+            Hashtbl.replace committed k v;
+            incr issued;
+            incr batch_issued;
+            v
+        in
+        if verdict then Some idxs else walk rest
+    in
+    let result = walk idxs_list in
+    if !batch_issued > 0 then begin
+      rounds := !rounds + ((!batch_issued + workers - 1) / workers);
+      max_batch := max !max_batch (min !batch_issued workers)
     end;
-    List.map
-      (fun idxs ->
-         (idxs, Hashtbl.find cache (String.concat "," (List.map string_of_int idxs))))
-      idxs_list
+    result
+  in
+  let test_phase idxs_list =
+    evaluate idxs_list;
+    commit_walk idxs_list
   in
   let rec loop current n =
+    incr iters;
     let len = List.length current in
     if len <= 1 then begin
-      if len = 1 then begin
-        match test_batch [ [] ] with
-        | [ (_, true) ] -> []
-        | _ -> current
-      end
-      else current
+      if len = 1 && test_phase [ [] ] <> None then [] else current
     end
     else begin
       let parts = partitions current n in
-      let results = test_batch parts in
-      match List.find_opt snd results with
-      | Some (winner, _) -> loop winner 2
+      match test_phase parts with
+      | Some winner -> loop winner 2
       | None ->
         let complements =
           if n = 2 then []
           else List.map (fun p -> complement ~of_:current p) parts
         in
-        let cresults = if complements = [] then [] else test_batch complements in
-        (match List.find_opt snd cresults with
-         | Some (winner, _) -> loop winner (max 2 (n - 1))
+        let cwinner =
+          if complements = [] then None else test_phase complements
+        in
+        (match cwinner with
+         | Some winner -> loop winner (max 2 (n - 1))
          | None -> if n >= len then current else loop current (min (2 * n) len))
     end
   in
   let all_idxs = List.init (Array.length arr) Fun.id in
   let result = if items = [] then [] else loop all_idxs 2 in
-  (to_items result, !stats)
+  ( to_items result,
+    { p_oracle_queries = !issued;
+      p_cache_hits = !hits;
+      p_speculative = !evals - !issued;
+      p_rounds = !rounds;
+      p_max_batch = !max_batch;
+      p_iterations = !iters } )
 
 (* Seeded DD (§9 continuous pipeline; Heo et al.'s learned prediction): test
    the predicted keep-set first — if it already passes, minimize inside it,

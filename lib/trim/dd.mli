@@ -46,17 +46,31 @@ val is_one_minimal : oracle:('a list -> bool) -> 'a list -> bool
 (** {1 §9 extensions} *)
 
 type parallel_stats = {
-  p_oracle_queries : int;  (** total oracle evaluations *)
-  p_rounds : int;          (** critical-path length in worker batches *)
-  p_max_batch : int;       (** widest batch issued *)
+  p_oracle_queries : int;
+      (** issued queries — equals the sequential [minimize]'s
+          [oracle_queries] on the same input *)
+  p_cache_hits : int;      (** subset-cache hits — equals sequential's *)
+  p_speculative : int;
+      (** surplus concurrent evaluations the sequential walk never reached;
+          total oracle executions = [p_oracle_queries + p_speculative] *)
+  p_rounds : int;
+      (** modelled critical path: each phase contributes ⌈issued/workers⌉
+          batches, counted over issued queries only (cache hits are free) *)
+  p_max_batch : int;       (** widest issued batch (≤ [workers]) *)
+  p_iterations : int;      (** granularity rounds — equals sequential's *)
 }
 
-(** Intra-module parallel DD: partition (and complement) tests within one
-    iteration are independent, so a pool of [workers] evaluates each phase in
-    ⌈tests/workers⌉ rounds. Returns the same subset as [minimize]; the
-    speed-up is [p_rounds] vs a sequential query count. *)
+(** Intra-module parallel DD (§9): each phase's candidate batch is evaluated
+    concurrently on [pool] (sequentially when absent or of size 1), then
+    verdicts are committed in partition order replaying exactly the
+    sequential control flow — so the keep-set, [p_oracle_queries],
+    [p_cache_hits] and [p_iterations] are scheduling-independent and equal
+    [minimize]'s, whatever [workers] is. [workers] (default: the pool's
+    size, else 8) only scales the [p_rounds]/[p_max_batch] model.
+    @raise Invalid_argument if [workers < 1]. *)
 val minimize_parallel :
   ?workers:int ->
+  ?pool:Parallel.Pool.t ->
   oracle:('a list -> bool) ->
   'a list ->
   'a list * parallel_stats

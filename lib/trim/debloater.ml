@@ -58,16 +58,19 @@ let with_restricted (d : Platform.Deployment.t) ~file ~keep =
   d'
 
 (* DD has no virtual timeline — its spans run on the host wall clock
-   (Obs.Span.wall_ms, shared with the pipeline), on the same sequential
-   lane as the pipeline phases (see Pipeline.obs_track), so dd:<module>
-   nests inside phase:debloat and oracle:query inside dd:<module>. *)
+   (Obs.Span.wall_ms, shared with the pipeline). Sequentially they share
+   the pipeline phases' lane (see Pipeline.obs_track) so dd:<module> nests
+   inside phase:debloat and oracle:query inside dd:<module>; under the
+   parallel pool each worker domain records on its own private track
+   instead, so concurrent spans stay well-nested per (domain, track). *)
 let wall_ms = Obs.Span.wall_ms
 
-let obs_track = 1
+let obs_track () = Parallel.Pool.obs_wall_track ~default:1 ()
 
 let obs_dd_span ~module_name f =
   Obs.Span.with_span (Obs.Span.installed ()) ~domain:Obs.Span.domain_wall
-    ~track:obs_track ~cat:"dd" ~name:("dd:" ^ module_name) ~clock:wall_ms f
+    ~track:(obs_track ()) ~cat:"dd" ~name:("dd:" ^ module_name)
+    ~clock:wall_ms f
 
 (* Wrap a DD oracle so every query is a span carrying its verdict, the
    candidate size, and the observation-memo traffic it generated. Off the
@@ -77,7 +80,7 @@ let traced_oracle ~module_name ~(cache : Oracle.Cache.t) dd_oracle subset =
   if not (Obs.Span.enabled sink) then dd_oracle subset
   else begin
     let sp =
-      Obs.Span.begin_ sink ~domain:Obs.Span.domain_wall ~track:obs_track
+      Obs.Span.begin_ sink ~domain:Obs.Span.domain_wall ~track:(obs_track ())
         ~cat:"oracle" ~name:"oracle:query" ~ts_ms:(wall_ms ())
     in
     let h0 = Oracle.Cache.hits cache and m0 = Oracle.Cache.misses cache in
@@ -96,6 +99,25 @@ let traced_oracle ~module_name ~(cache : Oracle.Cache.t) dd_oracle subset =
       Obs.Span.end_ sp ~ts_ms:(wall_ms ());
       raise e
   end
+
+(* Run DD on [pool] when one of size > 1 is supplied, sequentially
+   otherwise. The parallel stats are re-expressed as the sequential [Dd.stats]
+   view — legitimate because the committed-prefix discipline makes
+   [p_oracle_queries]/[p_cache_hits]/[p_iterations] equal the sequential
+   run's numbers (see Dd.minimize_parallel). [on_step] fires only on the
+   sequential path: speculative evaluation has no sequential step order to
+   report. *)
+let dd_minimize ?on_step ?pool ~oracle candidates =
+  match pool with
+  | Some p when Parallel.Pool.size p > 1 ->
+    let kept, ps = Dd.minimize_parallel ~pool:p ~oracle candidates in
+    ( kept,
+      { Dd.oracle_queries = ps.Dd.p_oracle_queries;
+        cache_hits = ps.Dd.p_cache_hits;
+        iterations = ps.Dd.p_iterations;
+        oracle_cache_hits = 0;
+        oracle_cache_misses = 0 } )
+  | _ -> Dd.minimize ?on_step ~oracle candidates
 
 (* Record the observation-memo traffic of [f ()] into [stats]. *)
 let with_memo_stats (cache : Oracle.Cache.t) (f : unit -> 'a * Dd.stats) :
@@ -126,7 +148,7 @@ let result_of_stats ~module_name ~file ~all_attrs ~final_keep ~protected_list
    [oracle] judges candidate deployments; [protected] attributes are never
    offered to DD. *)
 let debloat_module ?(on_step = fun (_ : string Dd.step) -> ())
-    ?(oracle_cache = Oracle.Cache.global)
+    ?(oracle_cache = Oracle.Cache.global) ?pool
     ~(oracle : Platform.Deployment.t -> bool) ~(protected : String_set.t)
     (d : Platform.Deployment.t) ~module_name : Platform.Deployment.t * module_result
   =
@@ -152,13 +174,34 @@ let debloat_module ?(on_step = fun (_ : string Dd.step) -> ())
     let kept, stats =
       obs_dd_span ~module_name (fun () ->
           with_memo_stats oracle_cache (fun () ->
-              Dd.minimize ~on_step ~oracle:dd_oracle candidates))
+              dd_minimize ~on_step ?pool ~oracle:dd_oracle candidates))
     in
     let final_keep = protected_list @ kept in
     let d' = with_restricted d ~file ~keep:final_keep in
     ( d',
       result_of_stats ~module_name ~file ~all_attrs ~final_keep
         ~protected_list stats )
+
+(* Re-apply a finished module search to [d]: rebuild the keep-set the
+   search arrived at (everything the module has minus [removed_attrs]) and
+   rewrite the file on a fresh overlay. Each search restricts only its own
+   module's __init__, so folding results over the input app in ranking
+   order reconstructs — file for file — the deployment the sequential
+   module-by-module pipeline builds; this is the merge step of
+   Pipeline.run's inter-module parallel mode. Results for non-file-backed
+   modules ([dm_file = "<none>"]) are no-ops. *)
+let apply_result (d : Platform.Deployment.t) (r : module_result) =
+  if not (Minipy.Vfs.exists d.Platform.Deployment.vfs r.dm_file) then d
+  else begin
+    let source = Minipy.Vfs.read_exn d.Platform.Deployment.vfs r.dm_file in
+    let prog = Minipy.Parse_cache.parse ~file:r.dm_file source in
+    let keep =
+      List.filter
+        (fun a -> not (List.mem a r.removed_attrs))
+        (Attrs.attrs_of_program prog)
+    in
+    with_restricted d ~file:r.dm_file ~keep
+  end
 
 (* --- statement-granularity variant (§6.1 ablation) ------------------------ *)
 

@@ -38,15 +38,30 @@ val with_restricted :
 
 (** Debloat one module. The result is an overlay sharing no mutable state
     with the input deployment. Builtin (non-file-backed) modules are a
-    no-op. *)
+    no-op.
+
+    With [?pool] (of size > 1) the DD search runs its oracle batches
+    concurrently via {!Dd.minimize_parallel}; keep-set and query/cache-hit
+    counts are identical to the sequential search by that function's
+    committed-prefix contract. [on_step] only fires on the sequential
+    path. *)
 val debloat_module :
   ?on_step:(string Dd.step -> unit) ->
   ?oracle_cache:Oracle.Cache.t ->
+  ?pool:Parallel.Pool.t ->
   oracle:(Platform.Deployment.t -> bool) ->
   protected:String_set.t ->
   Platform.Deployment.t ->
   module_name:string ->
   Platform.Deployment.t * module_result
+
+(** [apply_result d r] re-applies a finished module search to [d]: rewrites
+    [r.dm_file] on a fresh overlay keeping everything except
+    [r.removed_attrs]. Folding module results over the input app in ranking
+    order rebuilds the sequential pipeline's output deployment — the merge
+    step of [Pipeline.run ~jobs]. No-op for builtin modules. *)
+val apply_result :
+  Platform.Deployment.t -> module_result -> Platform.Deployment.t
 
 (** {1 Variants} *)
 

@@ -74,7 +74,90 @@ let obs_phase name f =
   Obs.Span.with_span (Obs.Span.installed ()) ~domain:Obs.Span.domain_wall
     ~track:obs_track ~cat:"pipeline" ~name ~clock:wall_ms f
 
-let run ?(options = default_options) (app : Platform.Deployment.t) : report =
+(* Stage 3 of [run], parallel mode.
+
+   Modules of one library are NOT independent — debloating a parent package
+   can drop the import that was the only reason a child's attribute had to
+   survive, so the child's search must see the parent's trim exactly as the
+   sequential fold provides it. Distinct top-level libraries ARE
+   independent: no generated workload library imports another, and the
+   oracle's observable output separates per library, so one library's trim
+   never changes another's verdicts.
+
+   Hence: group the ranked modules by top-level package, keep the
+   sequential fold inside each group (in rank order), and debloat the
+   groups concurrently against the *input* app. Every per-module search
+   then answers its oracle queries exactly as in the sequential run —
+   keep-sets, query counts and cache hits included — and folding the
+   results back over the app in global ranking order rebuilds the
+   sequential deployment file for file (each search rewrites only its own
+   module's __init__). That is the bit-identical-CSV guarantee. Each group
+   task additionally fans its DD oracle batches out on the same pool
+   (nested submission is safe). *)
+let debloat_parallel ~options ~analysis ~jobs (app : Platform.Deployment.t)
+    ranked =
+  let oracle, _expected = Oracle.for_reference app in
+  let root m =
+    match String.index_opt m '.' with Some i -> String.sub m 0 i | None -> m
+  in
+  let groups : (string * string list) list =
+    List.fold_left
+      (fun acc m ->
+         let r = root m in
+         match List.assoc_opt r acc with
+         | Some ms -> (r, m :: ms) :: List.remove_assoc r acc
+         | None -> (r, [ m ]) :: acc)
+      [] ranked
+    |> List.rev_map (fun (r, ms) -> (r, List.rev ms))
+  in
+  let pool, transient =
+    match Parallel.Pool.configured () with
+    | Some p when Parallel.Pool.size p = jobs -> (p, false)
+    | _ -> (Parallel.Pool.create ~domains:jobs, true)
+  in
+  Fun.protect
+    ~finally:(fun () -> if transient then Parallel.Pool.shutdown pool)
+    (fun () ->
+       let group_results =
+         Parallel.Pool.map pool
+           (fun (_root, modules) ->
+              let _, results =
+                List.fold_left
+                  (fun (d, acc) module_name ->
+                     let protected =
+                       Static_analyzer.protected_attrs analysis ~module_name
+                     in
+                     let d', r =
+                       Debloater.debloat_module ~pool ~oracle ~protected d
+                         ~module_name
+                     in
+                     (d', r :: acc))
+                  (app, []) modules
+              in
+              List.rev results)
+           groups
+       in
+       (* back to global ranking order, as the sequential fold reports *)
+       let by_module = Hashtbl.create 32 in
+       List.iter
+         (List.iter (fun r -> Hashtbl.replace by_module r.Debloater.dm_module r))
+         group_results;
+       let module_results =
+         List.map (fun m -> Hashtbl.find by_module m) ranked
+       in
+       if options.log then
+         List.iter
+           (fun r -> Log.info (fun m -> m "%a" Debloater.pp_module_result r))
+           module_results;
+       let optimized =
+         List.fold_left Debloater.apply_result app module_results
+       in
+       (optimized, module_results))
+
+let run ?(options = default_options) ?jobs (app : Platform.Deployment.t) :
+  report =
+  let jobs = match jobs with Some j -> j | None -> Parallel.Pool.jobs () in
+  if jobs < 1 then invalid_arg "Pipeline.run: jobs < 1";
   let wall_start = Unix.gettimeofday () in
   let (analysis, profile, ranked, optimized, module_results), caches =
     with_cache_stats (fun () ->
@@ -100,26 +183,37 @@ let run ?(options = default_options) (app : Platform.Deployment.t) : report =
                        (String.concat ", " ranked));
         (* Stage 3: DD-based debloating, module by module. The oracle's
            reference observation comes from the *input* app and stays fixed;
-           each module is debloated against the deployment produced so far,
-           so later modules see earlier trims (the paper debloats the top-K
-           sequentially). *)
+           sequentially each module is debloated against the deployment
+           produced so far, so later modules see earlier trims (the paper
+           debloats the top-K sequentially). With [jobs > 1] the modules
+           are searched concurrently and merged in ranking order — same
+           output, see [debloat_parallel]. *)
         let optimized, module_results =
           obs_phase "phase:debloat" (fun () ->
-              let oracle, _expected = Oracle.for_reference app in
-              List.fold_left
-                (fun (d, results) module_name ->
-                   let protected =
-                     Static_analyzer.protected_attrs analysis ~module_name
-                   in
-                   let d', r =
-                     Debloater.debloat_module ~oracle ~protected d ~module_name
-                   in
-                   if options.log then
-                     Log.info (fun m -> m "%a" Debloater.pp_module_result r);
-                   (d', r :: results))
-                (app, []) ranked)
+              if jobs > 1 then
+                debloat_parallel ~options ~analysis ~jobs app ranked
+              else begin
+                let oracle, _expected = Oracle.for_reference app in
+                let optimized, module_results =
+                  List.fold_left
+                    (fun (d, results) module_name ->
+                       let protected =
+                         Static_analyzer.protected_attrs analysis ~module_name
+                       in
+                       let d', r =
+                         Debloater.debloat_module ~oracle ~protected d
+                           ~module_name
+                       in
+                       if options.log then
+                         Log.info
+                           (fun m -> m "%a" Debloater.pp_module_result r);
+                       (d', r :: results))
+                    (app, []) ranked
+                in
+                (optimized, List.rev module_results)
+              end)
         in
-        (analysis, profile, ranked, optimized, List.rev module_results)))
+        (analysis, profile, ranked, optimized, module_results)))
   in
   { app_name = app.Platform.Deployment.name;
     original = app;

@@ -41,7 +41,18 @@ val src : Logs.src
 
 val pp_cache_stats : Format.formatter -> cache_stats -> unit
 
-val run : ?options:options -> Platform.Deployment.t -> report
+(** Run the pipeline. [jobs] (default: the configured pool's parallelism,
+    see [Parallel.Pool.configure]; 1 when none) sets the debloat stage's
+    parallelism: with [jobs > 1] the ranked modules are searched
+    concurrently — each search also fanning its DD oracle batches out on
+    the pool — and merged back in ranking order. The optimized deployment,
+    module results, and every query/cache-hit count are identical at any
+    [jobs]; only wall-clock fields differ. Per-module observation-memo
+    deltas ([oracle_cache_hits]/[misses]) are approximate under [jobs > 1]
+    (concurrent searches share the memo); the aggregate {!cache_stats} stay
+    exact.
+    @raise Invalid_argument if [jobs < 1]. *)
+val run : ?options:options -> ?jobs:int -> Platform.Deployment.t -> report
 
 (** Total attributes removed across all debloated modules. *)
 val attrs_removed : report -> int
