@@ -45,6 +45,31 @@ let jobs_arg =
                  Committed results are bit-identical at any N; only \
                  wall-clock columns change.")
 
+let backend_conv =
+  let parse s =
+    match Minipy.Backend.of_string s with
+    | Some c -> Ok c
+    | None ->
+      Error (`Msg (Printf.sprintf
+                     "unknown backend %S (expected treewalk, vm, or compare)" s))
+  in
+  let print ppf c = Format.pp_print_string ppf (Minipy.Backend.to_string c) in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(value & opt backend_conv Minipy.Backend.Treewalk
+       & info [ "backend" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: $(b,treewalk) (the reference evaluator), \
+                 $(b,vm) (bytecode compiler + stack VM), or $(b,compare) \
+                 (run both and fail on any divergence). Virtual-time and \
+                 byte-ledger measurements are backend-invariant: committed \
+                 results are bit-identical across engines, only wall-clock \
+                 columns change.")
+
+(* Install the process-wide execution engine every interpreter construction
+   reads. Call before any work, like [setup_jobs]. *)
+let setup_backend backend = Minipy.Backend.configure backend
+
 (* Install the process-wide pool the pipeline and the experiment registry
    fan out on. Call before any work; the pool is torn down at exit. *)
 let setup_jobs jobs =
@@ -116,7 +141,8 @@ let analyze_cmd =
 (* --- profile ------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run app scoring =
+  let run app scoring backend =
+    setup_backend backend;
     let method_ = Trim.Scoring.method_of_string scoring in
     let d = Workloads.Suite.deployment_of app in
     let p = Trim.Profiler.profile d in
@@ -134,12 +160,13 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Profile per-module marginal import time/memory and rank them.")
-    Term.(const run $ app_arg $ scoring_arg)
+    Term.(const run $ app_arg $ scoring_arg $ backend_arg)
 
 (* --- debloat ------------------------------------------------------------- *)
 
 let debloat_cmd =
-  let run app k scoring verbose jobs trace =
+  let run app k scoring verbose jobs trace backend =
+    setup_backend backend;
     setup_jobs jobs;
     with_trace trace @@ fun () ->
     setup_logs verbose;
@@ -164,7 +191,7 @@ let debloat_cmd =
   Cmd.v
     (Cmd.info "debloat" ~doc:"Run the full lambda-trim pipeline on an application.")
     Term.(const run $ app_arg $ k_arg $ scoring_arg $ verbose_flag $ jobs_arg
-          $ trace_arg)
+          $ trace_arg $ backend_arg)
 
 (* --- invoke -------------------------------------------------------------- *)
 
@@ -173,7 +200,29 @@ let invoke_cmd =
     Arg.(value & flag & info [ "trimmed" ]
            ~doc:"Invoke the lambda-trim optimized application.")
   in
-  let run app trimmed jobs trace =
+  (* the strict canonicalization compare mode diffs: every float exact *)
+  let record_strict (r : Platform.Lambda_sim.record) =
+    Printf.sprintf
+      "%s init=%.17g exec=%.17g e2e=%.17g billed=%.17g mem=%.17g cost=%.17g \
+       out=%S"
+      (Platform.Lambda_sim.start_kind_name r.Platform.Lambda_sim.kind)
+      r.Platform.Lambda_sim.init_ms r.Platform.Lambda_sim.exec_ms
+      r.Platform.Lambda_sim.e2e_ms r.Platform.Lambda_sim.billed_ms
+      r.Platform.Lambda_sim.peak_memory_mb r.Platform.Lambda_sim.cost
+      r.Platform.Lambda_sim.stdout
+  in
+  let print_record (r : Platform.Lambda_sim.record) =
+    Printf.printf
+      "%s start: e2e %.1f ms (init %.1f, exec %.1f), billed %.0f ms, \
+       %.1f MB, $%.3e\n"
+      (Platform.Lambda_sim.start_kind_name r.Platform.Lambda_sim.kind)
+      r.Platform.Lambda_sim.e2e_ms r.Platform.Lambda_sim.init_ms
+      r.Platform.Lambda_sim.exec_ms r.Platform.Lambda_sim.billed_ms
+      r.Platform.Lambda_sim.peak_memory_mb r.Platform.Lambda_sim.cost;
+    print_string r.Platform.Lambda_sim.stdout
+  in
+  let run app trimmed jobs trace backend =
+    setup_backend backend;
     setup_jobs jobs;
     with_trace trace @@ fun () ->
     let spec = Workloads.Suite.spec_of app in
@@ -181,26 +230,43 @@ let invoke_cmd =
     let d =
       if trimmed then (Trim.Pipeline.run d).Trim.Pipeline.optimized else d
     in
-    let sim = Platform.Lambda_sim.create d in
     let event =
       match spec.Workloads.Apps.tests with (_, e) :: _ -> e | [] -> "{}"
     in
-    let cold, warm = Platform.Lambda_sim.measure_cold_and_warm ~event sim in
-    List.iter
-      (fun (r : Platform.Lambda_sim.record) ->
-         Printf.printf
-           "%s start: e2e %.1f ms (init %.1f, exec %.1f), billed %.0f ms, \
-            %.1f MB, $%.3e\n"
-           (Platform.Lambda_sim.start_kind_name r.Platform.Lambda_sim.kind)
-           r.Platform.Lambda_sim.e2e_ms r.Platform.Lambda_sim.init_ms
-           r.Platform.Lambda_sim.exec_ms r.Platform.Lambda_sim.billed_ms
-           r.Platform.Lambda_sim.peak_memory_mb r.Platform.Lambda_sim.cost;
-         print_string r.Platform.Lambda_sim.stdout)
-      [ cold; warm ]
+    let measure choice =
+      let sim = Platform.Lambda_sim.create ~backend:choice d in
+      Platform.Lambda_sim.measure_cold_and_warm ~event sim
+    in
+    match backend with
+    | Minipy.Backend.Compare ->
+      let tw_cold, tw_warm = measure Minipy.Backend.Treewalk in
+      let vm_cold, vm_warm = measure Minipy.Backend.Vm in
+      let diffs =
+        List.filter_map
+          (fun (phase, tw, vm) ->
+             let tws = record_strict tw and vms = record_strict vm in
+             if String.equal tws vms then None
+             else Some (Printf.sprintf "%s:\n  treewalk: %s\n  vm:       %s"
+                          phase tws vms))
+          [ ("cold", tw_cold, vm_cold); ("warm", tw_warm, vm_warm) ]
+      in
+      if diffs = [] then begin
+        List.iter print_record [ tw_cold; tw_warm ];
+        Printf.printf "compare: cold and warm records identical across engines\n"
+      end
+      else begin
+        Printf.eprintf "compare: engines diverge on %s\n%s\n" app
+          (String.concat "\n" diffs);
+        exit 1
+      end
+    | _ ->
+      let cold, warm = measure backend in
+      List.iter print_record [ cold; warm ]
   in
   Cmd.v
     (Cmd.info "invoke" ~doc:"Invoke an application on the platform simulator.")
-    Term.(const run $ app_arg $ trimmed_flag $ jobs_arg $ trace_arg)
+    Term.(const run $ app_arg $ trimmed_flag $ jobs_arg $ trace_arg
+          $ backend_arg)
 
 (* --- fleet ---------------------------------------------------------------- *)
 
@@ -309,7 +375,8 @@ let fleet_cmd =
   let run app rate duration policy keep_alive max_idle capacity max_pending
       timeout fb_rate seed init_failure_rate crash_rate error_rate churn_rate
       retries retry_base retry_cap request_timeout breaker_threshold
-      breaker_window breaker_cooldown hedge_delay jobs trace =
+      breaker_window breaker_cooldown hedge_delay jobs trace backend =
+    setup_backend backend;
     setup_jobs jobs;
     with_trace trace @@ fun () ->
     if rate <= 0.0 then begin
@@ -465,7 +532,7 @@ let fleet_cmd =
           $ crash_arg $ error_arg $ churn_arg $ retries_arg $ retry_base_arg
           $ retry_cap_arg $ request_timeout_arg $ breaker_threshold_arg
           $ breaker_window_arg $ breaker_cooldown_arg $ hedge_delay_arg
-          $ jobs_arg $ trace_arg)
+          $ jobs_arg $ trace_arg $ backend_arg)
 
 (* --- calibrate ------------------------------------------------------------ *)
 
@@ -534,7 +601,8 @@ let experiments_cmd =
              ~doc:"Write machine-readable rows to DIR/<id>.csv (experiments \
                    with structured data only).")
   in
-  let run only out csv jobs trace =
+  let run only out csv jobs trace backend =
+    setup_backend backend;
     setup_jobs jobs;
     with_trace trace @@ fun () ->
     let entries =
@@ -587,7 +655,8 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures on the simulator.")
-    Term.(const run $ only_arg $ out_arg $ csv_arg $ jobs_arg $ trace_arg)
+    Term.(const run $ only_arg $ out_arg $ csv_arg $ jobs_arg $ trace_arg
+          $ backend_arg)
 
 let main =
   Cmd.group

@@ -1,0 +1,99 @@
+(* Bytecode for the minipy VM backend.
+
+   A code unit is a flat instruction array over four side tables: a constant
+   pool of prebuilt values, an interned name array, a statement table for
+   tree-walker fallbacks, and function templates for def/lambda sites.
+
+   Accounting contract (ARCHITECTURE §11): the compiler emits interpreter
+   steps at exactly the tree-walker's program points — one [Tick] (or a
+   tick-fused leaf load) per expression-node entry and one per statement
+   entry — and every allocation charge is performed by the same shared
+   helpers the tree-walker uses, in the same order. A code unit is therefore
+   backend-invariant with respect to the virtual clock and byte ledger.
+
+   Exception semantics are inherited rather than reimplemented: [try] (and
+   any loop whose subtree contains one) compiles to an [Sfallback] that runs
+   the reference tree-walker on the original statement, so compiled frames
+   never need handler stacks. *)
+
+type instr =
+  (* steps / leaf loads — these four are the only ticking instructions *)
+  | Tick                    (* one interpreter step (expr/stmt entry) *)
+  | Const of int            (* tick; push consts.(i) *)
+  | Load_slot of int        (* tick; slot, else globals/builtins by name *)
+  | Load_global of int      (* tick; names.(i) via globals/builtins *)
+  | Load_name of int        (* tick; names.(i) via env (dict mode) *)
+  (* non-ticking loads (AugAssign current-value reads) *)
+  | Load_slot_ref of int
+  | Load_name_ref of int
+  | Push_none               (* implicit None (return with no value) *)
+  (* stores *)
+  | Store_slot of int
+  | Store_name of int       (* env-aware: honors `global` declarations *)
+  | Store_local of int      (* always locals (def bindings) *)
+  | Unpack of int           (* iterate top into n items, first on top *)
+  (* data flow *)
+  | Pop
+  | Getattr of int          (* names.(i); may import submodules *)
+  | Setattr of int          (* stack: [... value; obj] *)
+  | Getitem
+  | Setitem                 (* stack: [... value; obj; key] *)
+  | Getslice of bool * bool (* has_lo, has_hi *)
+  | Binop of Ast.binop      (* non-short-circuit operators *)
+  | Unop of Ast.unop
+  | Build_list of int       (* charges the allocation *)
+  | Build_tuple of int
+  | Build_dict of int       (* pops 2n key/value pairs *)
+  | Push_list               (* uncharged comprehension builder *)
+  | Push_dict
+  | List_append             (* stack: [... builder; elt] *)
+  | Map_add                 (* stack: [... builder; key; value] *)
+  | Charge_top              (* charge_alloc on the finished builder *)
+  | Call of int * int array (* positional argc, kwarg name indices *)
+  | Make_function of int    (* funcs.(i); pops its default values *)
+  (* control flow *)
+  | Jump of int
+  | Pop_jump_if_false of int
+  | Pop_jump_if_true of int
+  | Jump_if_falsy_keep of int  (* `and`: keep falsy lhs *)
+  | Jump_if_truthy_keep of int (* `or`: keep truthy lhs *)
+  | Get_iter                (* materialize top onto the iterator stack *)
+  | For_iter of int         (* push next item, or pop iter and jump *)
+  | Pop_iter                (* loop exit via break *)
+  | Return                  (* function: return top; module: Return_exc *)
+  | Raise_top
+  | Raise_bare
+  | Assert_msg              (* pops the failure message value *)
+  | Assert_plain
+  (* reference-interpreter escape hatch (dict mode only) *)
+  | Sfallback of int        (* exec stmts.(i) with the tree-walker *)
+
+(* A function template: everything [Make_function] needs besides the
+   defaults sitting on the stack and the enclosing globals. [mk_body] is
+   allocated once at compile time so every closure made at this site shares
+   it physically — the VM's compile memo keys on that identity. *)
+type template = {
+  mk_name : string;
+  mk_module : string;
+  mk_params : (string * bool) list;  (* name, has-default *)
+  mk_body : Ast.stmt list;
+}
+
+(* Local-variable representation. Module bodies and functions containing
+   namespace-dependent statements (global/del/import/class/try) run in
+   [Dict] mode against a real environment; everything else gets [Slots]. *)
+type mode =
+  | Slots
+  | Dict
+
+type code = {
+  instrs : instr array;
+  consts : Value.value array;   (* prebuilt immutable values; never charged *)
+  names : string array;         (* interned attribute/global names *)
+  stmts : Ast.stmt array;       (* Sfallback table *)
+  funcs : template array;
+  mode : mode;
+  nslots : int;
+  slot_names : string array;    (* for unbound-slot fallback and disasm *)
+  max_stack : int;
+}

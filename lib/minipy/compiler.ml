@@ -1,0 +1,662 @@
+(* AST → bytecode compiler for the minipy VM backend.
+
+   The compiler's one hard obligation is accounting parity with the
+   tree-walker (ARCHITECTURE §11): it emits a [Tick] — or a tick-fused leaf
+   load — at exactly the program points where [Interp.eval] / [exec_stmt]
+   tick, in the same order, and routes every allocation through the same
+   shared helpers. Compilation is tiered:
+
+   - functions whose bodies contain only compilable statement kinds get
+     [Slots] mode: locals are array slots resolved at compile time, with an
+     unbound sentinel falling back to globals/builtins (matching the
+     tree-walker's locals → globals → builtins chain);
+   - module bodies and functions that use namespace- or exception-dependent
+     statements (import/from/class/try/global/del) get [Dict] mode against a
+     real [Interp.env], where those statements compile to [Sfallback] — the
+     reference tree-walker runs the original statement in place;
+   - a loop whose subtree contains [try] falls back wholly, so
+     [Break_exc]/[Continue_exc] can never unwind across a compiled frame.
+
+   Code units are immutable and shared freely across domains; the memo
+   tables below are mutex-guarded. *)
+
+open Bytecode
+
+type Value.code_ref += Compiled of code
+
+(* --- what compiles, what falls back -------------------------------------- *)
+
+(* Statement kinds a compiled frame can execute directly. [in_loop] tracks
+   whether break/continue have a compiled loop to target; a stray one must
+   fall back so it raises Break_exc/Continue_exc like the reference. Def
+   bodies are separate compilation units and are not descended into. *)
+let rec stmt_supported ~in_loop (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Import _ | Ast.From_import _ | Ast.Class _ | Ast.Try _
+  | Ast.Global _ | Ast.Del _ -> false
+  | Ast.AugAssign (Ast.Ttuple _, _, _) -> false
+  | Ast.Break | Ast.Continue -> in_loop
+  | Ast.If (branches, orelse) ->
+    List.for_all (fun (_, b) -> block_supported ~in_loop b) branches
+    && block_supported ~in_loop orelse
+  | Ast.While (_, body) | Ast.For (_, _, body) ->
+    block_supported ~in_loop:true body
+  | Ast.Expr_stmt _ | Ast.Assign _ | Ast.AugAssign _ | Ast.Def _
+  | Ast.Return _ | Ast.Raise _ | Ast.Pass | Ast.Assert _ -> true
+
+and block_supported ~in_loop body = List.for_all (stmt_supported ~in_loop) body
+
+(* In dict mode, a loop containing try anywhere in its compiled subtree must
+   fall back wholly: the tree-walker's finally clauses re-raise
+   Break_exc/Continue_exc, which compiled loops cannot observe. Class and
+   Def subtrees don't count — they are Sfallback/separate units anyway. *)
+let rec contains_try (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Try _ -> true
+  | Ast.If (branches, orelse) ->
+    List.exists (fun (_, b) -> List.exists contains_try b) branches
+    || List.exists contains_try orelse
+  | Ast.While (_, body) | Ast.For (_, _, body) -> List.exists contains_try body
+  | _ -> false
+
+(* --- assigned-name analysis (Slots mode) --------------------------------- *)
+
+(* Every name the body can bind, in first-binding order: assignment targets,
+   for-targets, def names, and comprehension variables (comprehensions share
+   the enclosing scope, exactly like the tree-walker's assign_target).
+   Lambda bodies are separate scopes and are skipped; def default
+   expressions evaluate in the enclosing scope and are scanned. *)
+let collect_assigned add body =
+  let rec target = function
+    | Ast.Tname n -> add n
+    | Ast.Tattr (b, _) -> expr b
+    | Ast.Tsubscript (b, i) -> expr b; expr i
+    | Ast.Ttuple ts -> List.iter target ts
+  and expr (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Const _ | Ast.Name _ -> ()
+    | Ast.Attr (b, _) -> expr b
+    | Ast.Subscript (b, i) -> expr b; expr i
+    | Ast.Call (f, args, kwargs) ->
+      expr f; List.iter expr args; List.iter (fun (_, v) -> expr v) kwargs
+    | Ast.Binop (_, l, r) -> expr l; expr r
+    | Ast.Unop (_, x) -> expr x
+    | Ast.ListLit items | Ast.TupleLit items -> List.iter expr items
+    | Ast.DictLit pairs -> List.iter (fun (k, v) -> expr k; expr v) pairs
+    | Ast.Lambda _ -> ()
+    | Ast.IfExp (c, a, b) -> expr c; expr a; expr b
+    | Ast.Slice (b, lo, hi) -> expr b; Option.iter expr lo; Option.iter expr hi
+    | Ast.ListComp { Ast.celt; cvar; citer; ccond } ->
+      target cvar; expr citer; Option.iter expr ccond; expr celt
+    | Ast.DictComp { Ast.dckey; dcval; dcvar; dciter; dccond } ->
+      target dcvar; expr dciter; Option.iter expr dccond; expr dckey; expr dcval
+  and stmt (s : Ast.stmt) =
+    match s.Ast.sdesc with
+    | Ast.Expr_stmt e -> expr e
+    | Ast.Assign (tg, e) | Ast.AugAssign (tg, _, e) -> target tg; expr e
+    | Ast.Def d ->
+      add d.Ast.dname;
+      List.iter (fun p -> Option.iter expr p.Ast.pdefault) d.Ast.dparams
+    | Ast.Return e -> Option.iter expr e
+    | Ast.If (branches, orelse) ->
+      List.iter (fun (c, b) -> expr c; List.iter stmt b) branches;
+      List.iter stmt orelse
+    | Ast.While (c, b) -> expr c; List.iter stmt b
+    | Ast.For (tg, it, b) -> target tg; expr it; List.iter stmt b
+    | Ast.Raise e -> Option.iter expr e
+    | Ast.Assert (c, m) -> expr c; Option.iter expr m
+    | Ast.Pass | Ast.Break | Ast.Continue -> ()
+    | Ast.Import _ | Ast.From_import _ | Ast.Class _ | Ast.Try _
+    | Ast.Global _ | Ast.Del _ -> ()  (* unreachable in Slots mode *)
+  in
+  List.iter stmt body
+
+(* --- emitter -------------------------------------------------------------- *)
+
+type scope =
+  | Sslots of (string, int) Hashtbl.t
+  | Sdict
+
+type loop_ctx = { l_cont : int; l_brk : int; l_is_for : bool }
+
+type emitter = {
+  mutable ins : instr array;
+  mutable len : int;
+  mutable consts : Value.value list;   (* reversed *)
+  mutable nconsts : int;
+  mutable names : (string * int) list; (* interned, reversed *)
+  mutable nnames : int;
+  mutable stms : Ast.stmt list;        (* reversed *)
+  mutable nstms : int;
+  mutable funcs : template list;       (* reversed *)
+  mutable nfuncs : int;
+  mutable labels : int array;          (* label id -> pc, patched at finish *)
+  mutable nlabels : int;
+  mutable depth : int;                 (* linear operand-stack tracking *)
+  mutable maxd : int;
+  mutable loops : loop_ctx list;
+  scope : scope;
+}
+
+let fresh scope =
+  { ins = Array.make 32 Tick; len = 0;
+    consts = []; nconsts = 0;
+    names = []; nnames = 0;
+    stms = []; nstms = 0;
+    funcs = []; nfuncs = 0;
+    labels = Array.make 8 (-1); nlabels = 0;
+    depth = 0; maxd = 0; loops = []; scope }
+
+(* Net operand-stack effect. [For_iter]'s exhaust edge and the keep-jumps'
+   taken edges are handled by the structured emission patterns below (every
+   label is bound at the depth its jumps carry), so linear tracking is exact. *)
+let stack_effect = function
+  | Tick | Getattr _ | Unop _ | Jump _ | Pop_iter | Raise_bare | Assert_plain
+  | Charge_top | Sfallback _ -> 0
+  | Const _ | Load_slot _ | Load_global _ | Load_name _ | Load_slot_ref _
+  | Load_name_ref _ | Push_none | Push_list | Push_dict | For_iter _ -> 1
+  | Store_slot _ | Store_name _ | Store_local _ | Pop | Getitem | Binop _
+  | Pop_jump_if_false _ | Pop_jump_if_true _ | Jump_if_falsy_keep _
+  | Jump_if_truthy_keep _ | List_append | Return | Raise_top | Assert_msg
+  | Get_iter -> -1
+  | Unpack n -> n - 1
+  | Setattr _ | Map_add -> -2
+  | Setitem -> -3
+  | Getslice (l, h) -> -(Bool.to_int l + Bool.to_int h)
+  | Build_list n | Build_tuple n -> 1 - n
+  | Build_dict n -> 1 - (2 * n)
+  | Call (n, kw) -> -(n + Array.length kw)
+  | Make_function _ -> 1  (* minus defaults, adjusted at the emit site *)
+
+let emit em i =
+  if em.len = Array.length em.ins then begin
+    let bigger = Array.make (2 * em.len) Tick in
+    Array.blit em.ins 0 bigger 0 em.len;
+    em.ins <- bigger
+  end;
+  em.ins.(em.len) <- i;
+  em.len <- em.len + 1;
+  em.depth <- em.depth + stack_effect i;
+  if em.depth > em.maxd then em.maxd <- em.depth
+
+let adjust em d = em.depth <- em.depth + d
+
+let set_depth em d = em.depth <- d
+
+let new_label em =
+  if em.nlabels = Array.length em.labels then begin
+    let bigger = Array.make (2 * em.nlabels) (-1) in
+    Array.blit em.labels 0 bigger 0 em.nlabels;
+    em.labels <- bigger
+  end;
+  let l = em.nlabels in
+  em.nlabels <- l + 1;
+  l
+
+let bind em l = em.labels.(l) <- em.len
+
+let add_const em v =
+  let i = em.nconsts in
+  em.consts <- v :: em.consts;
+  em.nconsts <- i + 1;
+  i
+
+let add_name em n =
+  match List.assoc_opt n em.names with
+  | Some i -> i
+  | None ->
+    let i = em.nnames in
+    em.names <- (n, i) :: em.names;
+    em.nnames <- i + 1;
+    i
+
+let add_stmt em s =
+  let i = em.nstms in
+  em.stms <- s :: em.stms;
+  em.nstms <- i + 1;
+  i
+
+let add_func em f =
+  let i = em.nfuncs in
+  em.funcs <- f :: em.funcs;
+  em.nfuncs <- i + 1;
+  i
+
+let value_of_const = function
+  | Ast.Cint i -> Value.Vint i
+  | Ast.Cfloat f -> Value.Vfloat f
+  | Ast.Cstr s -> Value.Vstr s
+  | Ast.Cbool b -> Value.Vbool b
+  | Ast.Cnone -> Value.Vnone
+
+let finish em ~mode ~nslots ~slot_names =
+  let resolve l =
+    let pc = em.labels.(l) in
+    assert (pc >= 0);
+    pc
+  in
+  let instrs =
+    Array.init em.len (fun i ->
+        match em.ins.(i) with
+        | Jump l -> Jump (resolve l)
+        | Pop_jump_if_false l -> Pop_jump_if_false (resolve l)
+        | Pop_jump_if_true l -> Pop_jump_if_true (resolve l)
+        | Jump_if_falsy_keep l -> Jump_if_falsy_keep (resolve l)
+        | Jump_if_truthy_keep l -> Jump_if_truthy_keep (resolve l)
+        | For_iter l -> For_iter (resolve l)
+        | i -> i)
+  in
+  let names = Array.make em.nnames "" in
+  List.iter (fun (n, i) -> names.(i) <- n) em.names;
+  { instrs;
+    consts = Array.of_list (List.rev em.consts);
+    names;
+    stmts = Array.of_list (List.rev em.stms);
+    funcs = Array.of_list (List.rev em.funcs);
+    mode; nslots; slot_names;
+    max_stack = em.maxd + 4 }
+
+(* --- expression / statement compilation ----------------------------------
+
+   Tick discipline: [Interp.eval] ticks on entry of every expression node,
+   parent before children; [exec_stmt] ticks on entry of every statement.
+   Leaf loads fuse their tick; internal nodes emit an explicit [Tick] before
+   their operands. [Sfallback] emits no tick — exec_stmt ticks itself. *)
+
+let slot_of em n =
+  match em.scope with
+  | Sslots tbl ->
+    (match Hashtbl.find_opt tbl n with
+     | Some i -> Some i
+     | None -> None)
+  | Sdict -> None
+
+let rec cx em (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Const c -> emit em (Const (add_const em (value_of_const c)))
+  | Ast.Name n ->
+    (match em.scope with
+     | Sslots _ ->
+       (match slot_of em n with
+        | Some i -> emit em (Load_slot i)
+        | None -> emit em (Load_global (add_name em n)))
+     | Sdict -> emit em (Load_name (add_name em n)))
+  | Ast.Attr (base, name) ->
+    emit em Tick;
+    cx em base;
+    emit em (Getattr (add_name em name))
+  | Ast.Subscript (base, idx) ->
+    emit em Tick;
+    cx em base;
+    cx em idx;
+    emit em Getitem
+  | Ast.Call (f, args, kwargs) ->
+    emit em Tick;
+    cx em f;
+    List.iter (cx em) args;
+    let kwn = Array.of_list (List.map (fun (k, _) -> add_name em k) kwargs) in
+    List.iter (fun (_, v) -> cx em v) kwargs;
+    emit em (Call (List.length args, kwn))
+  | Ast.Binop (Ast.And, l, r) ->
+    emit em Tick;
+    cx em l;
+    let l_end = new_label em in
+    emit em (Jump_if_falsy_keep l_end);
+    cx em r;
+    bind em l_end
+  | Ast.Binop (Ast.Or, l, r) ->
+    emit em Tick;
+    cx em l;
+    let l_end = new_label em in
+    emit em (Jump_if_truthy_keep l_end);
+    cx em r;
+    bind em l_end
+  | Ast.Binop (op, l, r) ->
+    emit em Tick;
+    cx em l;
+    cx em r;
+    emit em (Binop op)
+  | Ast.Unop (op, x) ->
+    emit em Tick;
+    cx em x;
+    emit em (Unop op)
+  | Ast.ListLit items ->
+    emit em Tick;
+    List.iter (cx em) items;
+    emit em (Build_list (List.length items))
+  | Ast.TupleLit items ->
+    emit em Tick;
+    List.iter (cx em) items;
+    emit em (Build_tuple (List.length items))
+  | Ast.DictLit pairs ->
+    emit em Tick;
+    List.iter (fun (k, v) -> cx em k; cx em v) pairs;
+    emit em (Build_dict (List.length pairs))
+  | Ast.Lambda (params, body) ->
+    emit em Tick;
+    let tmpl =
+      { mk_name = "<lambda>"; mk_module = "<lambda>";
+        mk_params = List.map (fun p -> (p, false)) params;
+        (* allocated once here: every closure made at this site shares the
+           body physically, so the compile memo hits *)
+        mk_body = [ Ast.s (Ast.Return (Some body)) ] }
+    in
+    emit em (Make_function (add_func em tmpl))
+  | Ast.IfExp (cond, then_, else_) ->
+    emit em Tick;
+    cx em cond;
+    let l_else = new_label em and l_end = new_label em in
+    emit em (Pop_jump_if_false l_else);
+    let d0 = em.depth in
+    cx em then_;
+    emit em (Jump l_end);
+    bind em l_else;
+    set_depth em d0;
+    cx em else_;
+    bind em l_end
+  | Ast.Slice (base, lo, hi) ->
+    emit em Tick;
+    cx em base;
+    Option.iter (cx em) lo;
+    Option.iter (cx em) hi;
+    emit em (Getslice (lo <> None, hi <> None))
+  | Ast.ListComp { Ast.celt; cvar; citer; ccond } ->
+    emit em Tick;
+    cx em citer;
+    emit em Get_iter;
+    emit em Push_list;
+    let l_top = new_label em and l_end = new_label em in
+    bind em l_top;
+    emit em (For_iter l_end);
+    store_target em cvar;
+    (match ccond with
+     | Some c -> cx em c; emit em (Pop_jump_if_false l_top)
+     | None -> ());
+    cx em celt;
+    emit em List_append;
+    emit em (Jump l_top);
+    bind em l_end;
+    (* the tree-walker charges the finished list once, at the end *)
+    emit em Charge_top
+  | Ast.DictComp { Ast.dckey; dcval; dcvar; dciter; dccond } ->
+    emit em Tick;
+    cx em dciter;
+    emit em Get_iter;
+    emit em Push_dict;
+    let l_top = new_label em and l_end = new_label em in
+    bind em l_top;
+    emit em (For_iter l_end);
+    store_target em dcvar;
+    (match dccond with
+     | Some c -> cx em c; emit em (Pop_jump_if_false l_top)
+     | None -> ());
+    cx em dckey;
+    cx em dcval;
+    emit em Map_add;
+    emit em (Jump l_top);
+    bind em l_end;
+    emit em Charge_top
+
+and store_target em (tg : Ast.target) =
+  match tg with
+  | Ast.Tname n ->
+    (match em.scope with
+     | Sslots _ ->
+       (match slot_of em n with
+        | Some i -> emit em (Store_slot i)
+        | None -> assert false (* every assigned name has a slot *))
+     | Sdict -> emit em (Store_name (add_name em n)))
+  | Ast.Tattr (base, name) ->
+    cx em base;
+    emit em (Setattr (add_name em name))
+  | Ast.Tsubscript (base, idx) ->
+    cx em base;
+    cx em idx;
+    emit em Setitem
+  | Ast.Ttuple ts ->
+    emit em (Unpack (List.length ts));
+    List.iter (store_target em) ts
+
+and cs em (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Expr_stmt e ->
+    emit em Tick;
+    cx em e;
+    emit em Pop
+  | Ast.Assign (tg, e) ->
+    emit em Tick;
+    cx em e;
+    store_target em tg
+  | Ast.AugAssign ((Ast.Ttuple _), _, _) -> fallback em s
+  | Ast.AugAssign (tg, op, e) ->
+    emit em Tick;
+    (* current value: a non-ticking read for names, a re-evaluating read for
+       attr/subscript bases — both exactly as the tree-walker sequences it *)
+    (match tg with
+     | Ast.Tname n ->
+       (match em.scope with
+        | Sslots _ ->
+          (match slot_of em n with
+           | Some i -> emit em (Load_slot_ref i)
+           | None -> assert false)
+        | Sdict -> emit em (Load_name_ref (add_name em n)))
+     | Ast.Tattr (base, name) ->
+       cx em base;
+       emit em (Getattr (add_name em name))
+     | Ast.Tsubscript (base, idx) ->
+       cx em base;
+       cx em idx;
+       emit em Getitem
+     | Ast.Ttuple _ -> assert false);
+    cx em e;
+    emit em (Binop op);
+    store_target em tg
+  | Ast.Def d ->
+    emit em Tick;
+    let ndefaults =
+      List.fold_left
+        (fun acc p -> acc + (match p.Ast.pdefault with Some _ -> 1 | None -> 0))
+        0 d.Ast.dparams
+    in
+    List.iter (fun p -> Option.iter (cx em) p.Ast.pdefault) d.Ast.dparams;
+    let tmpl =
+      { mk_name = d.Ast.dname; mk_module = "<module>";
+        mk_params =
+          List.map (fun p -> (p.Ast.pname, p.Ast.pdefault <> None)) d.Ast.dparams;
+        mk_body = d.Ast.dbody }
+    in
+    emit em (Make_function (add_func em tmpl));
+    adjust em (-ndefaults);
+    (* def binds into locals unconditionally (no global_decls check) *)
+    (match em.scope with
+     | Sslots _ ->
+       (match slot_of em d.Ast.dname with
+        | Some i -> emit em (Store_slot i)
+        | None -> assert false)
+     | Sdict -> emit em (Store_local (add_name em d.Ast.dname)))
+  | Ast.Return e ->
+    emit em Tick;
+    (match e with
+     | Some e -> cx em e
+     | None -> emit em Push_none);
+    emit em Return
+  | Ast.If (branches, orelse) ->
+    emit em Tick;
+    let l_end = new_label em in
+    let d0 = em.depth in
+    List.iter
+      (fun (cond, body) ->
+         cx em cond;
+         let l_next = new_label em in
+         emit em (Pop_jump_if_false l_next);
+         cblock em body;
+         emit em (Jump l_end);
+         bind em l_next;
+         set_depth em d0)
+      branches;
+    cblock em orelse;
+    bind em l_end
+  | Ast.While (cond, body) ->
+    if List.exists contains_try body then fallback em s
+    else begin
+      emit em Tick;
+      let l_top = new_label em and l_end = new_label em in
+      bind em l_top;
+      cx em cond;
+      emit em (Pop_jump_if_false l_end);
+      em.loops <- { l_cont = l_top; l_brk = l_end; l_is_for = false } :: em.loops;
+      cblock em body;
+      em.loops <- List.tl em.loops;
+      emit em (Jump l_top);
+      bind em l_end
+    end
+  | Ast.For (tg, iter, body) ->
+    if List.exists contains_try body then fallback em s
+    else begin
+      emit em Tick;
+      cx em iter;
+      emit em Get_iter;
+      let l_top = new_label em and l_end = new_label em in
+      bind em l_top;
+      emit em (For_iter l_end);
+      store_target em tg;
+      em.loops <- { l_cont = l_top; l_brk = l_end; l_is_for = true } :: em.loops;
+      cblock em body;
+      em.loops <- List.tl em.loops;
+      emit em (Jump l_top);
+      bind em l_end
+    end
+  | Ast.Break ->
+    emit em Tick;
+    (match em.loops with
+     | { l_brk; l_is_for; _ } :: _ ->
+       if l_is_for then emit em Pop_iter;
+       emit em (Jump l_brk)
+     | [] -> assert false (* stray break is unsupported, caught by analysis *))
+  | Ast.Continue ->
+    emit em Tick;
+    (match em.loops with
+     | { l_cont; _ } :: _ -> emit em (Jump l_cont)
+     | [] -> assert false)
+  | Ast.Raise (Some e) ->
+    emit em Tick;
+    cx em e;
+    emit em Raise_top
+  | Ast.Raise None ->
+    emit em Tick;
+    emit em Raise_bare
+  | Ast.Pass -> emit em Tick
+  | Ast.Assert (cond, msg) ->
+    emit em Tick;
+    cx em cond;
+    let l_end = new_label em in
+    emit em (Pop_jump_if_true l_end);
+    (match msg with
+     | Some m -> cx em m; emit em Assert_msg
+     | None -> emit em Assert_plain);
+    bind em l_end
+  | Ast.Import _ | Ast.From_import _ | Ast.Class _ | Ast.Try _
+  | Ast.Global _ | Ast.Del _ -> fallback em s
+
+and fallback em s =
+  (match em.scope with
+   | Sdict -> ()
+   | Sslots _ -> assert false (* analysis routes these bodies to Dict mode *));
+  emit em (Sfallback (add_stmt em s))
+
+and cblock em body = List.iter (cs em) body
+
+(* --- compilation units ---------------------------------------------------- *)
+
+(* A function body. Parameters claim the first slots in order; the trailing
+   Push_none/Return covers falling off the end (the tree-walker returns
+   Vnone when no Return_exc fires). *)
+let compile_body ~params (body : Ast.stmt list) : code =
+  if block_supported ~in_loop:false body then begin
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    let add n =
+      if not (Hashtbl.mem tbl n) then begin
+        Hashtbl.add tbl n (Hashtbl.length tbl);
+        order := n :: !order
+      end
+    in
+    List.iter add params;
+    collect_assigned add body;
+    let slot_names = Array.of_list (List.rev !order) in
+    let em = fresh (Sslots tbl) in
+    cblock em body;
+    emit em Push_none;
+    emit em Return;
+    finish em ~mode:Slots ~nslots:(Array.length slot_names) ~slot_names
+  end
+  else begin
+    let em = fresh Sdict in
+    cblock em body;
+    emit em Push_none;
+    emit em Return;
+    finish em ~mode:Dict ~nslots:0 ~slot_names:[||]
+  end
+
+(* A module body: always Dict mode against the module namespace; execution
+   simply runs off the end (a module-level [return] raises Return_exc from
+   the VM, mirroring the tree-walker). *)
+let compile_program (prog : Ast.program) : code =
+  let em = fresh Sdict in
+  cblock em prog;
+  finish em ~mode:Dict ~nslots:0 ~slot_names:[||]
+
+(* --- memoization ----------------------------------------------------------
+
+   Keyed by physical identity of the statement list. Sound because the parse
+   cache already dedups ASTs by content: every interpreter importing the
+   same bytes holds the same AST object, so one compile serves all of them.
+   Function bodies additionally cache on the closure itself ([fcode]), which
+   skips the lock on the hot call path. *)
+
+module Phys = struct
+  type t = Obj.t
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end
+
+module Ptbl = Hashtbl.Make (Phys)
+
+let fn_memo : code Ptbl.t = Ptbl.create 256
+let mod_memo : code Ptbl.t = Ptbl.create 64
+let memo_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock memo_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock memo_lock) f
+
+let memo tbl key compile =
+  match locked (fun () -> Ptbl.find_opt tbl key) with
+  | Some code -> code
+  | None ->
+    let code = compile () in
+    locked (fun () -> Ptbl.replace tbl key code);
+    code
+
+let compile_function (f : Value.func) : code =
+  match f.Value.fcode with
+  | Some (Compiled code) -> code
+  | _ ->
+    let params = List.map fst f.Value.fparams in
+    let code =
+      match f.Value.fbody with
+      | [] ->
+        (* the empty list is a shared immediate, so it cannot key a memo
+           that must distinguish parameter lists; compile fresh *)
+        compile_body ~params []
+      | body -> memo fn_memo (Obj.repr body) (fun () -> compile_body ~params body)
+    in
+    f.Value.fcode <- Some (Compiled code);
+    code
+
+let compile_program_memo (prog : Ast.program) : code =
+  match prog with
+  | [] -> compile_program []
+  | _ -> memo mod_memo (Obj.repr prog) (fun () -> compile_program prog)

@@ -1,0 +1,143 @@
+(* Textual bytecode listings.
+
+   The format is stable and diffable — golden tests pin it so compiler
+   regressions show up as listing diffs in review. One instruction per line:
+
+     {pc:>4}  OPCODE operand   ; resolved detail
+
+   Jump operands are absolute targets. Details resolve name/const/template
+   indices so a listing reads without the side tables. *)
+
+open Bytecode
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let const_repr v = escape (Value.to_repr v)
+
+let stmt_kind (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Expr_stmt _ -> "expr"
+  | Ast.Assign _ -> "assign"
+  | Ast.AugAssign _ -> "augassign"
+  | Ast.Import _ -> "import"
+  | Ast.From_import _ -> "from_import"
+  | Ast.Def _ -> "def"
+  | Ast.Class _ -> "class"
+  | Ast.Return _ -> "return"
+  | Ast.If _ -> "if"
+  | Ast.While _ -> "while"
+  | Ast.For _ -> "for"
+  | Ast.Try _ -> "try"
+  | Ast.Raise _ -> "raise"
+  | Ast.Pass -> "pass"
+  | Ast.Break -> "break"
+  | Ast.Continue -> "continue"
+  | Ast.Global _ -> "global"
+  | Ast.Del _ -> "del"
+  | Ast.Assert _ -> "assert"
+
+let unop_str = function
+  | Ast.Not -> "not"
+  | Ast.Neg -> "-"
+  | Ast.Pos -> "+"
+
+let instr_str (code : code) = function
+  | Tick -> "TICK"
+  | Const i -> Printf.sprintf "CONST %d            ; %s" i (const_repr code.consts.(i))
+  | Load_slot i -> Printf.sprintf "LOAD_SLOT %d        ; %s" i code.slot_names.(i)
+  | Load_global i -> Printf.sprintf "LOAD_GLOBAL %d      ; %s" i code.names.(i)
+  | Load_name i -> Printf.sprintf "LOAD_NAME %d        ; %s" i code.names.(i)
+  | Load_slot_ref i ->
+    Printf.sprintf "LOAD_SLOT_REF %d    ; %s" i code.slot_names.(i)
+  | Load_name_ref i -> Printf.sprintf "LOAD_NAME_REF %d    ; %s" i code.names.(i)
+  | Push_none -> "PUSH_NONE"
+  | Store_slot i -> Printf.sprintf "STORE_SLOT %d       ; %s" i code.slot_names.(i)
+  | Store_name i -> Printf.sprintf "STORE_NAME %d       ; %s" i code.names.(i)
+  | Store_local i -> Printf.sprintf "STORE_LOCAL %d      ; %s" i code.names.(i)
+  | Unpack n -> Printf.sprintf "UNPACK %d" n
+  | Pop -> "POP"
+  | Getattr i -> Printf.sprintf "GETATTR %d          ; %s" i code.names.(i)
+  | Setattr i -> Printf.sprintf "SETATTR %d          ; %s" i code.names.(i)
+  | Getitem -> "GETITEM"
+  | Setitem -> "SETITEM"
+  | Getslice (lo, hi) ->
+    Printf.sprintf "GETSLICE %s%s"
+      (if lo then "lo" else "-") (if hi then ":hi" else ":-")
+  | Binop op -> Printf.sprintf "BINOP %s" (Pretty.binop_str op)
+  | Unop op -> Printf.sprintf "UNOP %s" (unop_str op)
+  | Build_list n -> Printf.sprintf "BUILD_LIST %d" n
+  | Build_tuple n -> Printf.sprintf "BUILD_TUPLE %d" n
+  | Build_dict n -> Printf.sprintf "BUILD_DICT %d" n
+  | Push_list -> "PUSH_LIST"
+  | Push_dict -> "PUSH_DICT"
+  | List_append -> "LIST_APPEND"
+  | Map_add -> "MAP_ADD"
+  | Charge_top -> "CHARGE_TOP"
+  | Call (n, kwnames) ->
+    if Array.length kwnames = 0 then Printf.sprintf "CALL %d" n
+    else
+      Printf.sprintf "CALL %d            ; kw=[%s]" n
+        (String.concat ", "
+           (Array.to_list (Array.map (fun i -> code.names.(i)) kwnames)))
+  | Make_function i ->
+    let t = code.funcs.(i) in
+    Printf.sprintf "MAKE_FUNCTION %d    ; %s(%s)" i t.mk_name
+      (String.concat ", "
+         (List.map
+            (fun (p, has_default) -> if has_default then p ^ "=…" else p)
+            t.mk_params))
+  | Jump t -> Printf.sprintf "JUMP %d" t
+  | Pop_jump_if_false t -> Printf.sprintf "POP_JUMP_IF_FALSE %d" t
+  | Pop_jump_if_true t -> Printf.sprintf "POP_JUMP_IF_TRUE %d" t
+  | Jump_if_falsy_keep t -> Printf.sprintf "JUMP_IF_FALSY_KEEP %d" t
+  | Jump_if_truthy_keep t -> Printf.sprintf "JUMP_IF_TRUTHY_KEEP %d" t
+  | Get_iter -> "GET_ITER"
+  | For_iter t -> Printf.sprintf "FOR_ITER %d" t
+  | Pop_iter -> "POP_ITER"
+  | Return -> "RETURN"
+  | Raise_top -> "RAISE_TOP"
+  | Raise_bare -> "RAISE_BARE"
+  | Assert_msg -> "ASSERT_MSG"
+  | Assert_plain -> "ASSERT_PLAIN"
+  | Sfallback i ->
+    Printf.sprintf "SFALLBACK %d        ; %s" i (stmt_kind code.stmts.(i))
+
+let to_string (code : code) =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "mode=%s nslots=%d max_stack=%d\n"
+    (match code.mode with Slots -> "slots" | Dict -> "dict")
+    code.nslots code.max_stack;
+  if Array.length code.slot_names > 0 then
+    Printf.bprintf buf "slots: %s\n"
+      (String.concat " " (Array.to_list code.slot_names));
+  Array.iteri
+    (fun pc i -> Printf.bprintf buf "%4d  %s\n" pc (instr_str code i))
+    code.instrs;
+  Buffer.contents buf
+
+(* Convenience entry points for golden tests and debugging. *)
+
+let function_of_source ?(name = "f") source =
+  let prog = Parser.parse ~file:"<disasm>" source in
+  let rec find = function
+    | [] -> invalid_arg (Printf.sprintf "Disasm.function_of_source: no def %s" name)
+    | s :: rest ->
+      (match s.Ast.sdesc with
+       | Ast.Def d when String.equal d.Ast.dname name -> d
+       | _ -> find rest)
+  in
+  let d = find prog in
+  Compiler.compile_body
+    ~params:(List.map (fun p -> p.Ast.pname) d.Ast.dparams)
+    d.Ast.dbody
+
+let module_of_source source =
+  Compiler.compile_program (Parser.parse ~file:"<disasm>" source)

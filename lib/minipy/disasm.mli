@@ -1,0 +1,13 @@
+(** Stable textual bytecode listings — golden tests pin the format so
+    compiler regressions are diffable in review. Jump operands are absolute
+    instruction targets; name/const/template indices resolve inline. *)
+
+(** Disassemble a code unit. *)
+val to_string : Bytecode.code -> string
+
+(** Compile [def name] from a source snippet (default name ["f"]).
+    @raise Invalid_argument when no such def exists at top level. *)
+val function_of_source : ?name:string -> string -> Bytecode.code
+
+(** Compile a source snippet as a module body. *)
+val module_of_source : string -> Bytecode.code

@@ -37,6 +37,11 @@ type t = {
   remote_store : (string, value) Hashtbl.t;  (* "service/key" -> value *)
   (* content-addressed AST store consulted on import instead of re-parsing *)
   parse_cache : Parse_cache.t;
+  (* which engine runs module bodies and function calls; the tree-walker by
+     default, the bytecode VM when the embedder opts in. Whatever the
+     backend, the virtual clock and byte ledger advance identically
+     (ARCHITECTURE §11) *)
+  mutable exec_backend : exec_backend;
   (* tracing: import spans are recorded on [obs_sink] against the virtual
      clock; [obs_offset_ms] maps this interpreter's vtime (which starts at
      0) onto the embedding timeline (e.g. a Lambda_sim invocation's
@@ -45,6 +50,26 @@ type t = {
   mutable obs_sink : Obs.Span.sink;
   mutable obs_track : int;
   mutable obs_offset_ms : float;
+}
+
+and env = {
+  locals : namespace;          (* == globals at module level *)
+  globals : namespace;
+  global_decls : (string, unit) Hashtbl.t;  (* names declared `global` *)
+}
+
+(* An execution backend. [xb_exec_module] runs a module body in its
+   namespace environment; the [string option] is the content-addressed
+   parse-cache key of the module source when known (imports), letting a
+   compiling backend reuse code units across interpreters. [xb_call_function]
+   applies a minipy closure; it is invoked from [call_value] *after* the
+   call-cost charge, so backends only pay for argument binding and body
+   execution. *)
+and exec_backend = {
+  xb_name : string;
+  xb_exec_module : t -> env -> string option -> Ast.program -> unit;
+  xb_call_function :
+    t -> func -> value list -> (string * value) list -> value;
 }
 
 (* Cost model constants (virtual). *)
@@ -164,12 +189,6 @@ let rec binop_values t op a b =
 
 (* --- environments ------------------------------------------------------- *)
 
-type env = {
-  locals : namespace;          (* == globals at module level *)
-  globals : namespace;
-  global_decls : (string, unit) Hashtbl.t;  (* names declared `global` *)
-}
-
 let module_env (m : module_obj) =
   { locals = m.mattrs; globals = m.mattrs; global_decls = Hashtbl.create 4 }
 
@@ -180,6 +199,38 @@ let lookup t env name =
     (match Hashtbl.find_opt env.globals name with
      | Some v -> Some v
      | None -> Hashtbl.find_opt t.builtins name)
+
+(* Bind call arguments into a fresh locals table, raising the exact
+   TypeErrors CPython would. Shared verbatim by the tree-walker and the VM's
+   dict-mode frames so binding errors and their order are backend-invariant. *)
+let bind_args (f : func) args kwargs (locals : namespace) =
+  let rec bind params args =
+    match params, args with
+    | [], [] -> ()
+    | [], extra ->
+      py_error "TypeError" "%s() takes %d positional arguments but %d were given"
+        f.fname (List.length f.fparams)
+        (List.length f.fparams + List.length extra)
+    | (name, default) :: ps, [] ->
+      (match List.assoc_opt name kwargs with
+       | Some v -> Hashtbl.replace locals name v
+       | None ->
+         (match default with
+          | Some v -> Hashtbl.replace locals name v
+          | None ->
+            py_error "TypeError" "%s() missing required argument: '%s'" f.fname name));
+      bind ps []
+    | (name, _) :: ps, a :: rest ->
+      Hashtbl.replace locals name a;
+      bind ps rest
+  in
+  bind f.fparams args;
+  List.iter
+    (fun (k, v) ->
+       if not (List.mem_assoc k (List.map (fun (n, d) -> (n, d)) f.fparams)) then
+         py_error "TypeError" "%s() got an unexpected keyword argument '%s'" f.fname k
+       else if not (Hashtbl.mem locals k) then Hashtbl.replace locals k v)
+    kwargs
 
 (* --- iteration helper --------------------------------------------------- *)
 
@@ -508,34 +559,13 @@ and call_value t callee args kwargs =
   | v -> py_error "TypeError" "'%s' object is not callable" (type_name v)
 
 and call_function t (f : func) args kwargs =
+  t.exec_backend.xb_call_function t f args kwargs
+
+(* The tree-walking closure application — also the reference semantics the
+   VM's dict-mode frames reproduce. *)
+and tw_call_function t (f : func) args kwargs =
   let locals = Hashtbl.create 8 in
-  let rec bind params args =
-    match params, args with
-    | [], [] -> ()
-    | [], extra ->
-      py_error "TypeError" "%s() takes %d positional arguments but %d were given"
-        f.fname (List.length f.fparams)
-        (List.length f.fparams + List.length extra)
-    | (name, default) :: ps, [] ->
-      (match List.assoc_opt name kwargs with
-       | Some v -> Hashtbl.replace locals name v
-       | None ->
-         (match default with
-          | Some v -> Hashtbl.replace locals name v
-          | None ->
-            py_error "TypeError" "%s() missing required argument: '%s'" f.fname name));
-      bind ps []
-    | (name, _) :: ps, a :: rest ->
-      Hashtbl.replace locals name a;
-      bind ps rest
-  in
-  bind f.fparams args;
-  List.iter
-    (fun (k, v) ->
-       if not (List.mem_assoc k (List.map (fun (n, d) -> (n, d)) f.fparams)) then
-         py_error "TypeError" "%s() got an unexpected keyword argument '%s'" f.fname k
-       else if not (Hashtbl.mem locals k) then Hashtbl.replace locals k v)
-    kwargs;
+  bind_args f args kwargs locals;
   let env = { locals; globals = f.fglobals; global_decls = Hashtbl.create 4 } in
   try
     exec_block t env f.fbody;
@@ -620,7 +650,8 @@ and eval t env (e : Ast.expr) : value =
           fparams = List.map (fun p -> (p, None)) params;
           fbody = [ Ast.s (Ast.Return (Some body)) ];
           fglobals = env.globals;
-          fmodule = "<lambda>" }
+          fmodule = "<lambda>";
+          fcode = None }
     in
     charge_alloc t f; f
   | Ast.IfExp (cond, then_, else_) ->
@@ -628,7 +659,10 @@ and eval t env (e : Ast.expr) : value =
   | Ast.Slice (base, lo, hi) ->
     let obj = eval t env base in
     let eval_bound = Option.map (fun b -> eval t env b) in
-    slice t obj (eval_bound lo) (eval_bound hi)
+    (* bounds evaluate left to right, and the VM compiles them that way *)
+    let lo_v = eval_bound lo in
+    let hi_v = eval_bound hi in
+    slice t obj lo_v hi_v
   | Ast.ListComp { Ast.celt; cvar; citer; ccond } ->
     let items = iter_values (eval t env citer) in
     let out =
@@ -724,21 +758,24 @@ and assign_target t env (target : Ast.target) v =
   | Ast.Tsubscript (base, idx) ->
     let obj = eval t env base in
     let key = eval t env idx in
-    (match obj, key with
-     | Vlist l, Vint i ->
-       let n = Array.length l.items in
-       let i = if i < 0 then n + i else i in
-       if i < 0 || i >= n then py_error "IndexError" "list assignment index out of range"
-       else l.items.(i) <- v
-     | Vdict d, k -> dict_set d k v
-     | o, _ ->
-       py_error "TypeError" "'%s' object does not support item assignment" (type_name o))
+    store_subscript t obj key v
   | Ast.Ttuple targets ->
     let vs = iter_values v in
     if List.length vs <> List.length targets then
       py_error "ValueError" "cannot unpack %d values into %d targets"
         (List.length vs) (List.length targets);
     List.iter2 (assign_target t env) targets vs
+
+and store_subscript _t obj key v =
+  match obj, key with
+  | Vlist l, Vint i ->
+    let n = Array.length l.items in
+    let i = if i < 0 then n + i else i in
+    if i < 0 || i >= n then py_error "IndexError" "list assignment index out of range"
+    else l.items.(i) <- v
+  | Vdict d, k -> dict_set d k v
+  | o, _ ->
+    py_error "TypeError" "'%s' object does not support item assignment" (type_name o)
 
 and exec_block t env stmts = List.iter (exec_stmt t env) stmts
 
@@ -776,7 +813,7 @@ and exec_stmt t env (s : Ast.stmt) =
     let f =
       Vfunc
         { fname = d.Ast.dname; fparams; fbody = d.Ast.dbody;
-          fglobals = env.globals; fmodule = "<module>" }
+          fglobals = env.globals; fmodule = "<module>"; fcode = None }
     in
     charge_alloc t f;
     Hashtbl.replace env.locals d.Ast.dname f
@@ -943,8 +980,17 @@ and import_one t (parts : string list) : module_obj =
             ~attrs:[ ("file", file) ]
             ~ts_ms:(t.obs_offset_ms +. t.vtime_ms)
         in
+        (* content-addressed key for the backend's compiled-code sidecar;
+           absent when the cache is off or the file vanished mid-import *)
+        let code_key =
+          if Parse_cache.enabled t.parse_cache then
+            Option.map
+              (fun digest -> Parse_cache.key ~file digest)
+              (Vfs.file_digest t.vfs file)
+          else None
+        in
         (try
-           exec_block t (module_env m) prog;
+           t.exec_backend.xb_exec_module t (module_env m) code_key prog;
            finish ()
          with e ->
            finish ();
@@ -1043,14 +1089,20 @@ and exec_from_import t env (clause : Ast.from_clause) names =
 
 (* --- construction ------------------------------------------------------- *)
 
+let treewalk_backend : exec_backend =
+  { xb_name = "treewalk";
+    xb_exec_module = (fun t env _key prog -> exec_block t env prog);
+    xb_call_function = tw_call_function }
+
 let default_max_steps = 5_000_000
 
 let create ?(max_steps = default_max_steps) ?(parse_cache = Parse_cache.global)
-    ?(obs = false) (vfs : Vfs.t) : t =
+    ?(obs = false) ?(exec_backend = treewalk_backend) (vfs : Vfs.t) : t =
   let obs_sink = if obs then Obs.Span.installed () else Obs.Span.null in
   let t =
     { vfs;
       parse_cache;
+      exec_backend;
       obs_sink;
       obs_track = Obs.Span.fresh_track obs_sink;
       obs_offset_ms = 0.0;
@@ -1194,7 +1246,7 @@ let exec_main t (prog : Ast.program) : namespace =
   Hashtbl.replace mattrs "__name__" (Vstr "__main__");
   let m = { mname = "__main__"; mfile = "<main>"; mattrs } in
   Hashtbl.replace t.modules "__main__" m;
-  exec_block t (module_env m) prog;
+  t.exec_backend.xb_exec_module t (module_env m) None prog;
   mattrs
 
 (* Call a function defined in a namespace (the lambda handler). *)

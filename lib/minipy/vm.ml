@@ -1,0 +1,400 @@
+(* Stack VM for compiled minipy code units.
+
+   Every instruction that touches the virtual clock or byte ledger does so
+   through the shared [Interp] helpers — the charge sites are literally the
+   tree-walker's code, so measurements are backend-invariant by construction
+   (ARCHITECTURE §11). The VM adds only data movement: slot-indexed locals,
+   an operand stack, and pre-resolved jumps.
+
+   Compiled frames contain no exception handling. [try] and any loop
+   containing one compile to [Sfallback] (the tree-walker runs the original
+   statement), so [Break_exc]/[Continue_exc] never unwind across a compiled
+   frame, and [Return_exc] crosses at most one frame boundary — a fallback
+   statement raising it lands in the function-frame catch below, exactly
+   where [tw_call_function] would catch it. *)
+
+open Value
+
+(* Unbound-slot sentinel, compared physically: a program-constructed string
+   of the same contents is a different object. *)
+let unbound : value = Vstr "<vm:unbound>"
+
+type frame = {
+  code : Bytecode.code;
+  stack : value array;
+  slots : value array;                    (* Slots mode; [||] otherwise *)
+  env : Interp.env option;                (* Dict mode; None otherwise *)
+  globals : namespace;
+  mutable iters : value list ref list;    (* loop iterator stack *)
+}
+
+let frame_of code ~slots ~env ~globals =
+  { code;
+    stack = Array.make code.Bytecode.max_stack Vnone;
+    slots;
+    env;
+    globals;
+    iters = [] }
+
+let the_env frame =
+  match frame.env with Some e -> e | None -> assert false
+
+(* locals missed (slot unbound): globals, then builtins — the tail of the
+   tree-walker's lookup chain. Exception-style Hashtbl.find keeps option
+   allocations out of the hot name path. *)
+let global_fallback (t : Interp.t) frame name =
+  match Hashtbl.find frame.globals name with
+  | v -> v
+  | exception Not_found ->
+    (match Hashtbl.find t.Interp.builtins name with
+     | v -> v
+     | exception Not_found ->
+       py_error "NameError" "name '%s' is not defined" name)
+
+let load_env (t : Interp.t) env name =
+  match Interp.lookup t env name with
+  | Some v -> v
+  | None -> py_error "NameError" "name '%s' is not defined" name
+
+(* Execute a frame. [in_function] selects what [Return] means: a function
+   frame returns its operand, a module frame re-raises Return_exc so a
+   module-level [return] behaves exactly as under the tree-walker.
+
+   The dispatch loop carries [pc] and [sp] as loop parameters so they live
+   in registers, and uses unsafe array accesses: [sp] bounds are exact by
+   construction (the compiler tracks depth linearly and sizes [max_stack]
+   from it), and jump targets are in range by [Compiler.finish]. *)
+let rec run (t : Interp.t) frame ~in_function : value =
+  let code = frame.code in
+  let instrs = code.Bytecode.instrs in
+  let consts = code.Bytecode.consts in
+  let names = code.Bytecode.names in
+  let stack = frame.stack in
+  let slots = frame.slots in
+  let n = Array.length instrs in
+  let rec loop pc sp =
+    if pc >= n then Vnone
+    else
+      match Array.unsafe_get instrs pc with
+      | Bytecode.Tick ->
+        Interp.tick t;
+        loop (pc + 1) sp
+      | Bytecode.Const i ->
+        Interp.tick t;
+        Array.unsafe_set stack sp (Array.unsafe_get consts i);
+        loop (pc + 1) (sp + 1)
+      | Bytecode.Load_slot i ->
+        Interp.tick t;
+        let v = Array.unsafe_get slots i in
+        let v =
+          if v == unbound then
+            global_fallback t frame code.Bytecode.slot_names.(i)
+          else v
+        in
+        Array.unsafe_set stack sp v;
+        loop (pc + 1) (sp + 1)
+      | Bytecode.Load_global i ->
+        Interp.tick t;
+        Array.unsafe_set stack sp (global_fallback t frame (Array.unsafe_get names i));
+        loop (pc + 1) (sp + 1)
+      | Bytecode.Load_name i ->
+        Interp.tick t;
+        Array.unsafe_set stack sp (load_env t (the_env frame) names.(i));
+        loop (pc + 1) (sp + 1)
+      | Bytecode.Load_slot_ref i ->
+        let v = Array.unsafe_get slots i in
+        let v =
+          if v == unbound then
+            global_fallback t frame code.Bytecode.slot_names.(i)
+          else v
+        in
+        Array.unsafe_set stack sp v;
+        loop (pc + 1) (sp + 1)
+      | Bytecode.Load_name_ref i ->
+        Array.unsafe_set stack sp (load_env t (the_env frame) names.(i));
+        loop (pc + 1) (sp + 1)
+      | Bytecode.Push_none ->
+        Array.unsafe_set stack sp Vnone;
+        loop (pc + 1) (sp + 1)
+      | Bytecode.Store_slot i ->
+        Array.unsafe_set slots i (Array.unsafe_get stack (sp - 1));
+        loop (pc + 1) (sp - 1)
+      | Bytecode.Store_name i ->
+        let env = the_env frame in
+        let name = names.(i) in
+        let v = Array.unsafe_get stack (sp - 1) in
+        if Hashtbl.mem env.Interp.global_decls name then
+          Hashtbl.replace env.Interp.globals name v
+        else Hashtbl.replace env.Interp.locals name v;
+        loop (pc + 1) (sp - 1)
+      | Bytecode.Store_local i ->
+        Hashtbl.replace (the_env frame).Interp.locals names.(i)
+          (Array.unsafe_get stack (sp - 1));
+        loop (pc + 1) (sp - 1)
+      | Bytecode.Unpack k ->
+        let vs = Interp.iter_values (Array.unsafe_get stack (sp - 1)) in
+        let got = List.length vs in
+        if got <> k then
+          py_error "ValueError" "cannot unpack %d values into %d targets" got k;
+        let base = sp - 1 in
+        List.iteri (fun j v -> stack.(base + j) <- v) (List.rev vs);
+        loop (pc + 1) (base + k)
+      | Bytecode.Pop -> loop (pc + 1) (sp - 1)
+      | Bytecode.Getattr i ->
+        let obj = Array.unsafe_get stack (sp - 1) in
+        Array.unsafe_set stack (sp - 1) (Interp.getattr t obj names.(i));
+        loop (pc + 1) sp
+      | Bytecode.Setattr i ->
+        let obj = Array.unsafe_get stack (sp - 1) in
+        let v = Array.unsafe_get stack (sp - 2) in
+        Interp.setattr t obj names.(i) v;
+        loop (pc + 1) (sp - 2)
+      | Bytecode.Getitem ->
+        let key = Array.unsafe_get stack (sp - 1) in
+        let obj = Array.unsafe_get stack (sp - 2) in
+        Array.unsafe_set stack (sp - 2) (Interp.subscript t obj key);
+        loop (pc + 1) (sp - 1)
+      | Bytecode.Setitem ->
+        let key = Array.unsafe_get stack (sp - 1) in
+        let obj = Array.unsafe_get stack (sp - 2) in
+        let v = Array.unsafe_get stack (sp - 3) in
+        Interp.store_subscript t obj key v;
+        loop (pc + 1) (sp - 3)
+      | Bytecode.Getslice (has_lo, has_hi) ->
+        let nhi = if has_hi then 1 else 0 in
+        let nlo = if has_lo then 1 else 0 in
+        let hi = if has_hi then Some stack.(sp - 1) else None in
+        let lo = if has_lo then Some stack.(sp - 1 - nhi) else None in
+        let base = sp - 1 - nhi - nlo in
+        let obj = stack.(base) in
+        stack.(base) <- Interp.slice t obj lo hi;
+        loop (pc + 1) (base + 1)
+      | Bytecode.Binop op ->
+        let rv = Array.unsafe_get stack (sp - 1) in
+        let lv = Array.unsafe_get stack (sp - 2) in
+        Array.unsafe_set stack (sp - 2) (Interp.binop_values t op lv rv);
+        loop (pc + 1) (sp - 1)
+      | Bytecode.Unop op ->
+        let v = Array.unsafe_get stack (sp - 1) in
+        Array.unsafe_set stack (sp - 1)
+          (match op, v with
+           | Ast.Not, v -> Vbool (not (truthy v))
+           | Ast.Neg, Vint i -> Vint (-i)
+           | Ast.Neg, Vfloat f -> Vfloat (-.f)
+           | Ast.Neg, v ->
+             py_error "TypeError" "bad operand type for unary -: '%s'"
+               (type_name v)
+           | Ast.Pos, ((Vint _ | Vfloat _) as v) -> v
+           | Ast.Pos, v ->
+             py_error "TypeError" "bad operand type for unary +: '%s'"
+               (type_name v));
+        loop (pc + 1) sp
+      | Bytecode.Build_list k ->
+        let base = sp - k in
+        let items = Array.init k (fun j -> stack.(base + j)) in
+        let v = Vlist { items } in
+        Interp.charge_alloc t v;
+        stack.(base) <- v;
+        loop (pc + 1) (base + 1)
+      | Bytecode.Build_tuple k ->
+        let base = sp - k in
+        let items = Array.init k (fun j -> stack.(base + j)) in
+        let v = Vtuple items in
+        Interp.charge_alloc t v;
+        stack.(base) <- v;
+        loop (pc + 1) (base + 1)
+      | Bytecode.Build_dict k ->
+        let d = { pairs = [] } in
+        let base = sp - (2 * k) in
+        for j = 0 to k - 1 do
+          dict_set d stack.(base + (2 * j)) stack.(base + (2 * j) + 1)
+        done;
+        let v = Vdict d in
+        Interp.charge_alloc t v;
+        stack.(base) <- v;
+        loop (pc + 1) (base + 1)
+      | Bytecode.Push_list ->
+        Array.unsafe_set stack sp (Vlist { items = [||] });
+        loop (pc + 1) (sp + 1)
+      | Bytecode.Push_dict ->
+        Array.unsafe_set stack sp (Vdict { pairs = [] });
+        loop (pc + 1) (sp + 1)
+      | Bytecode.List_append ->
+        let elt = Array.unsafe_get stack (sp - 1) in
+        (match Array.unsafe_get stack (sp - 2) with
+         | Vlist l -> l.items <- Array.append l.items [| elt |]
+         | _ -> assert false);
+        loop (pc + 1) (sp - 1)
+      | Bytecode.Map_add ->
+        let v = Array.unsafe_get stack (sp - 1) in
+        let k = Array.unsafe_get stack (sp - 2) in
+        (match Array.unsafe_get stack (sp - 3) with
+         | Vdict d -> dict_set d k v
+         | _ -> assert false);
+        loop (pc + 1) (sp - 2)
+      | Bytecode.Charge_top ->
+        Interp.charge_alloc t (Array.unsafe_get stack (sp - 1));
+        loop (pc + 1) sp
+      | Bytecode.Call (nargs, kwnames) ->
+        let nk = Array.length kwnames in
+        let kwargs =
+          List.init nk (fun j -> (names.(kwnames.(j)), stack.(sp - nk + j)))
+        in
+        let args = List.init nargs (fun j -> stack.(sp - nk - nargs + j)) in
+        let base = sp - nk - nargs - 1 in
+        let callee = stack.(base) in
+        stack.(base) <- Interp.call_value t callee args kwargs;
+        loop (pc + 1) (base + 1)
+      | Bytecode.Make_function fi ->
+        let tmpl = code.Bytecode.funcs.(fi) in
+        let nd =
+          List.fold_left
+            (fun acc (_, has_default) -> if has_default then acc + 1 else acc)
+            0 tmpl.Bytecode.mk_params
+        in
+        let j = ref 0 in
+        let fparams =
+          List.map
+            (fun (name, has_default) ->
+               if has_default then begin
+                 let v = stack.(sp - nd + !j) in
+                 incr j;
+                 (name, Some v)
+               end
+               else (name, None))
+            tmpl.Bytecode.mk_params
+        in
+        let base = sp - nd in
+        let f =
+          Vfunc
+            { fname = tmpl.Bytecode.mk_name;
+              fparams;
+              fbody = tmpl.Bytecode.mk_body;
+              fglobals = frame.globals;
+              fmodule = tmpl.Bytecode.mk_module;
+              fcode = None }
+        in
+        Interp.charge_alloc t f;
+        stack.(base) <- f;
+        loop (pc + 1) (base + 1)
+      | Bytecode.Jump target -> loop target sp
+      | Bytecode.Pop_jump_if_false target ->
+        if truthy (Array.unsafe_get stack (sp - 1)) then loop (pc + 1) (sp - 1)
+        else loop target (sp - 1)
+      | Bytecode.Pop_jump_if_true target ->
+        if truthy (Array.unsafe_get stack (sp - 1)) then loop target (sp - 1)
+        else loop (pc + 1) (sp - 1)
+      | Bytecode.Jump_if_falsy_keep target ->
+        if truthy (Array.unsafe_get stack (sp - 1)) then loop (pc + 1) (sp - 1)
+        else loop target sp
+      | Bytecode.Jump_if_truthy_keep target ->
+        if truthy (Array.unsafe_get stack (sp - 1)) then loop target sp
+        else loop (pc + 1) (sp - 1)
+      | Bytecode.Get_iter ->
+        frame.iters <-
+          ref (Interp.iter_values (Array.unsafe_get stack (sp - 1)))
+          :: frame.iters;
+        loop (pc + 1) (sp - 1)
+      | Bytecode.For_iter target ->
+        (match frame.iters with
+         | r :: rest ->
+           (match !r with
+            | [] ->
+              frame.iters <- rest;
+              loop target sp
+            | v :: tl ->
+              r := tl;
+              Array.unsafe_set stack sp v;
+              loop (pc + 1) (sp + 1))
+         | [] -> assert false)
+      | Bytecode.Pop_iter ->
+        frame.iters <- List.tl frame.iters;
+        loop (pc + 1) sp
+      | Bytecode.Return ->
+        let v = Array.unsafe_get stack (sp - 1) in
+        if in_function then v else raise (Interp.Return_exc v)
+      | Bytecode.Raise_top ->
+        (match Array.unsafe_get stack (sp - 1) with
+         | Vexc exc -> raise (Py_error exc)
+         | Vstr msg ->
+           raise (Py_error { exc_class = "Exception"; exc_msg = msg })
+         | v ->
+           py_error "TypeError"
+             "exceptions must derive from BaseException, got %s" (type_name v))
+      | Bytecode.Raise_bare ->
+        py_error "RuntimeError" "No active exception to re-raise"
+      | Bytecode.Assert_msg ->
+        py_error "AssertionError" "%s"
+          (to_display (Array.unsafe_get stack (sp - 1)))
+      | Bytecode.Assert_plain -> py_error "AssertionError" ""
+      | Bytecode.Sfallback i ->
+        Interp.exec_stmt t (the_env frame) code.Bytecode.stmts.(i);
+        loop (pc + 1) sp
+  in
+  loop 0 0
+
+(* Bind arguments into parameter slots, raising the same TypeErrors in the
+   same order as [Interp.bind_args]. Parameters occupy slots 0..n-1. *)
+and bind_slots (f : func) args kwargs (slots : value array) =
+  let rec bind i params args =
+    match params, args with
+    | [], [] -> ()
+    | [], extra ->
+      py_error "TypeError" "%s() takes %d positional arguments but %d were given"
+        f.fname (List.length f.fparams)
+        (List.length f.fparams + List.length extra)
+    | (name, default) :: ps, [] ->
+      (match List.assoc_opt name kwargs with
+       | Some v -> slots.(i) <- v
+       | None ->
+         (match default with
+          | Some v -> slots.(i) <- v
+          | None ->
+            py_error "TypeError" "%s() missing required argument: '%s'" f.fname name));
+      bind (i + 1) ps []
+    | (_, _) :: ps, a :: rest ->
+      slots.(i) <- a;
+      bind (i + 1) ps rest
+  in
+  bind 0 f.fparams args;
+  List.iter
+    (fun (k, _) ->
+       if not (List.mem_assoc k f.fparams) then
+         py_error "TypeError" "%s() got an unexpected keyword argument '%s'" f.fname k)
+    kwargs
+
+and call_function (t : Interp.t) (f : func) args kwargs : value =
+  let code = Compiler.compile_function f in
+  match code.Bytecode.mode with
+  | Bytecode.Slots ->
+    let slots = Array.make (max 1 code.Bytecode.nslots) unbound in
+    bind_slots f args kwargs slots;
+    let frame = frame_of code ~slots ~env:None ~globals:f.fglobals in
+    run t frame ~in_function:true
+  | Bytecode.Dict ->
+    let locals = Hashtbl.create 8 in
+    Interp.bind_args f args kwargs locals;
+    let env =
+      { Interp.locals; globals = f.fglobals; global_decls = Hashtbl.create 4 }
+    in
+    let frame = frame_of code ~slots:[||] ~env:(Some env) ~globals:f.fglobals in
+    (* Return_exc can only arrive from an Sfallback statement; compiled
+       returns take the direct path inside [run] *)
+    (try run t frame ~in_function:true with Interp.Return_exc v -> v)
+
+let exec_module (t : Interp.t) (env : Interp.env) (cache_key : string option)
+    (prog : Ast.program) : unit =
+  let code =
+    match cache_key with
+    | Some key ->
+      Parse_cache.find_or_compile t.Interp.parse_cache key (fun () ->
+          Compiler.compile_program prog)
+    | None -> Compiler.compile_program_memo prog
+  in
+  let frame = frame_of code ~slots:[||] ~env:(Some env) ~globals:env.Interp.globals in
+  ignore (run t frame ~in_function:false)
+
+let backend : Interp.exec_backend =
+  { Interp.xb_name = "vm";
+    xb_exec_module = exec_module;
+    xb_call_function = call_function }

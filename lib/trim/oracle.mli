@@ -48,9 +48,17 @@ end
     then [CALLS:] when external calls were made. *)
 val canonical_of_record : Platform.Lambda_sim.record -> string
 
+(** Raised (under {!Minipy.Backend.Compare}) when the two engines disagree
+    on a test case's strict canonicalization — observable output plus exact
+    virtual-time/byte-ledger accounting. *)
+exception
+  Divergence of { div_test : string; div_treewalk : string; div_vm : string }
+
 (** Observe a deployment across its test cases, consulting [cache] (default
-    {!Cache.global}) per (image digest, test case). Init-time crashes appear
-    as [INITERR:<class>]; interpreter timeouts as [CRASH:timeout]. *)
+    {!Cache.global}) per (backend, image digest, test case). Init-time
+    crashes appear as [INITERR:<class>]; interpreter timeouts as
+    [CRASH:timeout]. Under {!Minipy.Backend.Compare} every uncached test
+    case runs on both engines and raises {!Divergence} if they disagree. *)
 val observe : ?cache:Cache.t -> Platform.Deployment.t -> observation
 
 val equivalent : observation -> observation -> bool

@@ -1,0 +1,311 @@
+(* Differential tests: the bytecode VM against the reference tree-walker.
+
+   The contract (ARCHITECTURE §11) is total observable equivalence — values,
+   stdout, raised exceptions — plus *exact* equality of the virtual-time /
+   byte-ledger / step accounting, since committed experiment CSVs must be
+   bit-identical whichever backend produced them. Floats are compared with
+   [=]: the backends must produce the same additions in the same order. *)
+
+open Minipy
+
+type snapshot = {
+  sn_out : string;        (* captured stdout + outcome marker *)
+  sn_vtime : float;
+  sn_heap : int;
+  sn_steps : int;
+}
+
+let run_program ~choice ?(vfs = Vfs.create ()) prog =
+  let t = Backend.create ~choice ~max_steps:200_000 vfs in
+  let out =
+    match Interp.exec_main t prog with
+    | _ -> "OK:" ^ Interp.stdout_contents t
+    | exception Value.Py_error e ->
+      Printf.sprintf "ERR:%s:%s:%s" e.Value.exc_class e.Value.exc_msg
+        (Interp.stdout_contents t)
+    | exception Interp.Timeout _ -> "TIMEOUT:" ^ Interp.stdout_contents t
+    | exception Interp.Return_exc v ->
+      Printf.sprintf "MODULE_RETURN:%s:%s" (Value.to_repr v)
+        (Interp.stdout_contents t)
+    | exception Interp.Break_exc -> "MODULE_BREAK:" ^ Interp.stdout_contents t
+    | exception Interp.Continue_exc ->
+      "MODULE_CONTINUE:" ^ Interp.stdout_contents t
+    | exception Stack_overflow -> "STACKOVERFLOW"
+  in
+  { sn_out = out;
+    sn_vtime = t.Interp.vtime_ms;
+    sn_heap = t.Interp.heap_bytes;
+    sn_steps = t.Interp.steps }
+
+let snapshot_str s =
+  Printf.sprintf "%s | vtime=%.17g heap=%d steps=%d" s.sn_out s.sn_vtime
+    s.sn_heap s.sn_steps
+
+let check_source ?vfs_of name source =
+  let prog = Parser.parse ~file:"<diff>" source in
+  let vfs_tw = match vfs_of with Some f -> f () | None -> Vfs.create () in
+  let vfs_vm = match vfs_of with Some f -> f () | None -> Vfs.create () in
+  let tw = run_program ~choice:Backend.Treewalk ~vfs:vfs_tw prog in
+  let vm = run_program ~choice:Backend.Vm ~vfs:vfs_vm prog in
+  Alcotest.(check string) name (snapshot_str tw) (snapshot_str vm)
+
+(* --- crafted programs covering every compiled form ----------------------- *)
+
+let crafted =
+  [ ( "fib (slots mode, recursion)",
+      "def fib(n):\n\
+      \  if n < 2:\n\
+      \    return n\n\
+      \  return fib(n - 1) + fib(n - 2)\n\
+       print(fib(12))\n" );
+    ( "arith, comparisons, short-circuit",
+      "x = 7\n\
+       y = x * 3 - 1 / 2\n\
+       print(y, x // 2, x % 3, x ** 2)\n\
+       print(x > 2 and y < 100 or False)\n\
+       print(None or [1] and 'tail')\n" );
+    ( "augassign on name, attr-free",
+      "def bump(n):\n\
+      \  acc = 0\n\
+      \  i = 0\n\
+      \  while i < n:\n\
+      \    acc += i * 2\n\
+      \    i += 1\n\
+      \  return acc\n\
+       print(bump(25))\n" );
+    ( "for with break/continue",
+      "total = 0\n\
+       for i in range(20):\n\
+      \  if i % 2 == 0:\n\
+      \    continue\n\
+      \  if i > 13:\n\
+      \    break\n\
+      \  total += i\n\
+       print(total)\n" );
+    ( "nested loops with break (iter stack)",
+      "hits = []\n\
+       for i in range(4):\n\
+      \  for j in range(4):\n\
+      \    if j > i:\n\
+      \      break\n\
+      \    hits.append(i * 10 + j)\n\
+       print(hits)\n" );
+    ( "comprehensions leak their variable",
+      "xs = [i * i for i in range(6) if i != 3]\n\
+       d = {k: k + 1 for k in range(4) if k > 0}\n\
+       print(xs, d, i, k)\n" );
+    ( "tuple unpack, nested",
+      "a, b = 1, 2\n\
+       pairs = [(1, (2, 3)), (4, (5, 6))]\n\
+       for x, (y, z) in pairs:\n\
+      \  print(x + y + z)\n\
+       print(a, b)\n" );
+    ( "lambda, defaults, kwargs",
+      "def greet(name, punct='!', times=1):\n\
+      \  return (name + punct) * times\n\
+       square = lambda v: v * v\n\
+       print(greet('hi'), greet('yo', times=2, punct='?'), square(9))\n" );
+    ( "class, methods, instances (dict fallback at module level)",
+      "class Counter:\n\
+      \  def __init__(self, start):\n\
+      \    self.n = start\n\
+      \  def bump(self, by=1):\n\
+      \    self.n += by\n\
+      \    return self.n\n\
+       c = Counter(10)\n\
+       c.bump()\n\
+       print(c.bump(5))\n" );
+    ( "try/except inside a function (dict-mode fallback)",
+      "def safe_div(a, b):\n\
+      \  try:\n\
+      \    return a / b\n\
+      \  except ZeroDivisionError as e:\n\
+      \    return -1\n\
+       print(safe_div(8, 2), safe_div(1, 0))\n" );
+    ( "loop containing try falls back wholly",
+      "def scan(xs):\n\
+      \  out = 0\n\
+      \  for x in xs:\n\
+      \    try:\n\
+      \      out += 10 / x\n\
+      \    except ZeroDivisionError:\n\
+      \      out += 100\n\
+      \  return out\n\
+       print(scan([1, 0, 2, 0, 5]))\n" );
+    ( "global declaration (dict-mode function)",
+      "count = 0\n\
+       def incr():\n\
+      \  global count\n\
+      \  count = count + 1\n\
+       incr()\n\
+       incr()\n\
+       print(count)\n" );
+    ( "slices and subscripts",
+      "xs = [0, 1, 2, 3, 4, 5]\n\
+       s = 'hello world'\n\
+       print(xs[1:4], xs[:3], xs[2:], s[0:5], s[-5:])\n\
+       xs[2] = 99\n\
+       print(xs[2], xs[-1])\n" );
+    ( "dict literals, methods, membership",
+      "d = {'a': 1, 'b': 2}\n\
+       d['c'] = 3\n\
+       print('b' in d, 'z' in d, d.get('a'), d.keys(), len(d))\n" );
+    ( "augassign through attr and subscript",
+      "class Box:\n\
+      \  def __init__(self):\n\
+      \    self.v = 5\n\
+       b = Box()\n\
+       b.v += 3\n\
+       xs = [1, 2, 3]\n\
+       xs[1] += 10\n\
+       print(b.v, xs)\n" );
+    ( "raise and assert",
+      "def must_pos(x):\n\
+      \  assert x > 0, 'not positive'\n\
+      \  if x > 100:\n\
+      \    raise ValueError('too big')\n\
+      \  return x\n\
+       print(must_pos(5))\n\
+       try:\n\
+      \  must_pos(-1)\n\
+       except AssertionError as e:\n\
+      \  print('caught', e.message)\n" );
+    ( "uncaught error accounting matches",
+      "print('before')\n\
+       xs = [1]\n\
+       print(xs[5])\n" );
+    ( "del and NameError (module fallback)",
+      "x = 1\n\
+       del x\n\
+       print(x)\n" );
+    ( "module-level return raises like the reference",
+      "print('a')\n\
+       return 5\n" );
+    ( "string methods and formatting",
+      "s = 'The Quick Fox'\n\
+       print(s.upper(), s.lower(), s.split(' '), '-'.join(['a', 'b']))\n\
+       print('{} and {}'.format(1, 'two'))\n" ) ]
+
+let crafted_tests =
+  List.map
+    (fun (name, source) ->
+       Alcotest.test_case name `Quick (fun () -> check_source name source))
+    crafted
+
+(* --- imports: the compiled-code sidecar path ----------------------------- *)
+
+let lib_source =
+  "import simrt\n\
+   simrt.cpu_ms(2.0)\n\
+   VERSION = 3\n\
+   def helper(x):\n\
+  \  return x * VERSION\n\
+   class Tool:\n\
+  \  def run(self, v):\n\
+  \    return helper(v) + 1\n"
+
+let with_lib () =
+  let vfs = Vfs.create () in
+  Vfs.add_file vfs "mylib.py" lib_source;
+  Vfs.add_file vfs "pkg/__init__.py" "from . import sub\n";
+  Vfs.add_file vfs "pkg/sub.py" "LEAF = 'leaf'\n";
+  vfs
+
+let import_tests =
+  [ Alcotest.test_case "imports execute identically under the VM" `Quick
+      (fun () ->
+         check_source ~vfs_of:with_lib "imports"
+           "import mylib\n\
+            import pkg\n\
+            t = mylib.Tool()\n\
+            print(mylib.helper(2), t.run(5), pkg.sub.LEAF)\n");
+    Alcotest.test_case "module code compiles once per digest" `Quick
+      (fun () ->
+         let cache = Parse_cache.create () in
+         let run () =
+           let vfs = with_lib () in
+           let t = Backend.create ~choice:Backend.Vm ~parse_cache:cache vfs in
+           ignore
+             (Interp.exec_main t
+                (Parser.parse ~file:"<main>" "import mylib\nprint(mylib.VERSION)\n"))
+         in
+         run ();
+         run ();
+         Alcotest.(check bool) "sidecar hit on second import" true
+           (Parse_cache.code_hits cache > 0);
+         Alcotest.(check int) "one compile of mylib" 1
+           (Parse_cache.code_misses cache)) ]
+
+(* --- generated programs (QCheck) ----------------------------------------- *)
+
+let gen_diff =
+  QCheck2.Test.make ~name:"backends agree on generated programs" ~count:300
+    ~print:Pretty.program_to_string Test_properties.gen_program
+    (fun prog ->
+       QCheck2.assume (Test_properties.program_ok prog);
+       let tw = run_program ~choice:Backend.Treewalk prog in
+       let vm = run_program ~choice:Backend.Vm prog in
+       String.equal (snapshot_str tw) (snapshot_str vm))
+
+(* --- full platform record under both backends ---------------------------- *)
+
+let sim_deployment () =
+  let vfs = Vfs.create () in
+  Vfs.add_file vfs "numlib.py"
+    "import simrt\n\
+     simrt.cpu_ms(12.0)\n\
+     simrt.alloc_mb(3.0)\n\
+     def dot(xs, ys):\n\
+    \  acc = 0\n\
+    \  for i in range(len(xs)):\n\
+    \    acc += xs[i] * ys[i]\n\
+    \  return acc\n";
+  Vfs.add_file vfs "handler.py"
+    "import numlib\n\
+     def handler(event, context):\n\
+    \  n = event.get('n', 4)\n\
+    \  xs = [i for i in range(n)]\n\
+    \  print('dot', n)\n\
+    \  return numlib.dot(xs, xs)\n";
+  Platform.Deployment.make ~name:"diff-sim" ~vfs ~handler_file:"handler.py"
+    ~handler_name:"handler"
+    ~test_cases:[ Platform.Deployment.test_case ~name:"t1" "{\"n\": 6}" ]
+
+let record_str (r : Platform.Lambda_sim.record) =
+  Printf.sprintf
+    "kind=%s init=%.17g exec=%.17g billed=%.17g mem=%.17g cost=%.17g out=%S res=%s"
+    (Platform.Lambda_sim.start_kind_name r.Platform.Lambda_sim.kind)
+    r.Platform.Lambda_sim.init_ms r.Platform.Lambda_sim.exec_ms
+    r.Platform.Lambda_sim.billed_ms r.Platform.Lambda_sim.peak_memory_mb
+    r.Platform.Lambda_sim.cost r.Platform.Lambda_sim.stdout
+    (match r.Platform.Lambda_sim.outcome with
+     | Platform.Lambda_sim.Ok v -> "OK:" ^ Value.to_repr v
+     | Platform.Lambda_sim.Error e -> "ERR:" ^ e.Value.exc_class)
+
+let sim_tests =
+  [ Alcotest.test_case "Lambda_sim records are backend-invariant" `Quick
+      (fun () ->
+         let invoke choice =
+           let sim =
+             Platform.Lambda_sim.create ~backend:choice (sim_deployment ())
+           in
+           let cold =
+             Platform.Lambda_sim.invoke sim ~now_s:0.0 ~event:"{\"n\": 6}" ()
+           in
+           let warm =
+             Platform.Lambda_sim.invoke sim ~now_s:1.0 ~event:"{\"n\": 6}" ()
+           in
+           (record_str cold, record_str warm)
+         in
+         let tw_cold, tw_warm = invoke Backend.Treewalk in
+         let vm_cold, vm_warm = invoke Backend.Vm in
+         Alcotest.(check string) "cold record" tw_cold vm_cold;
+         Alcotest.(check string) "warm record" tw_warm vm_warm) ]
+
+let to_alcotest = List.map (QCheck_alcotest.to_alcotest ~long:false)
+
+let suite =
+  [ ("backend_diff.crafted", crafted_tests);
+    ("backend_diff.imports", import_tests);
+    ("backend_diff.generated", to_alcotest [ gen_diff ]);
+    ("backend_diff.platform", sim_tests) ]

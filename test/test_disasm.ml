@@ -1,0 +1,194 @@
+(* Golden tests pinning Disasm's listing format. A compiler change that
+   alters emitted code shows up here as a readable listing diff; update the
+   golden alongside a deliberate change. On mismatch the full actual listing
+   prints to stderr for easy copying. *)
+
+open Minipy
+
+let check_golden name expected actual =
+  if not (String.equal expected actual) then begin
+    Printf.eprintf "=== ACTUAL %s ===\n%s=== END %s ===\n%!" name actual name;
+    Alcotest.(check string) name expected actual
+  end
+
+let fn_case name ?fname source expected =
+  Alcotest.test_case name `Quick (fun () ->
+      check_golden name expected
+        (Disasm.to_string (Disasm.function_of_source ?name:fname source)))
+
+let mod_case name source expected =
+  Alcotest.test_case name `Quick (fun () ->
+      check_golden name expected
+        (Disasm.to_string (Disasm.module_of_source source)))
+
+let fib_src =
+  "def f(n):\n\
+  \  if n < 2:\n\
+  \    return n\n\
+  \  return f(n - 1) + f(n - 2)\n"
+
+let fib_expected = {|mode=slots nslots=1 max_stack=8
+slots: n
+   0  TICK
+   1  TICK
+   2  LOAD_SLOT 0        ; n
+   3  CONST 0            ; 2
+   4  BINOP <
+   5  POP_JUMP_IF_FALSE 10
+   6  TICK
+   7  LOAD_SLOT 0        ; n
+   8  RETURN
+   9  JUMP 10
+  10  TICK
+  11  TICK
+  12  TICK
+  13  LOAD_GLOBAL 0      ; f
+  14  TICK
+  15  LOAD_SLOT 0        ; n
+  16  CONST 1            ; 1
+  17  BINOP -
+  18  CALL 1
+  19  TICK
+  20  LOAD_GLOBAL 0      ; f
+  21  TICK
+  22  LOAD_SLOT 0        ; n
+  23  CONST 2            ; 2
+  24  BINOP -
+  25  CALL 1
+  26  BINOP +
+  27  RETURN
+  28  PUSH_NONE
+  29  RETURN
+|}
+
+let loop_src =
+  "def f(xs):\n\
+  \  acc = 0\n\
+  \  for x in xs:\n\
+  \    if x == 0:\n\
+  \      continue\n\
+  \    acc += x\n\
+  \  return acc\n"
+
+let loop_expected = {|mode=slots nslots=3 max_stack=6
+slots: xs acc x
+   0  TICK
+   1  CONST 0            ; 0
+   2  STORE_SLOT 1       ; acc
+   3  TICK
+   4  LOAD_SLOT 0        ; xs
+   5  GET_ITER
+   6  FOR_ITER 23
+   7  STORE_SLOT 2       ; x
+   8  TICK
+   9  TICK
+  10  LOAD_SLOT 2        ; x
+  11  CONST 1            ; 0
+  12  BINOP ==
+  13  POP_JUMP_IF_FALSE 17
+  14  TICK
+  15  JUMP 6
+  16  JUMP 17
+  17  TICK
+  18  LOAD_SLOT_REF 1    ; acc
+  19  LOAD_SLOT 2        ; x
+  20  BINOP +
+  21  STORE_SLOT 1       ; acc
+  22  JUMP 6
+  23  TICK
+  24  LOAD_SLOT 1        ; acc
+  25  RETURN
+  26  PUSH_NONE
+  27  RETURN
+|}
+
+let bool_src = "def f(a, b):\n  return a and not b or a + b\n"
+
+let bool_expected = {|mode=slots nslots=2 max_stack=6
+slots: a b
+   0  TICK
+   1  TICK
+   2  TICK
+   3  LOAD_SLOT 0        ; a
+   4  JUMP_IF_FALSY_KEEP 8
+   5  TICK
+   6  LOAD_SLOT 1        ; b
+   7  UNOP not
+   8  JUMP_IF_TRUTHY_KEEP 13
+   9  TICK
+  10  LOAD_SLOT 0        ; a
+  11  LOAD_SLOT 1        ; b
+  12  BINOP +
+  13  RETURN
+  14  PUSH_NONE
+  15  RETURN
+|}
+
+let comp_src = "def f(n):\n  return [i * i for i in range(n) if i != 2]\n"
+
+let comp_expected = {|mode=slots nslots=2 max_stack=7
+slots: n i
+   0  TICK
+   1  TICK
+   2  TICK
+   3  LOAD_GLOBAL 0      ; range
+   4  LOAD_SLOT 0        ; n
+   5  CALL 1
+   6  GET_ITER
+   7  PUSH_LIST
+   8  FOR_ITER 21
+   9  STORE_SLOT 1       ; i
+  10  TICK
+  11  LOAD_SLOT 1        ; i
+  12  CONST 0            ; 2
+  13  BINOP !=
+  14  POP_JUMP_IF_FALSE 8
+  15  TICK
+  16  LOAD_SLOT 1        ; i
+  17  LOAD_SLOT 1        ; i
+  18  BINOP *
+  19  LIST_APPEND
+  20  JUMP 8
+  21  CHARGE_TOP
+  22  RETURN
+  23  PUSH_NONE
+  24  RETURN
+|}
+
+let module_src =
+  "import simrt\n\
+   LIMIT = 3\n\
+   def helper(x, scale=2):\n\
+  \  return x * scale\n\
+   try:\n\
+  \  v = helper(LIMIT)\n\
+   except Exception as e:\n\
+  \  v = 0\n\
+   print(v)\n"
+
+let module_expected = {|mode=dict nslots=0 max_stack=6
+   0  SFALLBACK 0        ; import
+   1  TICK
+   2  CONST 0            ; 3
+   3  STORE_NAME 0       ; LIMIT
+   4  TICK
+   5  CONST 1            ; 2
+   6  MAKE_FUNCTION 0    ; helper(x, scale=…)
+   7  STORE_LOCAL 1      ; helper
+   8  SFALLBACK 1        ; try
+   9  TICK
+  10  TICK
+  11  LOAD_NAME 2        ; print
+  12  LOAD_NAME 3        ; v
+  13  CALL 1
+  14  POP
+|}
+
+let suite =
+  [ ( "disasm.golden",
+      [ fn_case "fib: slots, recursion, if" fib_src fib_expected;
+        fn_case "loop: for/continue/augassign" loop_src loop_expected;
+        fn_case "boolops: keep-jumps" bool_src bool_expected;
+        fn_case "comprehension: iter protocol + charge" comp_src comp_expected;
+        mod_case "module: dict mode with fallbacks" module_src module_expected
+      ] ) ]

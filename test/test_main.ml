@@ -8,4 +8,5 @@ let () =
      @ Test_trace.suite @ Test_fleet.suite @ Test_resilience.suite @ Test_checkpoint.suite
      @ Test_workloads.suite
      @ Test_baselines.suite @ Test_value.suite @ Test_experiments.suite @ Test_properties.suite
-     @ Test_caching.suite @ Test_obs.suite @ Test_parallel.suite)
+     @ Test_caching.suite @ Test_obs.suite @ Test_parallel.suite
+     @ Test_backend_diff.suite @ Test_disasm.suite)
