@@ -220,6 +220,9 @@ let experiment_tests =
    digests. *)
 let markdown_image = lazy (Workloads.Codegen.deployment (Lazy.force markdown_spec))
 
+let resnet_image =
+  lazy (Workloads.Codegen.deployment (Workloads.Apps.find "resnet"))
+
 let markdown_py_files =
   lazy
     (let d = Lazy.force markdown_image in
@@ -293,7 +296,49 @@ let cache_tests =
             let d, ocache, oracle = Lazy.force prepared in
             Trim.Debloater.debloat_module ~oracle_cache:ocache ~oracle
               ~protected:Trim.Debloater.String_set.empty d
-              ~module_name:"tinylib")) ]
+              ~module_name:"tinylib"));
+    (* verdict-journal durability overhead: the same DD search with the
+       observation memo disabled (every query executes) without vs with the
+       flushed-per-record journal. Measured on resnet's torch module — a
+       Table-1 app whose oracle queries run real test suites — because the
+       journal tax is per record and only meaningful relative to genuine
+       query execution (tiny's synthetic ~20us queries would overstate it
+       an order of magnitude). The journal lands on tmpfs when the host
+       has one so the kernel isolates the journal's own cost (checksum,
+       buffered write, flush to the page cache — the boundary that
+       survives a process kill) from block-device commit latency, which
+       belongs to the user's choice of --journal directory. Must stay
+       below 5% wall. *)
+    Test.make ~name:"trim.debloat_module_nojournal"
+      (Staged.stage (fun () ->
+           let d = Lazy.force resnet_image in
+           let ocache = Trim.Oracle.Cache.create ~enabled:false () in
+           let oracle, _ = Trim.Oracle.for_reference ~cache:ocache d in
+           Trim.Debloater.debloat_module ~oracle_cache:ocache ~oracle
+             ~protected:Trim.Debloater.String_set.empty d
+             ~module_name:"torch"));
+    Test.make ~name:"trim.debloat_module_journal"
+      (Staged.stage
+         (let dir =
+            lazy
+              (let parent =
+                 if Sys.file_exists "/dev/shm" && Sys.is_directory "/dev/shm"
+                 then "/dev/shm"
+                 else Filename.get_temp_dir_name ()
+               in
+               let dir = Filename.concat parent "ltrim-bench-journal" in
+               Trim.Journal.mkdir_p dir;
+               dir)
+          in
+          fun () ->
+            let d = Lazy.force resnet_image in
+            let ocache = Trim.Oracle.Cache.create ~enabled:false () in
+            let oracle, _ = Trim.Oracle.for_reference ~cache:ocache d in
+            Trim.Debloater.debloat_module ~oracle_cache:ocache ~oracle
+              ~journal:{ Trim.Journal.journal_dir = Lazy.force dir;
+                         journal_resume = false }
+              ~protected:Trim.Debloater.String_set.empty d
+              ~module_name:"torch")) ]
 
 (* A fleet configuration representative of the fleet experiment: a mid-size
    app under a fixed-TTL pool with the fallback path enabled. *)
@@ -648,7 +693,10 @@ let ns_of rows name =
   | _ -> None
 
 let write_json path rows e2e fleet_meps (par_host, par_j1, par_j4) =
-  let oc = open_out path in
+  (* write-temp-then-rename: a crash mid-write never tears the committed
+     benchmark JSON *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"schema\": \"ltrim-bench/1\",\n";
   (* headline derived metric: cached re-parse speedup on a Table-1 image *)
@@ -700,6 +748,18 @@ let write_json path rows e2e fleet_meps (par_host, par_j1, par_j4) =
     out "%s" (String.concat ",\n" vm_pairs);
     out "\n  },\n"
   end;
+  (* durability tax: journaled vs unjournaled DD on the same module with the
+     observation memo off (kernels above); must stay below 5% wall *)
+  (match
+     ( ns_of rows "lambda-trim trim.debloat_module_nojournal",
+       ns_of rows "lambda-trim trim.debloat_module_journal" )
+   with
+   | Some base, Some j when base > 0.0 ->
+     out
+       "  \"journal_overhead\": { \"nojournal_ns\": %.1f, \
+        \"journal_ns\": %.1f, \"overhead_pct\": %.2f },\n"
+       base j ((j -. base) /. base *. 100.0)
+   | _ -> ());
   out "  \"fleet_throughput_meps\": %.3f,\n" fleet_meps;
   out "  \"micro_ns_per_run\": {\n";
   let micro =
@@ -714,6 +774,7 @@ let write_json path rows e2e fleet_meps (par_host, par_j1, par_j4) =
   out "%s" (String.concat ",\n" micro);
   out "\n  }\n}\n";
   close_out oc;
+  Sys.rename tmp path;
   Printf.printf "\nwrote %s\n" path
 
 let rec json_path_of_args = function

@@ -66,6 +66,33 @@ let backend_arg =
                  results are bit-identical across engines, only wall-clock \
                  columns change.")
 
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"DIR"
+           ~doc:"Record every DD verdict in per-module journals under DIR so \
+                 a killed run can be resumed bit-identically with \
+                 $(b,--resume).")
+
+let resume_flag =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Replay compatible journals found under --journal before \
+               querying the oracle. Resume requires the same --jobs as the \
+               killed run (the journal digest covers the job layout); \
+               anything else safely discards the journal.")
+
+let oracle_retries_arg =
+  Arg.(value & opt int 0 & info [ "oracle-retries" ] ~docv:"K"
+         ~doc:"Harden the oracle: confirm fresh observations with a second \
+               execution, settle disagreements with a (2K+1)-vote quorum, \
+               and quarantine flaky tests (default 0 = off).")
+
+let quarantine_report_arg =
+  Arg.(value & opt (some string) None
+       & info [ "quarantine-report" ] ~docv:"FILE"
+           ~doc:"Write the hardened oracle's divergence-classification CSV \
+                 (test, flaky vs behavior-changed, events, executions) to \
+                 FILE.")
+
 (* Install the process-wide execution engine every interpreter construction
    reads. Call before any work, like [setup_jobs]. *)
 let setup_backend backend = Minipy.Backend.configure backend
@@ -78,6 +105,21 @@ let setup_jobs jobs =
     exit 2
   end;
   Parallel.Pool.configure ~jobs
+
+(* Arm the chaos harness from LTRIM_CHAOS_* and turn a chaos kill into a
+   distinct exit status the CI smoke steps assert on. Wraps outside
+   [with_trace] so a killed run still exports its partial trace. *)
+let with_chaos f =
+  (try Trim.Chaos.arm_from_env () with
+   | Invalid_argument msg ->
+     Printf.eprintf "%s\n" msg;
+     exit 2);
+  try f () with
+  | Trim.Chaos.Killed { killed_after } ->
+    Printf.eprintf
+      "chaos: killed after journal record %d (resume with --resume)\n%!"
+      killed_after;
+    exit 70
 
 (* Install a recording tracer around [f] and export it on the way out —
    also on failure, so a crashed run still leaves its partial trace. *)
@@ -165,22 +207,35 @@ let profile_cmd =
 (* --- debloat ------------------------------------------------------------- *)
 
 let debloat_cmd =
-  let run app k scoring verbose jobs trace backend =
+  let run app k scoring verbose jobs trace backend journal resume
+      oracle_retries quarantine_report =
     setup_backend backend;
     setup_jobs jobs;
+    if oracle_retries < 0 then begin
+      Printf.eprintf "--oracle-retries must be non-negative (got %d)\n"
+        oracle_retries;
+      exit 2
+    end;
+    with_chaos @@ fun () ->
     with_trace trace @@ fun () ->
     setup_logs verbose;
     let method_ = Trim.Scoring.method_of_string scoring in
     let d = Workloads.Suite.deployment_of app in
     let r =
       Trim.Pipeline.run
-        ~options:{ Trim.Pipeline.k; scoring = method_; log = verbose }
+        ~options:{ Trim.Pipeline.default_options with
+                   k; scoring = method_; log = verbose;
+                   journal_dir = journal; resume;
+                   oracle_retries; quarantine_report }
         d
     in
     Printf.printf "Debloated %s in %.2f s (%d oracle queries)\n" app
       r.Trim.Pipeline.debloat_wall_s r.Trim.Pipeline.total_oracle_queries;
     Printf.printf "Caches: %s\n"
       (Fmt.str "%a" Trim.Pipeline.pp_cache_stats r.Trim.Pipeline.caches);
+    if r.Trim.Pipeline.quarantined_tests > 0 then
+      Printf.printf "Quarantined tests: %d (see --quarantine-report)\n"
+        r.Trim.Pipeline.quarantined_tests;
     List.iter
       (fun m -> Printf.printf "  %s\n" (Fmt.str "%a" Trim.Debloater.pp_module_result m))
       r.Trim.Pipeline.module_results;
@@ -191,7 +246,8 @@ let debloat_cmd =
   Cmd.v
     (Cmd.info "debloat" ~doc:"Run the full lambda-trim pipeline on an application.")
     Term.(const run $ app_arg $ k_arg $ scoring_arg $ verbose_flag $ jobs_arg
-          $ trace_arg $ backend_arg)
+          $ trace_arg $ backend_arg $ journal_arg $ resume_flag
+          $ oracle_retries_arg $ quarantine_report_arg)
 
 (* --- invoke -------------------------------------------------------------- *)
 
@@ -601,9 +657,13 @@ let experiments_cmd =
              ~doc:"Write machine-readable rows to DIR/<id>.csv (experiments \
                    with structured data only).")
   in
-  let run only out csv jobs trace backend =
+  let run only out csv jobs trace backend journal resume =
     setup_backend backend;
     setup_jobs jobs;
+    (* experiments build their pipelines internally; the process-wide spec
+       is how --journal/--resume reach those runs *)
+    Trim.Journal.configure ~dir:journal ~resume;
+    with_chaos @@ fun () ->
     with_trace trace @@ fun () ->
     let entries =
       match only with
@@ -626,9 +686,8 @@ let experiments_cmd =
     ensure_dir out;
     ensure_dir csv;
     let write dir name contents =
-      let oc = open_out (Filename.concat dir name) in
-      output_string oc contents;
-      close_out oc
+      (* atomic: a crash mid-export never leaves a torn result file *)
+      Trim.Journal.write_file_atomic ~path:(Filename.concat dir name) contents
     in
     List.iter
       (fun (e : Experiments.Registry.entry) ->
@@ -656,7 +715,7 @@ let experiments_cmd =
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures on the simulator.")
     Term.(const run $ only_arg $ out_arg $ csv_arg $ jobs_arg $ trace_arg
-          $ backend_arg)
+          $ backend_arg $ journal_arg $ resume_flag)
 
 let main =
   Cmd.group

@@ -38,6 +38,10 @@ let all : entry list =
       description =
         "availability/amplification/cost under faults x resilience policy";
       print = Resilience_exp.print; csv = Some Resilience_exp.csv };
+    { id = "durability";
+      description =
+        "crash/resume journal and flaky-oracle quorum sweeps";
+      print = Durability.print; csv = Some Durability.csv };
     { id = "abl-granularity";
       description = "attribute vs statement granularity ablation";
       print = Ablations.print_granularity; csv = None };

@@ -155,7 +155,17 @@ let metrics_csv registry =
   in
   "name,kind,count_or_value,sum,min,max\n" ^ String.concat "" (List.rev rows)
 
+(* Write-temp-then-rename in the destination directory: a crash mid-export
+   never leaves a torn trace on disk. (Same idiom as Trim.Journal's atomic
+   writes — duplicated here because obs sits below trim.) *)
 let to_file ~path contents =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc contents)
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".obs-export" ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+         output_string oc contents)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

@@ -1,0 +1,200 @@
+(* Seeded fault injection for the *pipeline itself* (the fleet simulator got
+   its own fault plans in Faults; this module aims the same idioms at the
+   debloater): oracle flakiness by hash plan, a simulated crash after the
+   N-th durable journal record, and journal-record corruption helpers for
+   the recovery tests.
+
+   Draws are stateless — splitmix64 over (seed, key, attempt, tag) — so a
+   fault outcome never depends on evaluation order. That is what makes the
+   durability experiment deterministic: the same (seed, rate) always flakes
+   the same (observation key, attempt) pairs, whatever the pool schedule. *)
+
+exception Killed of { killed_after : int }
+(* simulated crash: raised after the [killed_after]-th journal record was
+   already durable on disk *)
+
+let () =
+  Printexc.register_printer (function
+    | Killed { killed_after } ->
+      Some
+        (Printf.sprintf "Trim.Chaos.Killed(after %d journal records)"
+           killed_after)
+    | _ -> None)
+
+(* --- the hash (Faults' splitmix64, re-derived here: trim does not link
+       against the fleet library) ------------------------------------------- *)
+
+let splitmix64 z =
+  let open Int64 in
+  let z = add z 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let tag_flake = 1
+let tag_poison = 2
+
+(* Fold a string key into the stream: the observation keys the oracle draws
+   on are digests, not small ints like the fleet's request ids. *)
+let mix_string acc s =
+  let h = ref acc in
+  String.iter (fun c -> h := splitmix64 (Int64.logxor !h (Int64.of_int (Char.code c)))) s;
+  !h
+
+let hash ~seed ~key ~attempt ~tag =
+  let mix acc x = splitmix64 (Int64.logxor acc (Int64.of_int x)) in
+  mix (mix (mix_string (splitmix64 (Int64.of_int seed)) key) attempt) tag
+
+(* Uniform [0, 1): keep 53 bits, as Faults does. *)
+let uniform ~seed ~key ~attempt ~tag =
+  Int64.to_float (Int64.shift_right_logical (hash ~seed ~key ~attempt ~tag) 11)
+  *. (1.0 /. 9007199254740992.0)
+
+type injector = key:string -> attempt:int -> string -> string
+
+(* A flaky oracle: with probability [rate], replace the observation with a
+   poison string distinct per (key, attempt) — two flakes on the same key
+   never agree with each other, so a quorum can only ever be won by the
+   genuine observation (or detected as divergent). *)
+let flake ~seed ~rate : injector =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg (Printf.sprintf "Chaos.flake: rate must be in [0, 1] (got %g)" rate);
+  fun ~key ~attempt out ->
+    if rate > 0.0 && uniform ~seed ~key ~attempt ~tag:tag_flake < rate then
+      Printf.sprintf "FLAKE:%Lx"
+        (hash ~seed ~key ~attempt ~tag:tag_poison)
+    else out
+
+(* A genuinely changed behaviour: from [attempt >= after] on, a matching key
+   deterministically produces the same *new* output on every re-execution —
+   what the quarantine classifier must tell apart from flakiness. *)
+let drift ~seed ~rate ~after : injector =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg (Printf.sprintf "Chaos.drift: rate must be in [0, 1] (got %g)" rate);
+  fun ~key ~attempt out ->
+    if
+      rate > 0.0 && attempt >= after
+      && uniform ~seed ~key ~attempt:0 ~tag:tag_flake < rate
+    then
+      (* attempt-independent: stable across re-executions *)
+      Printf.sprintf "DRIFT:%Lx" (hash ~seed ~key ~attempt:0 ~tag:tag_poison)
+    else out
+
+(* --- kill-after-record-N -------------------------------------------------
+
+   Process-wide on purpose: the CLI arms it from the environment before any
+   pipeline work, and the journal (the only writer of durable records)
+   reports each append from whatever thread orchestrates the DD search. The
+   counter is mutex-guarded because parallel pipeline groups journal
+   concurrently. *)
+
+let kill_lock = Mutex.create ()
+let kill_remaining : int option ref = ref None
+let kill_recorded = ref 0
+
+let arm_kill_after n =
+  if n < 1 then invalid_arg "Chaos.arm_kill_after: n must be >= 1";
+  Mutex.lock kill_lock;
+  kill_remaining := Some n;
+  kill_recorded := 0;
+  Mutex.unlock kill_lock
+
+let disarm () =
+  Mutex.lock kill_lock;
+  kill_remaining := None;
+  kill_recorded := 0;
+  Mutex.unlock kill_lock
+
+let armed () =
+  Mutex.lock kill_lock;
+  let r = !kill_remaining in
+  Mutex.unlock kill_lock;
+  r
+
+(* Called by the journal after each record is flushed. The record that
+   exhausts the budget is already durable when [Killed] propagates — the
+   crash model is "power loss immediately after a successful write". *)
+let note_journal_append () =
+  Mutex.lock kill_lock;
+  let verdict =
+    match !kill_remaining with
+    | None -> None
+    | Some n ->
+      incr kill_recorded;
+      if n <= 1 then begin
+        kill_remaining := None;
+        Some !kill_recorded
+      end
+      else begin
+        kill_remaining := Some (n - 1);
+        None
+      end
+  in
+  Mutex.unlock kill_lock;
+  match verdict with
+  | Some recorded -> raise (Killed { killed_after = recorded })
+  | None -> ()
+
+(* --- journal corruption --------------------------------------------------- *)
+
+(* Overwrite the body of the last non-empty line with 'X's (in place, same
+   length): a checksum-invalid record the journal must drop on replay. *)
+let corrupt_last_record path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  let last = String.length contents - 1 in
+  let stop = if last >= 0 && contents.[last] = '\n' then last - 1 else last in
+  if stop < 0 then false
+  else begin
+    let start =
+      match String.rindex_from_opt contents stop '\n' with
+      | Some i -> i + 1
+      | None -> 0
+    in
+    let b = Bytes.of_string contents in
+    for i = start to stop do
+      Bytes.set b i 'X'
+    done;
+    let oc = open_out_bin path in
+    output_bytes oc b;
+    close_out oc;
+    true
+  end
+
+(* --- environment plumbing -------------------------------------------------
+
+   LTRIM_CHAOS_KILL_AFTER=N   arm the simulated crash after N records
+   LTRIM_CHAOS_FLAKE_RATE=R   flake the hardened oracle at rate R
+   LTRIM_CHAOS_SEED=S         seed for both (default 2025)
+
+   The CLI calls [arm_from_env] before pipeline work and builds the
+   hardened-oracle injector from [flake_of_env]. *)
+
+let env_seed () =
+  match Sys.getenv_opt "LTRIM_CHAOS_SEED" with
+  | Some s -> (try int_of_string (String.trim s) with _ -> 2025)
+  | None -> 2025
+
+let arm_from_env () =
+  match Sys.getenv_opt "LTRIM_CHAOS_KILL_AFTER" with
+  | None -> ()
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> arm_kill_after n
+     | _ ->
+       invalid_arg
+         (Printf.sprintf "LTRIM_CHAOS_KILL_AFTER: expected int >= 1, got %S" s))
+
+let flake_of_env () =
+  match Sys.getenv_opt "LTRIM_CHAOS_FLAKE_RATE" with
+  | None -> None
+  | Some s ->
+    (match float_of_string_opt (String.trim s) with
+     | Some r when r > 0.0 && r <= 1.0 ->
+       Some (flake ~seed:(env_seed ()) ~rate:r)
+     | Some r when r = 0.0 -> None
+     | _ ->
+       invalid_arg
+         (Printf.sprintf "LTRIM_CHAOS_FLAKE_RATE: expected rate in [0, 1], got %S" s))

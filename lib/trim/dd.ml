@@ -49,11 +49,36 @@ let partitions items n =
 
 let complement ~of_:all part = List.filter (fun x -> not (List.mem x part)) all
 
+(* Answer a fresh subset query: replay the journal when it already holds a
+   verdict for this key, otherwise ask the oracle and record the verdict
+   durably before it becomes visible to the search. Counters treat both
+   paths identically — a resumed run's stats equal the uninterrupted
+   run's. *)
+let journaled_query ~journal ~oracle ~key subset =
+  match journal with
+  | None -> oracle subset
+  | Some j ->
+    (match Journal.find j key with
+     | Some verdict -> verdict
+     | None ->
+       let verdict = oracle subset in
+       Journal.append j ~key verdict;
+       verdict)
+
+let journal_keepset ~journal result =
+  match journal with
+  | None -> ()
+  | Some j ->
+    Journal.append_keepset j
+      (String.concat "," (List.map string_of_int result))
+
 (* [minimize ~oracle items] assumes [oracle items = true] (the full program
    passes its own test cases) and returns a 1-minimal passing subset. The
    optional [on_step] observer receives every oracle query, enabling the
-   Figure-6-style walkthrough in the quickstart example. *)
-let minimize ?(on_step = fun (_ : 'a step) -> ()) ~oracle items =
+   Figure-6-style walkthrough in the quickstart example. With [journal],
+   every verdict is recorded durably before use and a resumed run replays
+   recorded verdicts instead of re-querying — see {!Journal}. *)
+let minimize ?(on_step = fun (_ : 'a step) -> ()) ?journal ~oracle items =
   let stats =
     { oracle_queries = 0; cache_hits = 0; iterations = 0;
       oracle_cache_hits = 0; oracle_cache_misses = 0 }
@@ -70,7 +95,7 @@ let minimize ?(on_step = fun (_ : 'a step) -> ()) ~oracle items =
     | None ->
       stats.oracle_queries <- stats.oracle_queries + 1;
       let subset = to_items idxs in
-      let r = oracle subset in
+      let r = journaled_query ~journal ~oracle ~key:k subset in
       Hashtbl.replace cache k r;
       on_step { step_candidate = subset; step_passed = r };
       r
@@ -100,6 +125,7 @@ let minimize ?(on_step = fun (_ : 'a step) -> ()) ~oracle items =
   in
   let all_idxs = List.init (Array.length arr) Fun.id in
   let result = if items = [] then [] else loop all_idxs 2 in
+  journal_keepset ~journal result;
   (to_items result, stats)
 
 (* Check 1-minimality of [subset] under [oracle]: the subset passes and no
@@ -150,8 +176,14 @@ type parallel_stats = {
    wall-clock win (and they pre-warm the observation memo). [p_rounds] is
    the modelled critical path: each phase contributes ⌈issued/workers⌉.
    Without a [pool], evaluation falls back to sequential execution of the
-   same batches — accounting (and result) stay identical. *)
-let minimize_parallel ?workers ?pool ~oracle items =
+   same batches — accounting (and result) stay identical.
+
+   With [journal], every *execution* (speculative included — the resumed
+   run re-speculates the same batches) is recorded: replayed keys skip the
+   pool, fresh keys are evaluated and then journaled sequentially in
+   submission order from the orchestrating thread, keeping record order —
+   and therefore the chaos kill point — scheduling-independent. *)
+let minimize_parallel ?workers ?pool ?journal ~oracle items =
   let workers =
     match (workers, pool) with
     | Some w, _ -> w
@@ -177,15 +209,42 @@ let minimize_parallel ?workers ?pool ~oracle items =
     in
     if needed <> [] then begin
       evals := !evals + List.length needed;
-      let verdicts =
-        match pool with
-        | Some p when Parallel.Pool.size p > 1 ->
-          Parallel.Pool.map p (fun idxs -> oracle (to_items idxs)) needed
-        | _ -> List.map (fun idxs -> oracle (to_items idxs)) needed
+      let lookups =
+        List.map
+          (fun idxs ->
+             ( idxs,
+               match journal with
+               | Some j -> Journal.find j (key idxs)
+               | None -> None ))
+          needed
       in
+      let fresh =
+        List.filter_map
+          (fun (idxs, v) -> if v = None then Some idxs else None)
+          lookups
+      in
+      let verdicts =
+        if fresh = [] then []
+        else
+          match pool with
+          | Some p when Parallel.Pool.size p > 1 ->
+            Parallel.Pool.map p (fun idxs -> oracle (to_items idxs)) fresh
+          | _ -> List.map (fun idxs -> oracle (to_items idxs)) fresh
+      in
+      (* durable before visible: journal fresh verdicts in submission order *)
       List.iter2
-        (fun idxs verdict -> Hashtbl.replace speculative (key idxs) verdict)
-        needed verdicts
+        (fun idxs verdict ->
+           (match journal with
+            | Some j -> Journal.append j ~key:(key idxs) verdict
+            | None -> ());
+           Hashtbl.replace speculative (key idxs) verdict)
+        fresh verdicts;
+      List.iter
+        (fun (idxs, v) ->
+           match v with
+           | Some verdict -> Hashtbl.replace speculative (key idxs) verdict
+           | None -> ())
+        lookups
     end
   in
   (* replay the sequential walk over the batch: first pass wins; rounds are
@@ -247,6 +306,7 @@ let minimize_parallel ?workers ?pool ~oracle items =
   in
   let all_idxs = List.init (Array.length arr) Fun.id in
   let result = if items = [] then [] else loop all_idxs 2 in
+  journal_keepset ~journal result;
   ( to_items result,
     { p_oracle_queries = !issued;
       p_cache_hits = !hits;

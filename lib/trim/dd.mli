@@ -32,9 +32,15 @@ val complement : of_:'a list -> 'a list -> 'a list
     [on_step] observes every actual (non-cached) oracle query, enabling the
     Figure-6 walkthrough of [examples/quickstart.ml]. Unlike crash
     minimisation, the empty subset is a legal result: a singleton is tested
-    against [[]] before being returned. *)
+    against [[]] before being returned.
+
+    With [journal], every verdict is recorded durably before the search can
+    observe it, and a resumed run (a journal opened with [resume] on the
+    same run digest) replays recorded verdicts instead of re-querying —
+    keep-set and all counters are bit-identical to the uninterrupted run. *)
 val minimize :
   ?on_step:('a step -> unit) ->
+  ?journal:Journal.t ->
   oracle:('a list -> bool) ->
   'a list ->
   'a list * stats
@@ -67,10 +73,17 @@ type parallel_stats = {
     [p_cache_hits] and [p_iterations] are scheduling-independent and equal
     [minimize]'s, whatever [workers] is. [workers] (default: the pool's
     size, else 8) only scales the [p_rounds]/[p_max_batch] model.
+
+    With [journal], every execution (speculative included) is recorded in
+    submission order from the orchestrating thread — record order, and
+    hence any chaos kill point, is scheduling-independent — and a resumed
+    run replays recorded verdicts, reproducing keep-set and every counter
+    ([p_speculative] included).
     @raise Invalid_argument if [workers < 1]. *)
 val minimize_parallel :
   ?workers:int ->
   ?pool:Parallel.Pool.t ->
+  ?journal:Journal.t ->
   oracle:('a list -> bool) ->
   'a list ->
   'a list * parallel_stats

@@ -107,17 +107,64 @@ let traced_oracle ~module_name ~(cache : Oracle.Cache.t) dd_oracle subset =
    run's numbers (see Dd.minimize_parallel). [on_step] fires only on the
    sequential path: speculative evaluation has no sequential step order to
    report. *)
-let dd_minimize ?on_step ?pool ~oracle candidates =
+let dd_minimize ?on_step ?pool ?journal ~oracle candidates =
   match pool with
   | Some p when Parallel.Pool.size p > 1 ->
-    let kept, ps = Dd.minimize_parallel ~pool:p ~oracle candidates in
+    let kept, ps = Dd.minimize_parallel ~pool:p ?journal ~oracle candidates in
     ( kept,
       { Dd.oracle_queries = ps.Dd.p_oracle_queries;
         cache_hits = ps.Dd.p_cache_hits;
         iterations = ps.Dd.p_iterations;
         oracle_cache_hits = 0;
         oracle_cache_misses = 0 } )
-  | _ -> Dd.minimize ?on_step ~oracle candidates
+  | _ -> Dd.minimize ?on_step ?journal ~oracle candidates
+
+(* --- journal wiring --------------------------------------------------------
+
+   One journal file per module search, named after the module inside the
+   run's journal directory. The run digest binds the file to everything
+   the verdict stream depends on: the *base* deployment image this module
+   is searched against (which differs between sequential and parallel
+   pipeline folds — hence resume requires the same --jobs), the module,
+   its candidate/protected split, and the execution backend. A journal
+   whose digest mismatches is discarded, never replayed: revision safety
+   over resume speed. *)
+
+let sanitize_module_name m =
+  String.map
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+       | _ -> '_')
+    m
+
+let journal_run_digest (d : Platform.Deployment.t) ~module_name ~file
+    ~protected_list ~candidates =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          ("ltrim-dd/1"
+           :: Minipy.Backend.to_string (Minipy.Backend.current ())
+           :: Platform.Deployment.image_digest d
+           :: module_name :: file
+           :: (protected_list @ ("\x01" :: candidates)))))
+
+let open_journal (spec : Journal.spec option) d ~module_name ~file
+    ~protected_list ~candidates =
+  match spec with
+  | None -> None
+  | Some { Journal.journal_dir; journal_resume } ->
+    let path =
+      Filename.concat journal_dir (sanitize_module_name module_name ^ ".journal")
+    in
+    let run_digest =
+      journal_run_digest d ~module_name ~file ~protected_list ~candidates
+    in
+    Some
+      (Obs.Span.with_span (Obs.Span.installed ()) ~domain:Obs.Span.domain_wall
+         ~track:(obs_track ()) ~cat:"journal" ~name:("journal:" ^ module_name)
+         ~clock:wall_ms (fun () ->
+             Journal.open_ ~resume:journal_resume ~path ~run_digest ()))
 
 (* Record the observation-memo traffic of [f ()] into [stats]. *)
 let with_memo_stats (cache : Oracle.Cache.t) (f : unit -> 'a * Dd.stats) :
@@ -148,7 +195,7 @@ let result_of_stats ~module_name ~file ~all_attrs ~final_keep ~protected_list
    [oracle] judges candidate deployments; [protected] attributes are never
    offered to DD. *)
 let debloat_module ?(on_step = fun (_ : string Dd.step) -> ())
-    ?(oracle_cache = Oracle.Cache.global) ?pool
+    ?(oracle_cache = Oracle.Cache.global) ?pool ?journal
     ~(oracle : Platform.Deployment.t -> bool) ~(protected : String_set.t)
     (d : Platform.Deployment.t) ~module_name : Platform.Deployment.t * module_result
   =
@@ -171,10 +218,17 @@ let debloat_module ?(on_step = fun (_ : string Dd.step) -> ())
       oracle (with_restricted d ~file ~keep:(protected_list @ subset))
     in
     let dd_oracle = traced_oracle ~module_name ~cache:oracle_cache dd_oracle in
+    let jnl =
+      open_journal journal d ~module_name ~file ~protected_list ~candidates
+    in
     let kept, stats =
-      obs_dd_span ~module_name (fun () ->
-          with_memo_stats oracle_cache (fun () ->
-              dd_minimize ~on_step ?pool ~oracle:dd_oracle candidates))
+      Fun.protect
+        ~finally:(fun () -> Option.iter Journal.close jnl)
+        (fun () ->
+           obs_dd_span ~module_name (fun () ->
+               with_memo_stats oracle_cache (fun () ->
+                   dd_minimize ~on_step ?pool ?journal:jnl ~oracle:dd_oracle
+                     candidates)))
     in
     let final_keep = protected_list @ kept in
     let d' = with_restricted d ~file ~keep:final_keep in

@@ -44,11 +44,20 @@ val with_restricted :
     concurrently via {!Dd.minimize_parallel}; keep-set and query/cache-hit
     counts are identical to the sequential search by that function's
     committed-prefix contract. [on_step] only fires on the sequential
-    path. *)
+    path.
+
+    With [?journal], the search records every verdict in
+    [<journal_dir>/<module>.journal] and — when the spec says resume — a
+    compatible existing journal is replayed first, so a killed search
+    continues where it crashed with bit-identical results. The journal's
+    run digest covers the base deployment image this module is searched
+    against, so resume requires the same pipeline job layout ([--jobs]) as
+    the killed run; anything else safely discards the journal. *)
 val debloat_module :
   ?on_step:(string Dd.step -> unit) ->
   ?oracle_cache:Oracle.Cache.t ->
   ?pool:Parallel.Pool.t ->
+  ?journal:Journal.spec ->
   oracle:(Platform.Deployment.t -> bool) ->
   protected:String_set.t ->
   Platform.Deployment.t ->

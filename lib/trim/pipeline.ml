@@ -14,9 +14,26 @@ type options = {
   k : int;                        (* modules to debloat (§8.4: default 20) *)
   scoring : Scoring.method_;
   log : bool;
+  (* durability & oracle hardening (all off by default — the defaults keep
+     every committed CSV byte-identical to the unhardened pipeline) *)
+  journal_dir : string option;    (* record DD verdicts under this dir *)
+  resume : bool;                  (* replay compatible journals first *)
+  oracle_retries : int;           (* k of the 2k+1 quorum; 0 = unhardened *)
+  oracle_inject : Chaos.injector option;  (* fault injection (chaos runs) *)
+  oracle_cache : Oracle.Cache.t option;   (* private memo; default global *)
+  quarantine_report : string option;      (* write divergence CSV here *)
 }
 
-let default_options = { k = 20; scoring = Scoring.Combined; log = false }
+let default_options =
+  { k = 20;
+    scoring = Scoring.Combined;
+    log = false;
+    journal_dir = None;
+    resume = false;
+    oracle_retries = 0;
+    oracle_inject = None;
+    oracle_cache = None;
+    quarantine_report = None }
 
 type cache_stats = {
   parse_hits : int;
@@ -36,6 +53,7 @@ type report = {
   debloat_wall_s : float;             (* host wall-clock spent debloating *)
   total_oracle_queries : int;
   caches : cache_stats;               (* cache traffic during this run *)
+  quarantined_tests : int;            (* hardened oracle's quarantine size *)
 }
 
 let src = Logs.Src.create "lambda-trim" ~doc:"lambda-trim pipeline"
@@ -74,6 +92,61 @@ let obs_phase name f =
   Obs.Span.with_span (Obs.Span.installed ()) ~domain:Obs.Span.domain_wall
     ~track:obs_track ~cat:"pipeline" ~name ~clock:wall_ms f
 
+(* Journal spec for this run: explicit options win, else the process-wide
+   configuration the CLI installs (how `ltrim experiments --journal` reaches
+   runs whose pipeline options the registry builds internally). One
+   subdirectory per (app, scoring, k) keeps concurrent runs and re-runs
+   with different settings from replaying each other's journals. *)
+let journal_spec options (app : Platform.Deployment.t) =
+  let dir, resume =
+    match (options.journal_dir, Journal.configured ()) with
+    | Some d, _ -> (Some d, options.resume)
+    | None, Some c ->
+      (Some c.Journal.journal_dir, c.Journal.journal_resume || options.resume)
+    | None, None -> (None, false)
+  in
+  match dir with
+  | None -> None
+  | Some dir ->
+    let sub =
+      Printf.sprintf "%s-%s-k%d" app.Platform.Deployment.name
+        (Scoring.method_name options.scoring)
+        options.k
+    in
+    let jdir = Filename.concat dir sub in
+    Journal.mkdir_p jdir;
+    Some { Journal.journal_dir = jdir; journal_resume = resume }
+
+(* The DD oracle for this run — hardened (quorum + quarantine) when
+   [oracle_retries > 0], plain otherwise. A chaos flake rate from the
+   environment reaches only the hardened path: injecting faults into an
+   oracle with no defence would just corrupt results silently. *)
+let make_oracle options (app : Platform.Deployment.t) =
+  let cache =
+    match options.oracle_cache with
+    | Some c -> c
+    | None -> Oracle.Cache.global
+  in
+  if options.oracle_retries > 0 then begin
+    let inject =
+      match options.oracle_inject with
+      | Some _ as i -> i
+      | None -> Chaos.flake_of_env ()
+    in
+    let h =
+      Oracle.Hardened.create ~cache
+        { Oracle.Hardened.default_config with
+          retries = options.oracle_retries;
+          inject }
+    in
+    let oracle, _expected = Oracle.Hardened.for_reference h app in
+    (oracle, Some h)
+  end
+  else begin
+    let oracle, _expected = Oracle.for_reference ~cache app in
+    (oracle, None)
+  end
+
 (* Stage 3 of [run], parallel mode.
 
    Modules of one library are NOT independent — debloating a parent package
@@ -94,9 +167,8 @@ let obs_phase name f =
    module's __init__). That is the bit-identical-CSV guarantee. Each group
    task additionally fans its DD oracle batches out on the same pool
    (nested submission is safe). *)
-let debloat_parallel ~options ~analysis ~jobs (app : Platform.Deployment.t)
-    ranked =
-  let oracle, _expected = Oracle.for_reference app in
+let debloat_parallel ?oracle_cache ?journal ~options ~analysis ~jobs ~oracle
+    (app : Platform.Deployment.t) ranked =
   let root m =
     match String.index_opt m '.' with Some i -> String.sub m 0 i | None -> m
   in
@@ -128,8 +200,8 @@ let debloat_parallel ~options ~analysis ~jobs (app : Platform.Deployment.t)
                        Static_analyzer.protected_attrs analysis ~module_name
                      in
                      let d', r =
-                       Debloater.debloat_module ~pool ~oracle ~protected d
-                         ~module_name
+                       Debloater.debloat_module ?oracle_cache ?journal ~pool
+                         ~oracle ~protected d ~module_name
                      in
                      (d', r :: acc))
                   (app, []) modules
@@ -159,7 +231,8 @@ let run ?(options = default_options) ?jobs (app : Platform.Deployment.t) :
   let jobs = match jobs with Some j -> j | None -> Parallel.Pool.jobs () in
   if jobs < 1 then invalid_arg "Pipeline.run: jobs < 1";
   let wall_start = Unix.gettimeofday () in
-  let (analysis, profile, ranked, optimized, module_results), caches =
+  let (analysis, profile, ranked, optimized, module_results, hardened), caches
+    =
     with_cache_stats (fun () ->
         obs_phase "pipeline:run" (fun () ->
         (* Stage 1: static analysis *)
@@ -188,12 +261,18 @@ let run ?(options = default_options) ?jobs (app : Platform.Deployment.t) :
            debloats the top-K sequentially). With [jobs > 1] the modules
            are searched concurrently and merged in ranking order — same
            output, see [debloat_parallel]. *)
-        let optimized, module_results =
+        let optimized, module_results, hardened =
           obs_phase "phase:debloat" (fun () ->
-              if jobs > 1 then
-                debloat_parallel ~options ~analysis ~jobs app ranked
+              let journal = journal_spec options app in
+              let oracle, hardened = make_oracle options app in
+              if jobs > 1 then begin
+                let optimized, module_results =
+                  debloat_parallel ?oracle_cache:options.oracle_cache
+                    ?journal ~options ~analysis ~jobs ~oracle app ranked
+                in
+                (optimized, module_results, hardened)
+              end
               else begin
-                let oracle, _expected = Oracle.for_reference app in
                 let optimized, module_results =
                   List.fold_left
                     (fun (d, results) module_name ->
@@ -201,8 +280,9 @@ let run ?(options = default_options) ?jobs (app : Platform.Deployment.t) :
                          Static_analyzer.protected_attrs analysis ~module_name
                        in
                        let d', r =
-                         Debloater.debloat_module ~oracle ~protected d
-                           ~module_name
+                         Debloater.debloat_module
+                           ?oracle_cache:options.oracle_cache ?journal
+                           ~oracle ~protected d ~module_name
                        in
                        if options.log then
                          Log.info
@@ -210,11 +290,20 @@ let run ?(options = default_options) ?jobs (app : Platform.Deployment.t) :
                        (d', r :: results))
                     (app, []) ranked
                 in
-                (optimized, List.rev module_results)
+                (optimized, List.rev module_results, hardened)
               end)
         in
-        (analysis, profile, ranked, optimized, module_results)))
+        (analysis, profile, ranked, optimized, module_results, hardened)))
   in
+  (match options.quarantine_report with
+   | Some path ->
+     let contents =
+       match hardened with
+       | Some h -> Oracle.Hardened.report_csv h
+       | None -> "test,class,events,executions,distinct_outputs\n"
+     in
+     Journal.write_file_atomic ~path contents
+   | None -> ());
   { app_name = app.Platform.Deployment.name;
     original = app;
     optimized;
@@ -226,7 +315,11 @@ let run ?(options = default_options) ?jobs (app : Platform.Deployment.t) :
     total_oracle_queries =
       List.fold_left (fun acc r -> acc + r.Debloater.oracle_queries) 0
         module_results;
-    caches }
+    caches;
+    quarantined_tests =
+      (match hardened with
+       | Some h -> Oracle.Hardened.quarantined h
+       | None -> 0) }
 
 (* Total attributes removed across all debloated modules. *)
 let attrs_removed (r : report) =
@@ -344,6 +437,7 @@ let run_continuous ?(options = default_options)
         total_oracle_queries =
           List.fold_left (fun acc r -> acc + r.Debloater.oracle_queries) 0
             module_results;
-        caches };
+        caches;
+        quarantined_tests = 0 };
     seed_hits;
     seeded_modules = seeded }

@@ -9,6 +9,25 @@ type options = {
   k : int;                   (** modules to debloat; §8.4's default is 20 *)
   scoring : Scoring.method_;
   log : bool;                (** emit progress through [Logs] *)
+  journal_dir : string option;
+      (** record every DD verdict in per-module journals under this
+          directory (see {!Journal}); [None] falls back to the
+          process-wide {!Journal.configure}d directory, if any *)
+  resume : bool;
+      (** replay compatible existing journals before querying the oracle —
+          a killed run resumed with the same options and job layout
+          reproduces the uninterrupted run bit for bit *)
+  oracle_retries : int;
+      (** harden the oracle with a [2k + 1] quorum and quarantine
+          ({!Oracle.Hardened}); 0 (the default) keeps the plain oracle *)
+  oracle_inject : Chaos.injector option;
+      (** fault injection for the hardened oracle (chaos/durability runs);
+          [None] falls back to [LTRIM_CHAOS_FLAKE_RATE] when hardened *)
+  oracle_cache : Oracle.Cache.t option;
+      (** private observation memo; [None] = the global memo. Fault-injected
+          runs must use a private memo so poison never reaches other runs *)
+  quarantine_report : string option;
+      (** write the divergence-classification CSV here (atomically) *)
 }
 
 val default_options : options
@@ -35,6 +54,8 @@ type report = {
   debloat_wall_s : float; (** host wall-clock spent in the pipeline *)
   total_oracle_queries : int;
   caches : cache_stats;
+  quarantined_tests : int;
+      (** tests the hardened oracle quarantined; 0 when not hardened *)
 }
 
 val src : Logs.src

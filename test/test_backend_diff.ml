@@ -302,10 +302,54 @@ let sim_tests =
          Alcotest.(check string) "cold record" tw_cold vm_cold;
          Alcotest.(check string) "warm record" tw_warm vm_warm) ]
 
+(* --- timeout parity: CRASH:timeout must be engine-invariant --------------- *)
+
+(* The VM ticks steps at exactly the tree-walker's program points, so a step
+   budget exhausts at the same instant on both engines. Sweeping budgets
+   from crash-during-init to completing under the strict compare oracle
+   checks the whole boundary: any drift in step accounting makes one engine
+   time out where the other completes and raises Oracle.Divergence. *)
+let timeout_tests =
+  [ Alcotest.test_case
+      "CRASH:timeout raised identically by both engines (compare mode)"
+      `Quick (fun () ->
+        let d = sim_deployment () in
+        let saved = Backend.current () in
+        Backend.configure Backend.Compare;
+        Fun.protect ~finally:(fun () -> Backend.configure saved) (fun () ->
+            List.iter
+              (fun max_steps ->
+                 let params =
+                   { Platform.Lambda_sim.default_params with max_steps }
+                 in
+                 (* raises Oracle.Divergence on any engine disagreement *)
+                 let o =
+                   Trim.Oracle.observe ~cache:(Trim.Oracle.Cache.create ())
+                     ~params d
+                 in
+                 if max_steps <= 10 then
+                   List.iter
+                     (fun (_, out) ->
+                        Alcotest.(check string)
+                          (Printf.sprintf "timeout at %d steps" max_steps)
+                          "CRASH:timeout" out)
+                     o.Trim.Oracle.per_test
+                 else if max_steps >= 100_000 then
+                   List.iter
+                     (fun (_, out) ->
+                        Alcotest.(check bool)
+                          (Printf.sprintf "completes at %d steps" max_steps)
+                          false
+                          (String.equal out "CRASH:timeout"))
+                     o.Trim.Oracle.per_test)
+              [ 1; 5; 10; 25; 50; 75; 100; 150; 200; 350; 500; 1000; 2500;
+                100_000 ])) ]
+
 let to_alcotest = List.map (QCheck_alcotest.to_alcotest ~long:false)
 
 let suite =
   [ ("backend_diff.crafted", crafted_tests);
     ("backend_diff.imports", import_tests);
     ("backend_diff.generated", to_alcotest [ gen_diff ]);
-    ("backend_diff.platform", sim_tests) ]
+    ("backend_diff.platform", sim_tests);
+    ("backend_diff.timeout", timeout_tests) ]
