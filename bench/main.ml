@@ -356,10 +356,30 @@ let fleet_bench_config =
            (Fleet.Scenario.fallback ~rate:0.01 ~seed:7
               ~original:{ profile with Fleet.Router.func_init_s = 1.6 } ()) })
 
+(* Heap vs calendar-queue backends on one 100k-event schedule: push all,
+   then drain. The calendar is sized for the schedule's horizon — the
+   regime trace-replay selects it for. Pop order is bit-identical, so this
+   pair isolates pure queue cost. *)
+let event_queue_drain kind () =
+  let q = Fleet.Events.create ~kind () in
+  for i = 0 to 99_999 do
+    Fleet.Events.push q
+      ~time:(float_of_int ((i * 7919) mod 100_000))
+      ~rank:(i mod 4) i
+  done;
+  let rec drain n =
+    match Fleet.Events.pop q with None -> n | Some _ -> drain (n + 1)
+  in
+  drain 0
+
 (* Simulator throughput in events/sec, printed once alongside the
    micro-benchmarks: the fleet experiments sweep tens of configurations, so
    raw event-loop speed bounds how far the sweeps can scale. *)
 let print_fleet_throughput () =
+  (* the bechamel phase leaves a bloated, fragmented major heap that slows
+     these timed kernels ~3x; compact so the recorded numbers reflect the
+     kernels, not the benchmark that happened to run before them *)
+  Gc.compact ();
   let trace =
     Platform.Trace.poisson ~seed:21 ~rate_per_s:20.0 ~duration_s:5000.0
       ~name:"fleet-throughput"
@@ -378,6 +398,89 @@ let print_fleet_throughput () =
     "\nfleet simulator throughput: %d events in %.3f s CPU = %.2f M events/s\n"
     !events dt meps;
   meps
+
+(* Streaming vs record mode on one 1M-request trace: the record path
+   materializes every [Router.record] and [summarize] re-walks the list
+   once per metric; the streaming path folds each record into fixed-size
+   sketches as it finalizes. Same simulation, so the ratio isolates the
+   aggregation cost — the headline claim of the streaming engine. *)
+let print_streaming_speedup () =
+  Gc.compact ();
+  let trace =
+    Platform.Trace.poisson ~seed:21 ~rate_per_s:200.0 ~duration_s:5000.0
+      ~name:"fleet-stream-bench"
+  in
+  let cfg = Lazy.force fleet_bench_config in
+  ignore (Fleet.Report.run_stream cfg trace);  (* warm up *)
+  let time f =
+    let reps = 3 in
+    let t0 = Sys.time () in
+    for _ = 1 to reps do f () done;
+    (Sys.time () -. t0) /. float_of_int reps
+  in
+  let record_s =
+    time (fun () ->
+        ignore
+          (Fleet.Report.summarize ~label:"bench" cfg
+             (Fleet.Router.run cfg trace)))
+  in
+  (* the pre-PR record path: cons every record onto a list, then sort it
+     back to arrival order with polymorphic compare — measured live so the
+     headline speedup is against what the engine actually replaced, not a
+     guess *)
+  let legacy_s =
+    time (fun () ->
+        let records = ref [] in
+        let t =
+          Fleet.Router.run_with ~emit:(fun r -> records := r :: !records) cfg
+            trace
+        in
+        let records =
+          List.sort
+            (fun (a : Fleet.Router.record) b -> compare a.req b.req)
+            !records
+        in
+        ignore
+          (Fleet.Report.summarize ~label:"bench" cfg
+             { Fleet.Router.records;
+               peak_instances = t.Fleet.Router.peak;
+               resident_instance_s = t.Fleet.Router.resident_s;
+               evictions = t.Fleet.Router.evicted;
+               fb_peak_instances = t.Fleet.Router.fb_peak;
+               fb_resident_instance_s = t.Fleet.Router.fb_resident_s;
+               events_processed = t.Fleet.Router.total_events }))
+  in
+  let stream_s =
+    time (fun () -> ignore (Fleet.Report.run_stream cfg trace))
+  in
+  let speedup = if stream_s > 0.0 then legacy_s /. stream_s else 0.0 in
+  Printf.printf
+    "streaming vs record router (%d requests): legacy list+sort %.2f s, \
+     record array %.2f s, stream %.2f s = %.2fx vs legacy, %.2fx vs record\n"
+    (Platform.Trace.length trace) legacy_s record_s stream_s speedup
+    (if stream_s > 0.0 then record_s /. stream_s else 0.0);
+  (legacy_s, record_s, stream_s, speedup)
+
+(* The sharded engine at trace-replay scale: the experiment's own 1M-request
+   replay (it times itself — wall clock, all configured domains). *)
+let print_sharded_throughput () =
+  Gc.compact ();
+  let r = Experiments.Trace_replay.run () in
+  let requests =
+    List.fold_left
+      (fun acc (g : Fleet.Sharded.group) -> acc + g.Fleet.Sharded.g_requests)
+      0 r.Experiments.Trace_replay.groups
+  in
+  let meps =
+    float_of_int requests /. Float.max 1e-9 r.Experiments.Trace_replay.wall_s
+    /. 1e6
+  in
+  Printf.printf
+    "sharded fleet replay: %d requests in %.2f s wall = %.2f M req/s \
+     (%d shard(s), %d domain(s))\n"
+    requests r.Experiments.Trace_replay.wall_s meps
+    (Fleet.Sharded.shard_count ()) (Parallel.Pool.jobs ());
+  (requests, r.Experiments.Trace_replay.wall_s, meps)
 
 (* Kernels for the ablations and §9 extensions. *)
 let extension_tests =
@@ -427,6 +530,13 @@ let extension_tests =
              | Some _ -> drain (n + 1)
            in
            drain 0));
+    Test.make ~name:"fleet.event_heap_100k"
+      (Staged.stage (event_queue_drain Fleet.Events.Heap));
+    Test.make ~name:"fleet.event_wheel_100k"
+      (Staged.stage
+         (event_queue_drain
+            (Fleet.Events.calendar ~horizon_s:100_000.0
+               ~expected_events:100_000)));
     Test.make ~name:"fleet.router_poisson_10k"
       (Staged.stage
          (let trace =
@@ -436,6 +546,27 @@ let extension_tests =
           in
           fun () ->
             Fleet.Router.run (Lazy.force fleet_bench_config)
+              (Lazy.force trace)));
+    Test.make ~name:"fleet.router_record_summarize_10k"
+      (Staged.stage
+         (let trace =
+            lazy
+              (Platform.Trace.poisson ~seed:21 ~rate_per_s:2.0
+                 ~duration_s:5000.0 ~name:"fleet-bench")
+          in
+          fun () ->
+            let cfg = Lazy.force fleet_bench_config in
+            Fleet.Report.summarize ~label:"bench" cfg
+              (Fleet.Router.run cfg (Lazy.force trace))));
+    Test.make ~name:"fleet.router_stream_10k"
+      (Staged.stage
+         (let trace =
+            lazy
+              (Platform.Trace.poisson ~seed:21 ~rate_per_s:2.0
+                 ~duration_s:5000.0 ~name:"fleet-bench")
+          in
+          fun () ->
+            Fleet.Report.run_stream (Lazy.force fleet_bench_config)
               (Lazy.force trace)));
     Test.make ~name:"fleet.fault_plan_100k"
       (Staged.stage
@@ -501,12 +632,27 @@ let extension_tests =
 (* Kernels for the domain work pool (§9 parallel execution). The DD kernels
    run the same committed-prefix search against real pools of 1/2/4/8
    domains: queries are scheduling-invariant, so only wall-clock — bounded
-   by physical cores — may differ between them. Pools are created lazily,
-   reused across runs, and left for process exit to reap. *)
+   by physical cores — may differ between them. Pools are created lazily
+   and reused across runs; [reap_bench_pools] must run before any later
+   timed kernel, because in OCaml 5 every lingering idle domain joins the
+   stop-the-world barrier of every minor GC — left alive, the leaked
+   workers slow allocation-heavy single-domain kernels several-fold. *)
+let bench_pools : Parallel.Pool.t list ref = ref []
+
+let bench_pool domains =
+  lazy
+    (let p = Parallel.Pool.create ~domains in
+     bench_pools := p :: !bench_pools;
+     p)
+
+let reap_bench_pools () =
+  List.iter Parallel.Pool.shutdown !bench_pools;
+  bench_pools := []
+
 let dd_pool_kernel domains =
   Test.make ~name:(Printf.sprintf "par.dd_oracle_%ddomains" domains)
     (Staged.stage
-       (let pool = lazy (Parallel.Pool.create ~domains) in
+       (let pool = bench_pool domains in
         let setup =
           lazy
             (let app = Workloads.Suite.tiny_app ~attrs:48 () in
@@ -534,7 +680,7 @@ let parallel_tests =
       (Staged.stage
          (* submit/collect cost of 64 no-op tasks: the fixed price every
             parallel DD batch pays on top of its oracle work *)
-         (let pool = lazy (Parallel.Pool.create ~domains:4) in
+         (let pool = bench_pool 4 in
           let xs = List.init 64 Fun.id in
           fun () -> Parallel.Pool.map (Lazy.force pool) Fun.id xs));
     dd_pool_kernel 1; dd_pool_kernel 2; dd_pool_kernel 4; dd_pool_kernel 8;
@@ -692,7 +838,9 @@ let ns_of rows name =
   | Some (_, Some e, _) -> Some e
   | _ -> None
 
-let write_json path rows e2e fleet_meps (par_host, par_j1, par_j4) =
+let write_json path rows e2e fleet_meps (par_host, par_j1, par_j4)
+    (stream_legacy_s, stream_record_s, stream_stream_s, stream_speedup)
+    (sharded_requests, sharded_wall_s, sharded_meps) =
   (* write-temp-then-rename: a crash mid-write never tears the committed
      benchmark JSON *)
   let tmp = path ^ ".tmp" in
@@ -761,6 +909,22 @@ let write_json path rows e2e fleet_meps (par_host, par_j1, par_j4) =
        base j ((j -. base) /. base *. 100.0)
    | _ -> ());
   out "  \"fleet_throughput_meps\": %.3f,\n" fleet_meps;
+  (* streaming vs record aggregation on one 1M-request trace (same
+     simulation; ratio isolates aggregation cost) *)
+  out
+    "  \"streaming_router\": { \"legacy_list_sort_s\": %.3f, \
+     \"record_summarize_s\": %.3f, \"stream_s\": %.3f, \
+     \"speedup_vs_legacy\": %.2f },\n"
+    stream_legacy_s stream_record_s stream_stream_s stream_speedup;
+  (* the sharded engine at trace-replay scale; host_domains records how
+     many domains the wall-clock number was measured on *)
+  out
+    "  \"fleet_sharded\": { \"host_domains\": %d, \"shards\": %d, \
+     \"requests\": %d, \"wall_s\": %.3f },\n"
+    par_host
+    (Fleet.Sharded.shard_count ())
+    sharded_requests sharded_wall_s;
+  out "  \"fleet_sharded_throughput_meps\": %.3f,\n" sharded_meps;
   out "  \"micro_ns_per_run\": {\n";
   let micro =
     List.filter_map
@@ -787,6 +951,13 @@ let () =
   let skip_experiments = List.mem "--no-experiments" args in
   let skip_micro = List.mem "--no-micro" args in
   let json_path = json_path_of_args args in
+  if List.mem "--fleet-kernels" args then begin
+    (* just the timed fleet kernels — the CI smoke and quick local runs *)
+    ignore (print_fleet_throughput ());
+    ignore (print_streaming_speedup ());
+    ignore (print_sharded_throughput ());
+    exit 0
+  end;
   if not skip_experiments then run_experiments ();
   if not skip_micro then begin
     print_string
@@ -799,10 +970,13 @@ let () =
     in
     let rows = rows_of_results results in
     print_rows rows;
+    reap_bench_pools ();
     let fleet_meps = print_fleet_throughput () in
+    let streaming = print_streaming_speedup () in
+    let sharded = print_sharded_throughput () in
     let e2e = e2e_cache_timings () in
     let par = e2e_parallel_timings () in
     match json_path with
-    | Some path -> write_json path rows e2e fleet_meps par
+    | Some path -> write_json path rows e2e fleet_meps par streaming sharded
     | None -> ()
   end

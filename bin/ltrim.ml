@@ -45,6 +45,23 @@ let jobs_arg =
                  Committed results are bit-identical at any N; only \
                  wall-clock columns change.")
 
+let shards_arg =
+  Arg.(value & opt int 0
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Shards for the sharded fleet engine (multi-tenant fleet \
+                 runs and the trace-replay experiment). Default 0 follows \
+                 $(b,--jobs). Results are bit-identical at any N; only \
+                 wall-clock changes.")
+
+(* Install the process-wide shard default the sharded fleet engine reads.
+   0 keeps the engine following the configured pool size. *)
+let setup_shards shards =
+  if shards < 0 then begin
+    Printf.eprintf "--shards must be >= 0 (got %d)\n" shards;
+    exit 2
+  end;
+  Fleet.Sharded.default_shards := shards
+
 let backend_conv =
   let parse s =
     match Minipy.Backend.of_string s with
@@ -428,12 +445,21 @@ let fleet_cmd =
                  is dispatched this long after the cold start began \
                  (default off).")
   in
+  let tenants_arg =
+    Arg.(value & opt int 1 & info [ "tenants" ] ~docv:"N"
+           ~doc:"Replicate the app as N independent tenants (per-tenant \
+                 trace/fault/fallback seeds) and route them through the \
+                 sharded fleet engine, merging per-variant reports \
+                 (default 1 = classic single-tenant run).")
+  in
   let run app rate duration policy keep_alive max_idle capacity max_pending
       timeout fb_rate seed init_failure_rate crash_rate error_rate churn_rate
       retries retry_base retry_cap request_timeout breaker_threshold
-      breaker_window breaker_cooldown hedge_delay jobs trace backend =
+      breaker_window breaker_cooldown hedge_delay tenants shards jobs trace
+      backend =
     setup_backend backend;
     setup_jobs jobs;
+    setup_shards shards;
     with_trace trace @@ fun () ->
     if rate <= 0.0 then begin
       Printf.eprintf "--rate must be positive (got %g)\n" rate;
@@ -494,6 +520,10 @@ let fleet_cmd =
        Printf.eprintf "--hedge-delay must be non-negative (got %g)\n" d;
        exit 2
      | _ -> ());
+    if tenants < 1 then begin
+      Printf.eprintf "--tenants must be >= 1 (got %d)\n" tenants;
+      exit 2
+    end;
     let pol =
       match policy with
       | "fixed" -> Fleet.Pool.Fixed_ttl { keep_alive_s = keep_alive }
@@ -510,10 +540,6 @@ let fleet_cmd =
     let original = Fleet.Scenario.profile_of_deployment d in
     let trimmed =
       Fleet.Scenario.profile_of_deployment report.Trim.Pipeline.optimized
-    in
-    let trace =
-      Platform.Trace.poisson ~seed ~rate_per_s:rate ~duration_s:duration
-        ~name:(Printf.sprintf "poisson-%g" rate)
     in
     let faults =
       { Fleet.Faults.seed = seed + 2;
@@ -557,14 +583,6 @@ let fleet_cmd =
            arms on the trimmed deployment below *)
         resilience = { resilience with Fleet.Resilience.breaker = None } }
     in
-    let simulate label cfg =
-      Fleet.Report.summarize ~label cfg (Fleet.Router.run cfg trace)
-    in
-    Printf.printf
-      "Fleet: %s, poisson %g req/s for %g s (seed %d), policy %s\n\n" app rate
-      duration seed (Fleet.Pool.policy_name pol);
-    print_endline Fleet.Report.table_header;
-    print_endline (Fleet.Report.table_row (simulate "original" base));
     let fb_cfg =
       { base with
         Fleet.Router.profile = trimmed;
@@ -576,7 +594,61 @@ let fleet_cmd =
                   ~original ())
            else None) }
     in
-    print_endline (Fleet.Report.table_row (simulate "trimmed" fb_cfg))
+    if tenants > 1 then begin
+      (* multi-tenant sharded path: tenant i replays the same app on its
+         own trace/fault/fallback seed stream; tenant 0 reproduces the
+         single-tenant seeds exactly *)
+      let apps =
+        List.init tenants (fun i ->
+            let tseed = seed + (7919 * i) in
+            let t_faults = { faults with Fleet.Faults.seed = tseed + 2 } in
+            let t_base = { base with Fleet.Router.faults = t_faults } in
+            let t_fb =
+              { fb_cfg with
+                Fleet.Router.faults = t_faults;
+                fallback =
+                  (if fb_rate > 0.0 then
+                     Some
+                       (Fleet.Scenario.fallback ~rate:fb_rate
+                          ~seed:(tseed + 1) ~original ())
+                   else None) }
+            in
+            { Fleet.Sharded.app_id = i;
+              app_trace =
+                (fun () ->
+                   Platform.Trace.poisson ~seed:tseed ~rate_per_s:rate
+                     ~duration_s:duration
+                     ~name:(Printf.sprintf "tenant-%d" i));
+              app_variants =
+                [ { Fleet.Sharded.v_group = "original"; v_cfg = t_base };
+                  { Fleet.Sharded.v_group = "trimmed"; v_cfg = t_fb } ] })
+      in
+      let groups = Fleet.Sharded.run apps in
+      Printf.printf
+        "Fleet: %s x %d tenants, poisson %g req/s each for %g s (seed %d), \
+         policy %s, %d shard(s)\n\n"
+        app tenants rate duration seed (Fleet.Pool.policy_name pol)
+        (Fleet.Sharded.shard_count ());
+      print_endline Fleet.Report.table_header;
+      List.iter
+        (fun (g : Fleet.Sharded.group) ->
+           print_endline (Fleet.Report.table_row g.Fleet.Sharded.g_summary))
+        groups
+    end else begin
+      let trace =
+        Platform.Trace.poisson ~seed ~rate_per_s:rate ~duration_s:duration
+          ~name:(Printf.sprintf "poisson-%g" rate)
+      in
+      let simulate label cfg =
+        Fleet.Report.summarize ~label cfg (Fleet.Router.run cfg trace)
+      in
+      Printf.printf
+        "Fleet: %s, poisson %g req/s for %g s (seed %d), policy %s\n\n" app
+        rate duration seed (Fleet.Pool.policy_name pol);
+      print_endline Fleet.Report.table_header;
+      print_endline (Fleet.Report.table_row (simulate "original" base));
+      print_endline (Fleet.Report.table_row (simulate "trimmed" fb_cfg))
+    end
   in
   Cmd.v
     (Cmd.info "fleet"
@@ -588,7 +660,7 @@ let fleet_cmd =
           $ crash_arg $ error_arg $ churn_arg $ retries_arg $ retry_base_arg
           $ retry_cap_arg $ request_timeout_arg $ breaker_threshold_arg
           $ breaker_window_arg $ breaker_cooldown_arg $ hedge_delay_arg
-          $ jobs_arg $ trace_arg $ backend_arg)
+          $ tenants_arg $ shards_arg $ jobs_arg $ trace_arg $ backend_arg)
 
 (* --- calibrate ------------------------------------------------------------ *)
 
@@ -657,9 +729,10 @@ let experiments_cmd =
              ~doc:"Write machine-readable rows to DIR/<id>.csv (experiments \
                    with structured data only).")
   in
-  let run only out csv jobs trace backend journal resume =
+  let run only out csv shards jobs trace backend journal resume =
     setup_backend backend;
     setup_jobs jobs;
+    setup_shards shards;
     (* experiments build their pipelines internally; the process-wide spec
        is how --journal/--resume reach those runs *)
     Trim.Journal.configure ~dir:journal ~resume;
@@ -698,7 +771,15 @@ let experiments_cmd =
           | None -> ());
          match csv, e.Experiments.Registry.csv with
          | Some dir, Some rows ->
-           write dir (e.Experiments.Registry.id ^ ".csv") (rows ())
+           (* filenames use underscores (e.g. trace-replay ->
+              trace_replay.csv) so ids stay CLI-friendly and files
+              plot-tool-friendly *)
+           let file =
+             String.map
+               (fun c -> if c = '-' then '_' else c)
+               e.Experiments.Registry.id
+           in
+           write dir (file ^ ".csv") (rows ())
          | _ -> ())
       entries;
     (* machine-greppable caching-substrate summary (the CI smoke step checks
@@ -714,8 +795,8 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures on the simulator.")
-    Term.(const run $ only_arg $ out_arg $ csv_arg $ jobs_arg $ trace_arg
-          $ backend_arg $ journal_arg $ resume_flag)
+    Term.(const run $ only_arg $ out_arg $ csv_arg $ shards_arg $ jobs_arg
+          $ trace_arg $ backend_arg $ journal_arg $ resume_flag)
 
 let main =
   Cmd.group

@@ -34,6 +34,10 @@ let all : entry list =
     { id = "fleet";
       description = "fleet simulation: cost/p99 vs arrival rate and policy";
       print = Fleet_exp.print; csv = Some Fleet_exp.csv };
+    { id = "trace-replay";
+      description =
+        "1M-request Azure-trace replay on the sharded streaming engine";
+      print = Trace_replay.print; csv = Some Trace_replay.csv };
     { id = "resilience";
       description =
         "availability/amplification/cost under faults x resilience policy";

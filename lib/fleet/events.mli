@@ -1,15 +1,39 @@
-(** Deterministic discrete-event queue: a binary min-heap ordered by
+(** Deterministic discrete-event queue ordered by
     (virtual time, rank, insertion sequence).
 
     Ties on time are broken first by [rank] — a caller-assigned event class,
     e.g. "completions before arrivals before expiries" — and then by
     insertion order (FIFO), so two runs over the same schedule pop events in
     exactly the same order. This stability is what makes the fleet simulator
-    reproducible and is property-tested in [test_fleet.ml]. *)
+    reproducible and is property-tested in [test_fleet.ml].
+
+    Two backends implement the same contract with bit-identical pop order:
+    a binary min-heap (default) and a calendar queue sized for a known
+    horizon, which is O(1) amortised when events are spread densely over
+    the horizon — the trace-replay regime. Because the order is identical,
+    backend choice can never change simulation output. *)
 
 type 'a t
 
-val create : unit -> 'a t
+(** Queue backend. [Calendar] holds [n_buckets] slots of [width] virtual
+    seconds each; events land in [floor(time / width)] mod [n_buckets]. *)
+type kind =
+  | Heap
+  | Calendar of { width : float; n_buckets : int }
+
+(** Calendar sized for [expected_events] spread over [horizon_s]
+    (~1 event per slot, slot table capped at 2^21). *)
+val calendar : horizon_s:float -> expected_events:int -> kind
+
+(** [Calendar] for dense schedules (≥ 4096 events over a finite positive
+    horizon), [Heap] otherwise. *)
+val auto : horizon_s:float -> expected_events:int -> kind
+
+val kind_name : kind -> string
+
+(** [create ()] is a heap; pass [~kind] to select a backend. *)
+val create : ?kind:kind -> unit -> 'a t
+
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
@@ -21,7 +45,9 @@ val push : 'a t -> time:float -> ?rank:int -> 'a -> unit
 (** Earliest scheduled time, if any. *)
 val peek_time : 'a t -> float option
 
-(** Remove and return the earliest event as [(time, payload)]. *)
+(** Remove and return the earliest event as [(time, payload)]. A drained
+    queue retains no popped payload except, for the heap backend, the most
+    recently popped one (a single recycled filler slot). *)
 val pop : 'a t -> (float * 'a) option
 
 (** Pop everything, earliest first (testing convenience). *)

@@ -75,6 +75,15 @@ type t = {
   mutable resident : float;
   hist : Histogram.t;
   mutable observations : int;
+  mutable idle_mru : (instance * float) list;
+      (* warm-selection fast path for Fixed_ttl/Adaptive: one (instance,
+         idle_since stamp) entry per idle period, most recent first.
+         Release times are nondecreasing, so pushing keeps the list sorted
+         by (idle_since desc, id asc) — the head valid entry is exactly
+         what the O(live) [pick] scan would choose. Entries go stale in
+         place (re-acquired, evicted, expired) and are dropped lazily on
+         pop. Unused by [Lru], whose eviction scan needs the full table
+         anyway. *)
 }
 
 let create policy =
@@ -85,7 +94,8 @@ let create policy =
     evicted = 0;
     resident = 0.0;
     hist = Histogram.create ();
-    observations = 0 }
+    observations = 0;
+    idle_mru = [] }
 
 let live_count t = Hashtbl.length t.live
 let peak_live t = t.peak
@@ -123,11 +133,46 @@ let pick t ~pred ~better =
            else best)
     None
 
+(* Insert an idle entry keeping the (idle_since desc, id asc) order: the
+   new stamp is >= every stamped entry, so it belongs at the front, behind
+   any same-stamp entries with smaller ids (the leading run is almost
+   always empty — equal release instants are rare). *)
+let push_idle t inst =
+  let stamp = inst.idle_since in
+  let rec ins = function
+    | ((h, hs) :: rest) as l ->
+      if hs = stamp && h.id < inst.id then (h, hs) :: ins rest
+      else (inst, stamp) :: l
+    | [] -> [ (inst, stamp) ]
+  in
+  t.idle_mru <- ins t.idle_mru
+
+(* Head valid entry of the MRU list. A stale entry — re-acquired (stamp
+   mismatch or busy), evicted ([evict] poisons [expires_at]), or expired
+   ([now] is nondecreasing, so it can never become valid again) — is
+   dropped for good. *)
+let rec pop_idle t ~now =
+  match t.idle_mru with
+  | [] -> None
+  | (inst, stamp) :: rest ->
+    if inst.state = Idle && inst.idle_since = stamp && inst.expires_at >= now
+    then begin
+      t.idle_mru <- rest;
+      Some inst
+    end
+    else begin
+      t.idle_mru <- rest;
+      pop_idle t ~now
+    end
+
 let acquire t ~now =
   let warm =
-    pick t
-      ~pred:(fun i -> i.state = Idle && i.expires_at >= now)
-      ~better:(fun a b -> a.idle_since > b.idle_since)  (* MRU *)
+    match t.policy with
+    | Fixed_ttl _ | Adaptive _ -> pop_idle t ~now
+    | Lru _ ->
+      pick t
+        ~pred:(fun i -> i.state = Idle && i.expires_at >= now)
+        ~better:(fun a b -> a.idle_since > b.idle_since)  (* MRU *)
   in
   match warm with
   | None -> None
@@ -158,6 +203,9 @@ let spawn t ~now =
 
 let evict t inst ~now =
   Hashtbl.remove t.live inst.id;
+  (* ids are never reused, so poisoning the expiry is enough to invalidate
+     any idle_mru entry still pointing here *)
+  inst.expires_at <- neg_infinity;
   t.evicted <- t.evicted + 1;
   t.resident <- t.resident +. (now -. inst.born_s)
 
@@ -179,7 +227,7 @@ let release t inst ~now =
        | Some victim -> evict t victim ~now
        | None -> ()
      end
-   | Fixed_ttl _ | Adaptive _ -> ());
+   | Fixed_ttl _ | Adaptive _ -> push_idle t inst);
   inst.expires_at
 
 let reclaim t inst ~now =

@@ -147,6 +147,204 @@ let summarize ?(pricing = Platform.Pricing.aws) ~label (cfg : Router.config)
        else
          float_of_int (!attempts + !fb_invocations) /. float_of_int requests) }
 
+(* --- streaming aggregation ------------------------------------------------
+
+   The record-mode pipeline above keeps every record alive and re-sorts the
+   latency population once per percentile. [Stream] folds each record away
+   the moment the router emits it: integer counters, running sums, and two
+   fixed-size [Sketch]es. Only p50/p95/p99 become approximate (bounded by
+   [Sketch.rel_error]); every other summary field is computed by the same
+   formulas as [summarize]. Merging accumulators adds integer bucket
+   counts (exact, order-independent) — merge in a canonical order anyway so
+   the float cost/sum fields are bit-reproducible at any shard layout. *)
+
+module Stream = struct
+  type t = {
+    pricing : Platform.Pricing.t;
+    memory_mb : float;
+    fb_memory_mb : float;
+    mutable requests : int;
+    mutable cold : int;
+    mutable warm : int;
+    mutable fallbacks : int;
+    mutable fb_cold : int;
+    mutable rejected : int;
+    mutable timed_out : int;
+    mutable failed : int;
+    mutable shed : int;
+    mutable attempts : int;
+    mutable retried : int;
+    mutable hedged : int;
+    mutable fb_invocations : int;
+    lat : Sketch.t;
+    waits : Sketch.t;
+    mutable cost : float;
+    mutable first_arrival : float;
+    mutable last_finish : float;
+    (* engine totals absorbed after each run; [peak] is the sum of per-app
+       peaks when streams merge (apps have independent pools) *)
+    mutable peak : int;
+    mutable resident_s : float;
+    mutable evictions : int;
+    mutable apps : int;
+    mutable events : int;
+  }
+
+  let create ?(pricing = Platform.Pricing.aws) (cfg : Router.config) =
+    { pricing;
+      memory_mb = cfg.Router.profile.Router.memory_mb;
+      fb_memory_mb =
+        (match cfg.Router.fallback with
+         | Some fb -> fb.Router.fb_profile.Router.memory_mb
+         | None -> 0.0);
+      requests = 0; cold = 0; warm = 0; fallbacks = 0; fb_cold = 0;
+      rejected = 0; timed_out = 0; failed = 0; shed = 0;
+      attempts = 0; retried = 0; hedged = 0; fb_invocations = 0;
+      lat = Sketch.create (); waits = Sketch.create ();
+      cost = 0.0;
+      first_arrival = infinity; last_finish = neg_infinity;
+      peak = 0; resident_s = 0.0; evictions = 0; apps = 0; events = 0 }
+
+  let observe t (r : Router.record) =
+    t.requests <- t.requests + 1;
+    t.attempts <- t.attempts + r.Router.attempts;
+    if r.Router.attempts > 1 then t.retried <- t.retried + 1;
+    if r.Router.hedged then t.hedged <- t.hedged + 1;
+    if r.Router.arrival_s < t.first_arrival then
+      t.first_arrival <- r.Router.arrival_s;
+    let count_primary = function
+      | Router.Cold -> t.cold <- t.cold + 1
+      | Router.Warm -> t.warm <- t.warm + 1
+    in
+    let count_served () =
+      Sketch.add t.lat (r.Router.e2e_s *. 1000.0);
+      Sketch.add t.waits (r.Router.wait_s *. 1000.0);
+      if r.Router.finish_s > t.last_finish then
+        t.last_finish <- r.Router.finish_s
+    in
+    (match r.Router.outcome with
+     | Router.Served kind ->
+       count_primary kind;
+       count_served ()
+     | Router.Fallback_served { trimmed; original } ->
+       count_primary trimmed;
+       t.fallbacks <- t.fallbacks + 1;
+       t.fb_invocations <- t.fb_invocations + 1;
+       (match original with
+        | Router.Cold -> t.fb_cold <- t.fb_cold + 1
+        | Router.Warm -> ());
+       count_served ()
+     | Router.Shed kind ->
+       t.shed <- t.shed + 1;
+       t.fb_invocations <- t.fb_invocations + 1;
+       (match kind with
+        | Router.Cold -> t.fb_cold <- t.fb_cold + 1
+        | Router.Warm -> ());
+       count_served ()
+     | Router.Rejected -> t.rejected <- t.rejected + 1
+     | Router.Timed_out -> t.timed_out <- t.timed_out + 1
+     | Router.Failed _ -> t.failed <- t.failed + 1);
+    if r.Router.billed_ms > 0.0 then
+      t.cost <-
+        t.cost
+        +. Platform.Pricing.invocation_cost t.pricing
+             ~duration_ms:r.Router.billed_ms ~memory_mb:t.memory_mb;
+    if r.Router.fb_billed_ms > 0.0 then
+      t.cost <-
+        t.cost
+        +. Platform.Pricing.invocation_cost t.pricing
+             ~duration_ms:r.Router.fb_billed_ms ~memory_mb:t.fb_memory_mb
+
+  let absorb_totals t (tot : Router.totals) =
+    t.peak <- t.peak + tot.Router.peak;
+    t.resident_s <-
+      t.resident_s +. tot.Router.resident_s +. tot.Router.fb_resident_s;
+    t.evictions <- t.evictions + tot.Router.evicted;
+    t.apps <- t.apps + 1;
+    t.events <- t.events + tot.Router.total_events
+
+  let merge_into ~into src =
+    into.requests <- into.requests + src.requests;
+    into.cold <- into.cold + src.cold;
+    into.warm <- into.warm + src.warm;
+    into.fallbacks <- into.fallbacks + src.fallbacks;
+    into.fb_cold <- into.fb_cold + src.fb_cold;
+    into.rejected <- into.rejected + src.rejected;
+    into.timed_out <- into.timed_out + src.timed_out;
+    into.failed <- into.failed + src.failed;
+    into.shed <- into.shed + src.shed;
+    into.attempts <- into.attempts + src.attempts;
+    into.retried <- into.retried + src.retried;
+    into.hedged <- into.hedged + src.hedged;
+    into.fb_invocations <- into.fb_invocations + src.fb_invocations;
+    Sketch.merge_into ~into:into.lat src.lat;
+    Sketch.merge_into ~into:into.waits src.waits;
+    into.cost <- into.cost +. src.cost;
+    if src.first_arrival < into.first_arrival then
+      into.first_arrival <- src.first_arrival;
+    if src.last_finish > into.last_finish then
+      into.last_finish <- src.last_finish;
+    into.peak <- into.peak + src.peak;
+    into.resident_s <- into.resident_s +. src.resident_s;
+    into.evictions <- into.evictions + src.evictions;
+    into.apps <- into.apps + src.apps;
+    into.events <- into.events + src.events
+
+  let apps t = t.apps
+  let events t = t.events
+
+  let summary ~label t : summary =
+    let served = t.cold + t.warm + t.shed in
+    let primary_starts = t.cold + t.warm in
+    let window = t.last_finish -. t.first_arrival in
+    { label;
+      requests = t.requests;
+      served;
+      cold = t.cold;
+      warm = t.warm;
+      fallbacks = t.fallbacks;
+      fb_cold = t.fb_cold;
+      rejected = t.rejected;
+      timed_out = t.timed_out;
+      failed = t.failed;
+      shed = t.shed;
+      cold_fraction =
+        (if primary_starts = 0 then 0.0
+         else float_of_int t.cold /. float_of_int primary_starts);
+      mean_ms = Sketch.mean t.lat;
+      p50_ms = Sketch.quantile t.lat ~p:50.0;
+      p95_ms = Sketch.quantile t.lat ~p:95.0;
+      p99_ms = Sketch.quantile t.lat ~p:99.0;
+      max_ms = Sketch.max_seen t.lat;
+      mean_wait_ms = Sketch.mean t.waits;
+      peak_instances = t.peak;
+      resident_instance_s = t.resident_s;
+      evictions = t.evictions;
+      cost_usd = t.cost;
+      attempts = t.attempts;
+      retried = t.retried;
+      hedged = t.hedged;
+      availability =
+        (if t.requests = 0 then 1.0
+         else float_of_int served /. float_of_int t.requests);
+      goodput_per_s =
+        (if served = 0 || window <= 0.0 then 0.0
+         else float_of_int served /. window);
+      retry_amplification =
+        (if t.requests = 0 then 1.0
+         else
+           float_of_int (t.attempts + t.fb_invocations)
+           /. float_of_int t.requests) }
+end
+
+(* One app, streamed end to end: the router emits each record into the
+   accumulator and nothing per-request survives the call. *)
+let run_stream ?pricing ?queue cfg trace =
+  let st = Stream.create ?pricing cfg in
+  let totals = Router.run_with ?queue ~emit:(Stream.observe st) cfg trace in
+  Stream.absorb_totals st totals;
+  st
+
 let table_header =
   Printf.sprintf
     "  %-26s %6s %5s %5s %4s %4s %4s %4s %4s %6s %8s %8s %8s %5s %10s %6s %10s"

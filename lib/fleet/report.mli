@@ -46,6 +46,48 @@ val summarize :
   Router.result ->
   summary
 
+(** Streaming aggregation: fold records away as the router emits them —
+    integer counters, running sums, and fixed-size {!Sketch}es instead of a
+    per-request record list. All {!summary} fields are computed by the
+    same formulas as {!summarize}; only p50/p95/p99 become approximate,
+    within [Sketch.rel_error] (≈ 4.9% relative) of the exact percentiles.
+    Accumulators merge exactly (integer bucket counts); merge in a
+    canonical order so float sums are bit-reproducible at any shard
+    layout. *)
+module Stream : sig
+  type t
+
+  (** Pricing and memory footprints are captured from [cfg]; all
+      accumulators merged together must share them. *)
+  val create : ?pricing:Platform.Pricing.t -> Router.config -> t
+
+  val observe : t -> Router.record -> unit
+
+  (** Fold one finished run's engine totals in (peaks sum across apps —
+      each app owns an independent pool). *)
+  val absorb_totals : t -> Router.totals -> unit
+
+  (** Fold [src] into [into]; [src] is unchanged. *)
+  val merge_into : into:t -> t -> unit
+
+  (** Number of app runs absorbed. *)
+  val apps : t -> int
+
+  (** Router events processed across absorbed runs. *)
+  val events : t -> int
+
+  val summary : label:string -> t -> summary
+end
+
+(** Run one trace in streaming mode: records are observed as emitted and
+    never retained. Engine totals are already absorbed. *)
+val run_stream :
+  ?pricing:Platform.Pricing.t ->
+  ?queue:Events.kind ->
+  Router.config ->
+  Platform.Trace.t ->
+  Stream.t
+
 (** Fixed-width table row plus a matching header line. *)
 val table_header : string
 

@@ -82,6 +82,15 @@ let default_config ~profile policy =
     faults = Faults.none;
     resilience = Resilience.none }
 
+type totals = {
+  peak : int;
+  resident_s : float;
+  evicted : int;
+  fb_peak : int;
+  fb_resident_s : float;
+  total_events : int;
+}
+
 type result = {
   records : record list;
   peak_instances : int;
@@ -130,11 +139,19 @@ type event =
   | Expire of Pool.instance * int      (* generation at scheduling time *)
   | Fb_expire of Pool.instance * int
 
+(* Trace arrivals get a rank of their own, strictly below every event the
+   simulation schedules at the same instant and the same old tier (retries,
+   hedges, fallback arrivals). This encodes what used to be implicit in
+   pushing all arrivals up front — their sequence numbers preceded every
+   runtime push, so they won (time, rank, seq) ties — and is what lets the
+   loop feed arrivals lazily from a cursor instead, keeping the event queue
+   at the in-flight population rather than the whole trace. *)
 let rank = function
   | Complete _ | Fb_complete _ | Fault_hit _ -> 0
-  | Arrival _ | Fb_arrival _ | Retry _ | Hedge _ -> 1
-  | Timeout _ -> 2
-  | Expire _ | Fb_expire _ -> 3
+  | Arrival _ -> 1
+  | Fb_arrival _ | Retry _ | Hedge _ -> 2
+  | Timeout _ -> 3
+  | Expire _ | Fb_expire _ -> 4
 
 let outcome_label = function
   | Served k -> "served-" ^ start_kind_name k
@@ -163,7 +180,18 @@ let run_stride = 1_000_000
 
 (* --- the simulation ------------------------------------------------------ *)
 
-let run cfg (trace : Platform.Trace.t) : result =
+(* Pick an event-queue backend for a trace: all arrivals are enqueued up
+   front, so the expected population is roughly the arrival count plus the
+   completion/expiry churn riding on it. The horizon gets headroom because
+   completions and keep-alive expiries outlive the last arrival. Backend
+   choice can never change output — both backends pop in the same order. *)
+let queue_kind_for (trace : Platform.Trace.t) =
+  Events.auto
+    ~horizon_s:(1.25 *. Platform.Trace.duration_s trace)
+    ~expected_events:(2 * Platform.Trace.length trace)
+
+let run_with ?queue ~(emit : record -> unit) cfg (trace : Platform.Trace.t) :
+  totals =
   Faults.validate cfg.faults;
   Resilience.validate cfg.resilience;
   let sink = Obs.Span.installed () in
@@ -200,7 +228,10 @@ let run cfg (trace : Platform.Trace.t) : result =
         ~ts_ms:(end_s *. 1000.0)
     end
   in
-  let q : event Events.t = Events.create () in
+  let queue_kind =
+    match queue with Some k -> k | None -> queue_kind_for trace
+  in
+  let q : event Events.t = Events.create ~kind:queue_kind () in
   let push ~time ev = Events.push q ~time ~rank:(rank ev) ev in
   let pool = Pool.create cfg.policy in
   let fb_pool =
@@ -225,20 +256,30 @@ let run cfg (trace : Platform.Trace.t) : result =
       invalid_arg "Router: a circuit breaker requires a configured fallback"
     | None, _ -> None
   in
-  List.iteri
-    (fun idx arrival ->
-       let r =
-         { idx; arrival; needs_fb = draws idx; status = Waiting;
-           start = arrival; kind = None; attempt = 0; attempts = 0;
-           retries = 0; hedged = false; hedge_inflight = false; shed = false;
-           role = Unsampled; acc_billed_ms = 0.0; lane = 0;
-           span = Obs.Span.none }
-       in
-       push ~time:arrival (Arrival r))
-    trace.Platform.Trace.arrivals_s;
+  (* arrivals are fed lazily, one cursor step per popped arrival: the
+     trace is sorted, so the queue only ever holds the in-flight events
+     plus the single next arrival — not the whole trace. Arrival rank 1
+     preserves the pre-push tie order (see [rank]). *)
+  let arrivals = Array.of_list trace.Platform.Trace.arrivals_s in
+  let next_arrival = ref 0 in
+  let feed_arrival () =
+    if !next_arrival < Array.length arrivals then begin
+      let idx = !next_arrival in
+      incr next_arrival;
+      let arrival = arrivals.(idx) in
+      let r =
+        { idx; arrival; needs_fb = draws idx; status = Waiting;
+          start = arrival; kind = None; attempt = 0; attempts = 0;
+          retries = 0; hedged = false; hedge_inflight = false; shed = false;
+          role = Unsampled; acc_billed_ms = 0.0; lane = 0;
+          span = Obs.Span.none }
+      in
+      push ~time:arrival (Arrival r)
+    end
+  in
+  feed_arrival ();
   let pending : req Queue.t = Queue.create () in
   let pending_count = ref 0 in
-  let records = ref [] in
   let events_processed = ref 0 in
   let billed_ms profile kind =
     1000.0
@@ -258,7 +299,7 @@ let run cfg (trace : Platform.Trace.t) : result =
     assert (finish >= start);
     assert (start >= r.arrival);
     r.status <- Done;
-    records :=
+    emit
       { req = r.idx;
         arrival_s = r.arrival;
         start_s = start;
@@ -269,8 +310,7 @@ let run cfg (trace : Platform.Trace.t) : result =
         billed_ms = billed;
         fb_billed_ms = fb_billed;
         attempts = r.attempts;
-        hedged = r.hedged }
-      :: !records;
+        hedged = r.hedged };
     if traced then begin
       Obs.Span.end_ r.span
         ~attrs:
@@ -470,6 +510,7 @@ let run cfg (trace : Platform.Trace.t) : result =
       incr events_processed;
       (match ev with
        | Arrival r ->
+         feed_arrival ();
          if traced then begin
            r.lane <- alloc_lane ();
            r.span <-
@@ -578,13 +619,37 @@ let run cfg (trace : Platform.Trace.t) : result =
      drain is a no-op safety net for infinite keep-alives *)
   Pool.drain pool;
   Option.iter Pool.drain fb_pool;
-  { records =
-      List.sort (fun a b -> compare a.req b.req) !records;
-    peak_instances = Pool.peak_live pool;
-    resident_instance_s = Pool.resident_s pool;
-    evictions = Pool.evictions pool;
-    fb_peak_instances =
-      (match fb_pool with Some p -> Pool.peak_live p | None -> 0);
-    fb_resident_instance_s =
+  { peak = Pool.peak_live pool;
+    resident_s = Pool.resident_s pool;
+    evicted = Pool.evictions pool;
+    fb_peak = (match fb_pool with Some p -> Pool.peak_live p | None -> 0);
+    fb_resident_s =
       (match fb_pool with Some p -> Pool.resident_s p | None -> 0.0);
-    events_processed = !events_processed }
+    total_events = !events_processed }
+
+(* Record mode: every arrival finalizes exactly once with [req] equal to
+   its trace index, so the records slot straight into a pre-sized array —
+   no accumulation list, no final sort. *)
+let run ?queue cfg (trace : Platform.Trace.t) : result =
+  let n = Platform.Trace.length trace in
+  let dummy =
+    { req = -1; arrival_s = 0.0; start_s = 0.0; finish_s = 0.0; wait_s = 0.0;
+      e2e_s = 0.0; outcome = Rejected; billed_ms = 0.0; fb_billed_ms = 0.0;
+      attempts = 0; hedged = false }
+  in
+  let slots = Array.make (max 1 n) dummy in
+  let emitted = ref 0 in
+  let emit r =
+    assert (slots.(r.req) == dummy);
+    slots.(r.req) <- r;
+    incr emitted
+  in
+  let t = run_with ?queue ~emit cfg trace in
+  assert (!emitted = n);
+  { records = (if n = 0 then [] else Array.to_list slots);
+    peak_instances = t.peak;
+    resident_instance_s = t.resident_s;
+    evictions = t.evicted;
+    fb_peak_instances = t.fb_peak;
+    fb_resident_instance_s = t.fb_resident_s;
+    events_processed = t.total_events }

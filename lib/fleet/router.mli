@@ -96,6 +96,17 @@ type config = {
     fallback, no faults, no resilience. *)
 val default_config : profile:deployment_profile -> Pool.policy -> config
 
+(** Pool/engine aggregates of a run, independent of how records were
+    consumed. *)
+type totals = {
+  peak : int;             (** peak live primary instances *)
+  resident_s : float;     (** primary-pool residency *)
+  evicted : int;          (** incl. crash/churn reclaims *)
+  fb_peak : int;
+  fb_resident_s : float;
+  total_events : int;     (** events the loop processed *)
+}
+
 type result = {
   records : record list;  (** one per arrival, in arrival order *)
   peak_instances : int;
@@ -106,9 +117,28 @@ type result = {
   events_processed : int;
 }
 
-(** Run the trace to completion (the event queue drains fully, so every
-    instance is expired and residency accounting is exact).
+(** Event-queue backend {!run} and {!run_with} select when [?queue] is
+    omitted: a calendar queue for dense traces, a heap otherwise. Both pop
+    in the same order, so the choice never changes simulation output. *)
+val queue_kind_for : Platform.Trace.t -> Events.kind
+
+(** Streaming mode: run the trace to completion, handing each finalized
+    {!record} to [emit] the moment its outcome is sealed (in virtual-time
+    finalization order, {e not} arrival order) without retaining it. Every
+    arrival is emitted exactly once. This is the allocation-light hot path
+    the sharded fleet engine drives; [Report.Stream.observe] is the usual
+    consumer.
 
     Raises [Invalid_argument] if the fault or resilience config is out of
     range, or if a breaker is configured without a fallback. *)
-val run : config -> Platform.Trace.t -> result
+val run_with :
+  ?queue:Events.kind ->
+  emit:(record -> unit) ->
+  config ->
+  Platform.Trace.t ->
+  totals
+
+(** Record mode: {!run_with} collecting records into a pre-sized array
+    indexed by arrival, returned in arrival order. Same validation
+    behaviour as {!run_with}. *)
+val run : ?queue:Events.kind -> config -> Platform.Trace.t -> result

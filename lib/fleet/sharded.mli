@@ -1,0 +1,57 @@
+(** Sharded fleet engine: replay many independent apps (function/tenant
+    workloads) across the [Parallel.Pool] work pool and merge their
+    streaming accumulators into per-group reports.
+
+    Determinism contract: each app's simulation is self-contained (its
+    trace is materialized inside whichever shard runs it, from the app's
+    own seeded thunk), and the reduction folds per-app accumulators in
+    global app order — never per-shard completion order. Shard assignment
+    decides only where an app runs, so the merged report is bit-identical
+    at any shard count and any pool size. This is what CI byte-diffs for
+    the trace-replay CSV at [--shards 1|4] x [--jobs 1|4]. *)
+
+(** One (label, router config) pair replayed over an app's trace. Variants
+    of one app share the materialized trace. *)
+type variant = {
+  v_group : string;  (** aggregation key, e.g. ["fixed-ttl/trimmed"] *)
+  v_cfg : Router.config;
+}
+
+type app = {
+  app_id : int;
+  app_trace : unit -> Platform.Trace.t;
+      (** called inside the owning shard; must be deterministic *)
+  app_variants : variant list;
+}
+
+(** Per-group merged report. [peak_instances] in the summary is the sum of
+    per-app peaks (apps own independent pools). *)
+type group = {
+  g_label : string;
+  g_apps : int;       (** app runs folded into this group *)
+  g_requests : int;
+  g_summary : Report.summary;
+}
+
+(** Process-wide default shard count, settable by the CLI's [--shards].
+    [0] (the initial value) follows [Parallel.Pool.jobs ()]. *)
+val default_shards : int ref
+
+(** Effective shard count: [?shards] if given, else the default above.
+    @raise Invalid_argument on a non-positive explicit count. *)
+val shard_count : ?shards:int -> unit -> int
+
+(** Replay every app under each of its variants and merge per group, in
+    the order groups first appear in app order. Work is split into
+    contiguous app blocks, one per shard, mapped over the configured pool.
+    Feeds the [fleet.sharded.*] metrics family and, when tracing is on,
+    one wall-clock span per shard. *)
+val run : ?pricing:Platform.Pricing.t -> ?shards:int -> app list -> group list
+
+(** Small-scale record mode: full per-request records of every app, k-way
+    merged by (finish time, app id, request) — the merge-by-timestamp
+    view the streaming path folds away. Materializes everything; meant for
+    tests and small committed CSVs. *)
+val run_records :
+  (int * Router.config * Platform.Trace.t) list ->
+  (int * Router.record) list

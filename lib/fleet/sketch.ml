@@ -1,0 +1,100 @@
+(* Fixed-size streaming moment + quantile accumulator.
+
+   Values land in log-spaced buckets with growth factor [gamma]: bucket 0
+   absorbs everything below [min_value] (sub-microsecond latencies report as
+   0), the last bucket absorbs everything past [max_value] (its quantile
+   estimate is clamped to the exact running max). A quantile answer is the
+   geometric midpoint of the bucket holding the requested order statistic,
+   so its relative error is bounded by [sqrt gamma - 1] (< 5% at gamma =
+   1.1) — see [rel_error]. Counts are ints, so merging two sketches is
+   exact and order-independent; only the running [sum] is float and needs a
+   canonical merge order for bit-reproducibility. *)
+
+let gamma = 1.1
+let min_value = 1e-3
+let max_value = 1e8
+let log_gamma = log gamma
+
+(* bucket 0 = [0, min_value); bucket i >= 1 covers
+   [min_value * gamma^(i-1), min_value * gamma^i); the last bucket is open *)
+let n_buckets =
+  2 + int_of_float (Float.ceil (log (max_value /. min_value) /. log_gamma))
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  { counts = Array.make n_buckets 0;
+    n = 0;
+    sum = 0.0;
+    mn = infinity;
+    mx = neg_infinity }
+
+let bucket_of v =
+  if v < min_value then 0
+  else
+    let i = 1 + int_of_float (Float.floor (log (v /. min_value) /. log_gamma)) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+let add t v =
+  let v = if Float.is_nan v then 0.0 else Float.max 0.0 v in
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v < t.mn then t.mn <- v;
+  if v > t.mx then t.mx <- v
+
+let count t = t.n
+let sum t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+let min_seen t = if t.n = 0 then 0.0 else t.mn
+let max_seen t = if t.n = 0 then 0.0 else t.mx
+
+let merge_into ~into src =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.n <- into.n + src.n;
+  into.sum <- into.sum +. src.sum;
+  if src.mn < into.mn then into.mn <- src.mn;
+  if src.mx > into.mx then into.mx <- src.mx
+
+let representative t i =
+  if i = 0 then 0.0
+  else if i = n_buckets - 1 then t.mx
+  else
+    let lo = min_value *. (gamma ** float_of_int (i - 1)) in
+    let r = lo *. sqrt gamma in
+    (* never report outside the observed range *)
+    Float.min t.mx (Float.max t.mn r)
+
+(* value of the k-th order statistic (0-based), by bucket walk *)
+let value_at t k =
+  let rec go i cum =
+    if i >= n_buckets then t.mx
+    else
+      let cum = cum + t.counts.(i) in
+      if cum > k then representative t i else go (i + 1) cum
+  in
+  go 0 0
+
+(* Same interpolating-rank definition as [Platform.Metrics.percentile]:
+   rank = p/100 * (n-1), linear between the two adjacent order stats. *)
+let quantile t ~p =
+  if t.n = 0 then 0.0
+  else
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then value_at t lo
+    else
+      let frac = rank -. float_of_int lo in
+      let vlo = value_at t lo and vhi = value_at t hi in
+      vlo +. ((vhi -. vlo) *. frac)
+
+let rel_error = sqrt gamma -. 1.0
+let abs_error = min_value

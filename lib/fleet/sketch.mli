@@ -1,0 +1,40 @@
+(** Fixed-size streaming quantile/moment sketch for the fleet's streaming
+    aggregation mode.
+
+    Log-spaced buckets (growth factor 1.1, ~250 ints covering 1e-3..1e8)
+    give quantiles with relative error at most {!rel_error} (≈ 4.9%) plus
+    an absolute floor of {!abs_error} for values under 1e-3; count, sum,
+    mean, min and max are exact. Merging adds integer bucket counts, so the
+    merged quantiles are independent of merge order; the float [sum] is the
+    only merge-order-sensitive field (merge in a canonical order when
+    bit-reproducibility matters). *)
+
+type t
+
+val create : unit -> t
+
+(** Record one value. Negative and NaN inputs clamp to 0. *)
+val add : t -> float -> unit
+
+(** Fold [src] into [into]; [src] is unchanged. *)
+val merge_into : into:t -> t -> unit
+
+val count : t -> int
+val sum : t -> float
+
+(** Exact moments; all return 0 on an empty sketch. *)
+val mean : t -> float
+
+val min_seen : t -> float
+val max_seen : t -> float
+
+(** [quantile t ~p] for [p] in [0, 100], interpolating between order
+    statistics with the same rank rule as [Platform.Metrics.percentile].
+    Error bound: [rel_error * exact + abs_error]. *)
+val quantile : t -> p:float -> float
+
+(** Documented accuracy bounds: relative (sqrt gamma - 1) and the absolute
+    floor for sub-[1e-3] values. *)
+val rel_error : float
+
+val abs_error : float

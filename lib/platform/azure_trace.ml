@@ -48,6 +48,63 @@ let generate ?(n_functions = 200) ?(horizon_s = 86_400.0) ~seed () : t =
   in
   { functions; horizon_s }
 
+(* --- spec mode for large replays -----------------------------------------
+
+   [generate] materializes every function's arrival list up front, which is
+   fine for the few hundred functions of Figures 13-14 but not for a
+   million-request fleet replay. A [fn_spec] is the function's metadata
+   plus the seed of its arrival process; the trace itself is materialized
+   later — inside whichever shard replays the function — by
+   [trace_of_spec]. Specs also carry init-time draws (cold-start Function
+   Initialization and platform setup) that the figure path never needed.
+
+   The metadata RNG is a single sequential stream over ascending fn ids,
+   so the spec list is a pure function of (seed, n_functions, horizon_s)
+   and cannot depend on shard or job count. [generate]'s own draw sequence
+   is untouched — Figures 13-14 stay byte-identical. *)
+
+type fn_spec = {
+  fs_id : int;
+  fs_memory_mb : float;
+  fs_exec_ms : float;
+  fs_cold_init_ms : float;      (* Function Initialization, original image *)
+  fs_instance_init_ms : float;  (* platform setup + image pull — unbilled *)
+  fs_mean_gap_s : float;
+  fs_trace_seed : int;
+}
+
+let specs ?(n_functions = 200) ?(horizon_s = 86_400.0) ~seed () :
+  fn_spec list =
+  let rng = Random.State.make [| seed; 0x5bec |] in
+  List.init n_functions (fun fs_id ->
+      let mean_gap_s = lognormal rng ~mu:(log 120.0) ~sigma:2.5 in
+      let mean_gap_s =
+        Float.max 2.0 (Float.min (horizon_s /. 2.0) mean_gap_s)
+      in
+      let memory_mb =
+        Float.max 128.0 (lognormal rng ~mu:(log 220.0) ~sigma:0.7)
+      in
+      let exec_ms = Float.max 1.0 (lognormal rng ~mu:(log 500.0) ~sigma:1.5) in
+      (* import-dominated cold starts: hundreds of ms to seconds (§2) *)
+      let cold_init_ms =
+        Float.max 50.0 (lognormal rng ~mu:(log 800.0) ~sigma:0.8)
+      in
+      let instance_init_ms =
+        Float.max 50.0 (lognormal rng ~mu:(log 250.0) ~sigma:0.4)
+      in
+      { fs_id;
+        fs_memory_mb = memory_mb;
+        fs_exec_ms = exec_ms;
+        fs_cold_init_ms = cold_init_ms;
+        fs_instance_init_ms = instance_init_ms;
+        fs_mean_gap_s = mean_gap_s;
+        fs_trace_seed = seed + (fs_id * 7919) })
+
+let trace_of_spec ~horizon_s (s : fn_spec) : Trace.t =
+  Trace.poisson ~seed:s.fs_trace_seed ~rate_per_s:(1.0 /. s.fs_mean_gap_s)
+    ~duration_s:horizon_s
+    ~name:(Printf.sprintf "azure-fn-%d" s.fs_id)
+
 (* Find the function whose (memory, duration) is nearest to the given app in
    L2 norm — the matching rule of §8.6 for Figure 14. Both axes are
    normalised by the trace's spread so neither dominates. *)

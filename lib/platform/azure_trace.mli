@@ -17,6 +17,29 @@ type t = {
 
 val generate : ?n_functions:int -> ?horizon_s:float -> seed:int -> unit -> t
 
+(** Function metadata without a materialized arrival list, for replays too
+    large to hold every trace at once: the shard that replays a function
+    builds its trace from the spec with {!trace_of_spec}. Also carries
+    cold-start init draws the figure path never needed. Deterministic in
+    (seed, n_functions, horizon_s); independent of {!generate}'s draw
+    sequence. *)
+type fn_spec = {
+  fs_id : int;
+  fs_memory_mb : float;
+  fs_exec_ms : float;
+  fs_cold_init_ms : float;      (** Function Initialization, original image *)
+  fs_instance_init_ms : float;  (** platform setup + image pull — unbilled *)
+  fs_mean_gap_s : float;        (** mean inter-arrival, clamped as in
+                                    {!generate} *)
+  fs_trace_seed : int;
+}
+
+val specs :
+  ?n_functions:int -> ?horizon_s:float -> seed:int -> unit -> fn_spec list
+
+(** Materialize the spec's Poisson arrival process over [horizon_s]. *)
+val trace_of_spec : horizon_s:float -> fn_spec -> Trace.t
+
 (** The function nearest to (memory, duration) in normalised L2 distance —
     the §8.6 matching rule for Figure 14. *)
 val nearest_function : t -> memory_mb:float -> exec_ms:float -> fn

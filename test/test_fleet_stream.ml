@@ -1,0 +1,410 @@
+(* Streaming fleet engine: event-queue ordering properties (QCheck, heap
+   and calendar backends), the heap pop space-leak regression, sketch
+   accuracy bounds, stream ≡ record-mode equivalence, and the sharded
+   engine's shard-count invariance. *)
+
+open Fleet
+
+(* --- event-queue properties ----------------------------------------------- *)
+
+(* Schedules with heavy (time, rank) collisions, so the seq tie-break is
+   actually exercised: times from a coarse grid, ranks 0..4. *)
+let schedule_gen =
+  QCheck.Gen.(
+    list_size (int_bound 400)
+      (pair
+         (map (fun i -> float_of_int i /. 8.0) (int_bound 64))
+         (int_bound 4)))
+
+let schedule_arb =
+  QCheck.make schedule_gen
+    ~print:
+      QCheck.Print.(list (pair float int))
+
+(* What the queue promises: stable sort by (time, rank) — stability gives
+   FIFO among equal keys. *)
+let reference schedule =
+  List.stable_sort
+    (fun (t1, r1, _) (t2, r2, _) ->
+       match Float.compare t1 t2 with
+       | 0 -> Int.compare r1 r2
+       | c -> c)
+    (List.mapi (fun i (t, r) -> (t, r, i)) schedule)
+
+let fill kind schedule =
+  let q = Events.create ~kind () in
+  List.iteri (fun i (time, rank) -> Events.push q ~time ~rank i) schedule;
+  q
+
+let pop_all q =
+  let rec go acc =
+    match Events.pop q with None -> List.rev acc | Some e -> go (e :: acc)
+  in
+  go []
+
+let random_calendar (w8, nb) =
+  Events.Calendar
+    { width = float_of_int (1 + (w8 mod 40)) /. 8.0;
+      n_buckets = 4 + (nb mod 60) }
+
+let kinds_arb = QCheck.(pair schedule_arb (pair small_nat small_nat))
+
+let queue_properties =
+  [ QCheck.Test.make ~count:200 ~name:"pop sorted by (time, rank, seq)"
+      schedule_arb (fun schedule ->
+          let popped = pop_all (fill Events.Heap schedule) in
+          let expect =
+            List.map (fun (t, _, i) -> (t, i)) (reference schedule)
+          in
+          popped = expect);
+    QCheck.Test.make ~count:200 ~name:"FIFO among equal (time, rank)"
+      QCheck.(small_nat)
+      (fun n ->
+         let n = 1 + (n mod 50) in
+         let q = Events.create () in
+         for i = 0 to n - 1 do
+           Events.push q ~time:1.0 ~rank:2 i
+         done;
+         List.map snd (pop_all q) = List.init n Fun.id);
+    QCheck.Test.make ~count:200 ~name:"drain ≡ repeated pop" schedule_arb
+      (fun schedule ->
+         Events.drain (fill Events.Heap schedule)
+         = pop_all (fill Events.Heap schedule));
+    QCheck.Test.make ~count:300 ~name:"heap ≡ calendar on random schedules"
+      kinds_arb
+      (fun (schedule, wnb) ->
+         Events.drain (fill Events.Heap schedule)
+         = Events.drain (fill (random_calendar wnb) schedule));
+    QCheck.Test.make ~count:100
+      ~name:"heap ≡ calendar under interleaved push/pop" kinds_arb
+      (fun ((schedule, wnb) : (float * int) list * (int * int)) ->
+         let run kind =
+           let q = Events.create ~kind () in
+           let out = ref [] in
+           List.iteri
+             (fun i (time, rank) ->
+                Events.push q ~time ~rank i;
+                (* pop every third push, mid-stream *)
+                if i mod 3 = 2 then
+                  match Events.pop q with
+                  | Some e -> out := e :: !out
+                  | None -> ())
+             schedule;
+           List.rev_append !out (Events.drain q)
+         in
+         run Events.Heap = run (random_calendar wnb)) ]
+
+let qcheck_suite =
+  List.map
+    (QCheck_alcotest.to_alcotest ~verbose:false)
+    queue_properties
+
+(* --- heap pop space leak --------------------------------------------------- *)
+
+let leak =
+  [ Alcotest.test_case "drained heap pins at most one payload" `Quick
+      (fun () ->
+        let n = 200 in
+        let weak = Weak.create n in
+        let q = Events.create ~kind:Events.Heap () in
+        for i = 0 to n - 1 do
+          let payload = ref i in
+          Weak.set weak i (Some payload);
+          Events.push q ~time:(float_of_int ((i * 7919) mod 100)) payload
+        done;
+        let rec drain () =
+          match Events.pop q with None -> () | Some _ -> drain ()
+        in
+        drain ();
+        Gc.full_major ();
+        let live = ref 0 in
+        for i = 0 to n - 1 do
+          if Weak.check weak i then incr live
+        done;
+        (* the single recycled filler slot may pin the last popped payload *)
+        Alcotest.(check bool)
+          (Printf.sprintf "%d payloads still reachable" !live)
+          true (!live <= 1));
+    Alcotest.test_case "drained calendar retains nothing" `Quick (fun () ->
+        let n = 200 in
+        let weak = Weak.create n in
+        let q =
+          Events.create
+            ~kind:(Events.Calendar { width = 1.0; n_buckets = 16 })
+            ()
+        in
+        for i = 0 to n - 1 do
+          let payload = ref i in
+          Weak.set weak i (Some payload);
+          Events.push q ~time:(float_of_int ((i * 7919) mod 100)) payload
+        done;
+        let rec drain () =
+          match Events.pop q with None -> () | Some _ -> drain ()
+        in
+        drain ();
+        Gc.full_major ();
+        let live = ref 0 in
+        for i = 0 to n - 1 do
+          if Weak.check weak i then incr live
+        done;
+        Alcotest.(check int) "no payload reachable" 0 !live) ]
+
+(* --- sketch accuracy ------------------------------------------------------- *)
+
+let check_sketch_quantiles name values =
+  let s = Sketch.create () in
+  List.iter (Sketch.add s) values;
+  let exact_mean = Platform.Metrics.mean values in
+  Alcotest.(check int) (name ^ ": count") (List.length values)
+    (Sketch.count s);
+  Alcotest.(check (float 1e-9)) (name ^ ": mean exact") exact_mean
+    (Sketch.mean s);
+  Alcotest.(check (float 1e-12))
+    (name ^ ": min exact")
+    (List.fold_left Float.min infinity values)
+    (Sketch.min_seen s);
+  Alcotest.(check (float 1e-12))
+    (name ^ ": max exact")
+    (List.fold_left Float.max neg_infinity values)
+    (Sketch.max_seen s);
+  List.iter
+    (fun p ->
+       let exact = Platform.Metrics.percentile p values in
+       let approx = Sketch.quantile s ~p in
+       let bound = (Sketch.rel_error *. exact) +. Sketch.abs_error in
+       if Float.abs (approx -. exact) > bound then
+         Alcotest.failf "%s: p%g = %g, sketch %g, bound %g" name p exact
+           approx bound)
+    [ 50.0; 90.0; 95.0; 99.0 ]
+
+let sketch =
+  [ Alcotest.test_case "quantile error within documented bounds" `Quick
+      (fun () ->
+        let rng = Random.State.make [| 4242 |] in
+        let lognormal () =
+          let u1 = Random.State.float rng 1.0 +. 1e-12 in
+          let u2 = Random.State.float rng 1.0 in
+          exp
+            (log 250.0
+             +. (1.2 *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)))
+        in
+        check_sketch_quantiles "lognormal"
+          (List.init 10_000 (fun _ -> lognormal ()));
+        check_sketch_quantiles "uniform"
+          (List.init 5_000 (fun _ -> Random.State.float rng 5_000.0));
+        check_sketch_quantiles "constant" (List.init 500 (fun _ -> 123.456));
+        check_sketch_quantiles "tiny values under the absolute floor"
+          (List.init 500 (fun i -> float_of_int i *. 1e-6)));
+    Alcotest.test_case "merge is order-independent on bucket counts" `Quick
+      (fun () ->
+        let mk vals =
+          let s = Sketch.create () in
+          List.iter (Sketch.add s) vals;
+          s
+        in
+        let a = mk (List.init 300 (fun i -> float_of_int (i * 7 mod 100)))
+        and b = mk (List.init 200 (fun i -> float_of_int (i * 13 mod 400))) in
+        let ab = Sketch.create () and ba = Sketch.create () in
+        Sketch.merge_into ~into:ab a;
+        Sketch.merge_into ~into:ab b;
+        Sketch.merge_into ~into:ba b;
+        Sketch.merge_into ~into:ba a;
+        Alcotest.(check int) "count" (Sketch.count ab) (Sketch.count ba);
+        List.iter
+          (fun p ->
+             Alcotest.(check (float 1e-9))
+               (Printf.sprintf "p%g equal either order" p)
+               (Sketch.quantile ab ~p) (Sketch.quantile ba ~p))
+          [ 50.0; 95.0; 99.0 ]) ]
+
+(* --- stream ≡ record-mode summary ----------------------------------------- *)
+
+let rich_config () =
+  let profile =
+    { Router.exec_s = 0.3; func_init_s = 0.8; instance_init_s = 0.2;
+      memory_mb = 512.0 }
+  in
+  { (Router.default_config ~profile
+       (Pool.Fixed_ttl { keep_alive_s = 120.0 }))
+    with
+    Router.fallback =
+      Some
+        (Scenario.fallback ~rate:0.05 ~seed:11
+           ~original:{ profile with Router.func_init_s = 1.6 } ());
+    faults =
+      { Faults.seed = 5; init_failure_rate = 0.02; crash_rate = 0.01;
+        transient_error_rate = 0.02; churn_rate = 0.01 };
+    resilience =
+      { Resilience.none with
+        Resilience.retry = Some Resilience.default_retry } }
+
+let stream_equiv =
+  [ Alcotest.test_case "stream summary matches summarize" `Quick (fun () ->
+        let trace =
+          Platform.Trace.poisson ~seed:33 ~rate_per_s:2.0 ~duration_s:2000.0
+            ~name:"equiv"
+        in
+        let cfg = rich_config () in
+        let exact =
+          Report.summarize ~label:"x" cfg (Router.run cfg trace)
+        in
+        let stream =
+          Report.Stream.summary ~label:"x" (Report.run_stream cfg trace)
+        in
+        let ints name f = Alcotest.(check int) name (f exact) (f stream) in
+        ints "requests" (fun s -> s.Report.requests);
+        ints "served" (fun s -> s.Report.served);
+        ints "cold" (fun s -> s.Report.cold);
+        ints "warm" (fun s -> s.Report.warm);
+        ints "fallbacks" (fun s -> s.Report.fallbacks);
+        ints "fb_cold" (fun s -> s.Report.fb_cold);
+        ints "rejected" (fun s -> s.Report.rejected);
+        ints "timed_out" (fun s -> s.Report.timed_out);
+        ints "failed" (fun s -> s.Report.failed);
+        ints "shed" (fun s -> s.Report.shed);
+        ints "peak" (fun s -> s.Report.peak_instances);
+        ints "evictions" (fun s -> s.Report.evictions);
+        ints "attempts" (fun s -> s.Report.attempts);
+        ints "retried" (fun s -> s.Report.retried);
+        ints "hedged" (fun s -> s.Report.hedged);
+        let floats name f tol =
+          Alcotest.(check (float tol)) name (f exact) (f stream)
+        in
+        floats "cold_fraction" (fun s -> s.Report.cold_fraction) 1e-12;
+        floats "availability" (fun s -> s.Report.availability) 1e-12;
+        floats "mean_ms" (fun s -> s.Report.mean_ms) 1e-6;
+        floats "max_ms" (fun s -> s.Report.max_ms) 1e-9;
+        floats "resident" (fun s -> s.Report.resident_instance_s) 1e-6;
+        floats "cost" (fun s -> s.Report.cost_usd) 1e-9;
+        floats "goodput" (fun s -> s.Report.goodput_per_s) 1e-9;
+        floats "amplification" (fun s -> s.Report.retry_amplification) 1e-12;
+        (* percentiles are the one approximate family *)
+        List.iter
+          (fun (name, f) ->
+             let e = f exact and a = f stream in
+             let bound = (Sketch.rel_error *. e) +. Sketch.abs_error in
+             if Float.abs (a -. e) > bound then
+               Alcotest.failf "%s: exact %g, stream %g, bound %g" name e a
+                 bound)
+          [ ("p50", (fun s -> s.Report.p50_ms));
+            ("p95", (fun s -> s.Report.p95_ms));
+            ("p99", (fun s -> s.Report.p99_ms)) ]) ]
+
+(* --- sharded determinism --------------------------------------------------- *)
+
+let mini_apps () =
+  let profile =
+    { Router.exec_s = 0.2; func_init_s = 0.6; instance_init_s = 0.1;
+      memory_mb = 256.0 }
+  in
+  let trimmed = { profile with Router.func_init_s = 0.15 } in
+  List.init 7 (fun i ->
+      { Sharded.app_id = i;
+        app_trace =
+          (fun () ->
+             Platform.Trace.poisson ~seed:(100 + (i * 7919)) ~rate_per_s:1.5
+               ~duration_s:400.0
+               ~name:(Printf.sprintf "mini-%d" i));
+        app_variants =
+          [ { Sharded.v_group = "original";
+              v_cfg =
+                Router.default_config ~profile
+                  (Pool.Fixed_ttl { keep_alive_s = 300.0 }) };
+            { Sharded.v_group = "trimmed";
+              v_cfg =
+                { (Router.default_config ~profile:trimmed
+                     (Pool.Fixed_ttl { keep_alive_s = 300.0 }))
+                  with
+                  Router.fallback =
+                    Some
+                      (Scenario.fallback ~rate:0.02 ~seed:(200 + i)
+                         ~original:profile ()) } } ] })
+
+let rows groups =
+  List.map
+    (fun (g : Sharded.group) ->
+       Printf.sprintf "%s,%d,%d,%s" g.Sharded.g_label g.Sharded.g_apps
+         g.Sharded.g_requests
+         (Report.csv_row g.Sharded.g_summary))
+    groups
+
+let sharded =
+  [ Alcotest.test_case "group reports bit-identical at any shard count"
+      `Quick (fun () ->
+        let apps = mini_apps () in
+        let base = rows (Sharded.run ~shards:1 apps) in
+        List.iter
+          (fun shards ->
+             Alcotest.(check (list string))
+               (Printf.sprintf "shards=%d" shards)
+               base
+               (rows (Sharded.run ~shards apps)))
+          [ 2; 3; 4; 7 ]);
+    Alcotest.test_case "trace-replay experiment shard-invariant" `Slow
+      (fun () ->
+        let run shards =
+          let r =
+            Experiments.Trace_replay.run ~n_functions:40 ~horizon_s:900.0
+              ~shards ()
+          in
+          rows r.Experiments.Trace_replay.groups
+        in
+        Alcotest.(check (list string)) "shards 1 = shards 4" (run 1) (run 4));
+    Alcotest.test_case "run_records merges by (finish, app, req)" `Quick
+      (fun () ->
+        let profile =
+          { Router.exec_s = 0.1; func_init_s = 0.2; instance_init_s = 0.1;
+            memory_mb = 128.0 }
+        in
+        let cfg =
+          Router.default_config ~profile
+            (Pool.Fixed_ttl { keep_alive_s = 60.0 })
+        in
+        let jobs =
+          List.init 3 (fun i ->
+              ( i,
+                cfg,
+                Platform.Trace.poisson ~seed:(50 + i) ~rate_per_s:2.0
+                  ~duration_s:100.0
+                  ~name:(Printf.sprintf "m-%d" i) ))
+        in
+        let merged = Sharded.run_records jobs in
+        let total =
+          List.fold_left
+            (fun acc (_, _, t) -> acc + Platform.Trace.length t)
+            0 jobs
+        in
+        Alcotest.(check int) "every record present" total
+          (List.length merged);
+        let sorted =
+          List.for_all2
+            (fun a b -> a == b)
+            merged
+            (List.sort
+               (fun (a_app, (a : Router.record)) (b_app, b) ->
+                  match Float.compare a.Router.finish_s b.Router.finish_s with
+                  | 0 -> (
+                      match Int.compare a_app b_app with
+                      | 0 -> Int.compare a.Router.req b.Router.req
+                      | c -> c)
+                  | c -> c)
+               merged)
+        in
+        Alcotest.(check bool) "globally ordered" true sorted);
+    Alcotest.test_case "auto queue kind follows density" `Quick (fun () ->
+        Alcotest.(check string) "dense is calendar" "calendar"
+          (Events.kind_name
+             (Events.auto ~horizon_s:1000.0 ~expected_events:100_000));
+        Alcotest.(check string) "sparse is heap" "heap"
+          (Events.kind_name
+             (Events.auto ~horizon_s:1000.0 ~expected_events:100));
+        Alcotest.(check string) "infinite horizon is heap" "heap"
+          (Events.kind_name
+             (Events.auto ~horizon_s:infinity ~expected_events:100_000))) ]
+
+let suite =
+  [ ("fleet-stream: event-queue properties", qcheck_suite);
+    ("fleet-stream: heap space leak", leak);
+    ("fleet-stream: sketch accuracy", sketch);
+    ("fleet-stream: stream = summarize", stream_equiv);
+    ("fleet-stream: sharded determinism", sharded) ]
