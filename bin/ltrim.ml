@@ -83,6 +83,27 @@ let backend_arg =
                  results are bit-identical across engines, only wall-clock \
                  columns change.")
 
+let optimizer_conv =
+  let parse s =
+    match Trim.Optimizer.of_string s with
+    | Some v -> Ok v
+    | None ->
+      Error (`Msg (Printf.sprintf
+                     "unknown optimizer %S (expected dd, lazy, combined, or \
+                      none)" s))
+  in
+  let print ppf v = Format.pp_print_string ppf (Trim.Optimizer.to_string v) in
+  Arg.conv (parse, print)
+
+let optimizer_arg =
+  Arg.(value & opt optimizer_conv Trim.Optimizer.Dd
+       & info [ "optimizer" ] ~docv:"FAMILY"
+           ~doc:"Optimizer family: $(b,dd) (λ-trim attribute debloating, \
+                 the default), $(b,lazy) (profile-guided lazy loading — \
+                 removes nothing, defers import work off the cold path), \
+                 $(b,combined) (lazy loading over the DD-trimmed image), or \
+                 $(b,none) (deploy the original untouched).")
+
 let journal_arg =
   Arg.(value & opt (some string) None
        & info [ "journal" ] ~docv:"DIR"
@@ -113,6 +134,9 @@ let quarantine_report_arg =
 (* Install the process-wide execution engine every interpreter construction
    reads. Call before any work, like [setup_jobs]. *)
 let setup_backend backend = Minipy.Backend.configure backend
+
+(* Install the process-wide optimizer family, next to [setup_backend]. *)
+let setup_optimizer optimizer = Trim.Optimizer.configure optimizer
 
 (* Install the process-wide pool the pipeline and the experiment registry
    fan out on. Call before any work; the pool is torn down at exit. *)
@@ -224,9 +248,10 @@ let profile_cmd =
 (* --- debloat ------------------------------------------------------------- *)
 
 let debloat_cmd =
-  let run app k scoring verbose jobs trace backend journal resume
+  let run app k scoring verbose jobs trace backend optimizer journal resume
       oracle_retries quarantine_report =
     setup_backend backend;
+    setup_optimizer optimizer;
     setup_jobs jobs;
     if oracle_retries < 0 then begin
       Printf.eprintf "--oracle-retries must be non-negative (got %d)\n"
@@ -238,40 +263,59 @@ let debloat_cmd =
     setup_logs verbose;
     let method_ = Trim.Scoring.method_of_string scoring in
     let d = Workloads.Suite.deployment_of app in
-    let r =
-      Trim.Pipeline.run
+    let o =
+      Trim.Optimizer.run
         ~options:{ Trim.Pipeline.default_options with
                    k; scoring = method_; log = verbose;
                    journal_dir = journal; resume;
                    oracle_retries; quarantine_report }
-        d
+        optimizer d
     in
-    Printf.printf "Debloated %s in %.2f s (%d oracle queries)\n" app
-      r.Trim.Pipeline.debloat_wall_s r.Trim.Pipeline.total_oracle_queries;
-    Printf.printf "Caches: %s\n"
-      (Fmt.str "%a" Trim.Pipeline.pp_cache_stats r.Trim.Pipeline.caches);
-    if r.Trim.Pipeline.quarantined_tests > 0 then
-      Printf.printf "Quarantined tests: %d (see --quarantine-report)\n"
-        r.Trim.Pipeline.quarantined_tests;
-    List.iter
-      (fun m -> Printf.printf "  %s\n" (Fmt.str "%a" Trim.Debloater.pp_module_result m))
-      r.Trim.Pipeline.module_results;
+    (match o.Trim.Optimizer.o_dd with
+     | None -> ()
+     | Some r ->
+       Printf.printf "Debloated %s in %.2f s (%d oracle queries)\n" app
+         r.Trim.Pipeline.debloat_wall_s r.Trim.Pipeline.total_oracle_queries;
+       Printf.printf "Caches: %s\n"
+         (Fmt.str "%a" Trim.Pipeline.pp_cache_stats r.Trim.Pipeline.caches);
+       if r.Trim.Pipeline.quarantined_tests > 0 then
+         Printf.printf "Quarantined tests: %d (see --quarantine-report)\n"
+           r.Trim.Pipeline.quarantined_tests;
+       List.iter
+         (fun m ->
+            Printf.printf "  %s\n"
+              (Fmt.str "%a" Trim.Debloater.pp_module_result m))
+         r.Trim.Pipeline.module_results);
+    (match o.Trim.Optimizer.o_lazy with
+     | None -> ()
+     | Some lz ->
+       Printf.printf
+         "Lazified %d import root%s (%s); deferred ~%.2f ms / %.2f MB of \
+          init off the cold path%s\n"
+         (List.length lz.Trim.Lazy_loader.lz_lazified)
+         (if List.length lz.Trim.Lazy_loader.lz_lazified = 1 then "" else "s")
+         (String.concat ", " lz.Trim.Lazy_loader.lz_lazified)
+         lz.Trim.Lazy_loader.lz_deferred_ms lz.Trim.Lazy_loader.lz_deferred_mb
+         (if lz.Trim.Lazy_loader.lz_validated then ""
+          else " [validation failed; original kept]"));
     let before = Common_measure.cold d in
-    let after = Common_measure.cold r.Trim.Pipeline.optimized in
+    let after = Common_measure.cold o.Trim.Optimizer.o_deployment in
     Common_measure.print_comparison ~before ~after
   in
   Cmd.v
-    (Cmd.info "debloat" ~doc:"Run the full lambda-trim pipeline on an application.")
+    (Cmd.info "debloat"
+       ~doc:"Optimize an application: run the selected $(b,--optimizer) \
+             family (λ-trim DD debloating by default).")
     Term.(const run $ app_arg $ k_arg $ scoring_arg $ verbose_flag $ jobs_arg
-          $ trace_arg $ backend_arg $ journal_arg $ resume_flag
-          $ oracle_retries_arg $ quarantine_report_arg)
+          $ trace_arg $ backend_arg $ optimizer_arg $ journal_arg
+          $ resume_flag $ oracle_retries_arg $ quarantine_report_arg)
 
 (* --- invoke -------------------------------------------------------------- *)
 
 let invoke_cmd =
   let trimmed_flag =
     Arg.(value & flag & info [ "trimmed" ]
-           ~doc:"Invoke the lambda-trim optimized application.")
+           ~doc:"Invoke the optimized application (per $(b,--optimizer)).")
   in
   (* the strict canonicalization compare mode diffs: every float exact *)
   let record_strict (r : Platform.Lambda_sim.record) =
@@ -294,14 +338,17 @@ let invoke_cmd =
       r.Platform.Lambda_sim.peak_memory_mb r.Platform.Lambda_sim.cost;
     print_string r.Platform.Lambda_sim.stdout
   in
-  let run app trimmed jobs trace backend =
+  let run app trimmed jobs trace backend optimizer =
     setup_backend backend;
+    setup_optimizer optimizer;
     setup_jobs jobs;
     with_trace trace @@ fun () ->
     let spec = Workloads.Suite.spec_of app in
     let d = Workloads.Suite.deployment_of app in
     let d =
-      if trimmed then (Trim.Pipeline.run d).Trim.Pipeline.optimized else d
+      if trimmed then
+        (Trim.Optimizer.run optimizer d).Trim.Optimizer.o_deployment
+      else d
     in
     let event =
       match spec.Workloads.Apps.tests with (_, e) :: _ -> e | [] -> "{}"
@@ -339,7 +386,7 @@ let invoke_cmd =
   Cmd.v
     (Cmd.info "invoke" ~doc:"Invoke an application on the platform simulator.")
     Term.(const run $ app_arg $ trimmed_flag $ jobs_arg $ trace_arg
-          $ backend_arg)
+          $ backend_arg $ optimizer_arg)
 
 (* --- fleet ---------------------------------------------------------------- *)
 
@@ -729,8 +776,13 @@ let experiments_cmd =
              ~doc:"Write machine-readable rows to DIR/<id>.csv (experiments \
                    with structured data only).")
   in
-  let run only out csv shards jobs trace backend journal resume =
+  let run only out csv shards jobs trace backend optimizer journal resume =
     setup_backend backend;
+    (* committed experiments pin their own optimizer families (the lazy
+       experiment runs all of them side by side), so the process-wide knob
+       is inert here by construction — the CI smoke step byte-diffs
+       `--optimizer none` output against the committed CSVs to prove it *)
+    setup_optimizer optimizer;
     setup_jobs jobs;
     setup_shards shards;
     (* experiments build their pipelines internally; the process-wide spec
@@ -796,7 +848,8 @@ let experiments_cmd =
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures on the simulator.")
     Term.(const run $ only_arg $ out_arg $ csv_arg $ shards_arg $ jobs_arg
-          $ trace_arg $ backend_arg $ journal_arg $ resume_flag)
+          $ trace_arg $ backend_arg $ optimizer_arg $ journal_arg
+          $ resume_flag)
 
 let main =
   Cmd.group

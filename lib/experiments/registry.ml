@@ -31,6 +31,10 @@ let all : entry list =
     { id = "fig14"; description = "24h SnapStart cost simulation";
       print = Fig14.print; csv = Some Fig14.csv };
     { id = "table4"; description = "fallback overhead"; print = Table4.print; csv = Some Table4.csv };
+    { id = "lazy";
+      description =
+        "three-way optimizer comparison: DD vs lazy loading vs combined";
+      print = Lazy_exp.print; csv = Some Lazy_exp.csv };
     { id = "fleet";
       description = "fleet simulation: cost/p99 vs arrival rate and policy";
       print = Fleet_exp.print; csv = Some Fleet_exp.csv };

@@ -24,6 +24,9 @@ type instance = {
   mutable idle_since : float;
   mutable expires_at : float;
   mutable generation : int;
+  mutable pending_s : float;
+      (* deferred lazy-init work this instance has not resolved yet
+         (ARCHITECTURE §14); 0 for eager deployments *)
 }
 
 (* Idle-gap histogram for the adaptive policy: 1 s buckets, capped at one
@@ -75,6 +78,9 @@ type t = {
   mutable resident : float;
   hist : Histogram.t;
   mutable observations : int;
+  mutable preloaded : float;
+      (* total seconds of pending lazy-init work resolved during keep-alive
+         idle time (see [preload_idle]) *)
   mutable idle_mru : (instance * float) list;
       (* warm-selection fast path for Fixed_ttl/Adaptive: one (instance,
          idle_since stamp) entry per idle period, most recent first.
@@ -95,6 +101,7 @@ let create policy =
     resident = 0.0;
     hist = Histogram.create ();
     observations = 0;
+    preloaded = 0.0;
     idle_mru = [] }
 
 let live_count t = Hashtbl.length t.live
@@ -194,7 +201,8 @@ let spawn t ~now =
       busy_until = now;
       idle_since = now;
       expires_at = infinity;
-      generation = 0 }
+      generation = 0;
+      pending_s = 0.0 }
   in
   t.next_id <- t.next_id + 1;
   Hashtbl.replace t.live inst.id inst;
@@ -245,6 +253,29 @@ let try_expire t inst ~generation ~now =
     evict t inst ~now;
     true
   | _ -> false
+
+(* --- lazy-init pending ledger (ARCHITECTURE §14) ------------------------ *)
+
+let set_pending inst s = inst.pending_s <- s
+let pending_s inst = inst.pending_s
+
+let consume_pending inst s =
+  inst.pending_s <- Float.max 0.0 (inst.pending_s -. s)
+
+(* Profile-driven preloading: a warm instance spends its keep-alive idle
+   gap resolving pending stubs in the manifest's preload order, so the
+   acquiring request finds (part of) the deferred work already done. Called
+   at warm-acquire time, when the just-ended idle gap [now - idle_since] is
+   known. *)
+let preload_idle t inst ~now =
+  let gap = Float.max 0.0 (now -. inst.idle_since) in
+  let resolved = Float.min gap inst.pending_s in
+  if resolved > 0.0 then begin
+    inst.pending_s <- inst.pending_s -. resolved;
+    t.preloaded <- t.preloaded +. resolved
+  end
+
+let preloaded_s t = t.preloaded
 
 let drain t =
   let survivors = fold_live t (fun acc i -> i :: acc) [] in

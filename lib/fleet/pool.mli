@@ -36,6 +36,9 @@ type instance = {
   mutable expires_at : float;
   mutable generation : int;
       (** bumped on every acquire so stale expiry checks can be ignored *)
+  mutable pending_s : float;
+      (** deferred lazy-init work not yet resolved on this instance
+          (ARCHITECTURE §14); 0 for eager deployments *)
 }
 
 type t
@@ -78,3 +81,24 @@ val drain : t -> unit
 
 (** The TTL the policy would hand out right now (adaptive introspection). *)
 val current_keep_alive_s : t -> float
+
+(** {1 Lazy-init pending ledger (ARCHITECTURE §14)}
+
+    Lazy deployments defer part of Function Initialization to first touch.
+    The router records the deferred amount on each cold instance with
+    {!set_pending}; requests consume it as stubs force, and — with
+    profile-driven preloading on — a warm instance resolves pending stubs
+    during its keep-alive idle gap. *)
+
+val set_pending : instance -> float -> unit
+val pending_s : instance -> float
+
+(** Subtract resolved work, clamping at zero. *)
+val consume_pending : instance -> float -> unit
+
+(** Resolve up to the just-ended idle gap [now - idle_since] worth of
+    pending work; call at warm-acquire time. Accounted in {!preloaded_s}. *)
+val preload_idle : t -> instance -> now:float -> unit
+
+(** Total seconds of deferred init resolved during idle time. *)
+val preloaded_s : t -> float

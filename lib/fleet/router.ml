@@ -61,6 +61,20 @@ type fallback = {
   fb_setup_s : float;
 }
 
+(* Lazy-loading model (ARCHITECTURE §14): [profile] describes a lazy
+   deployment's measured costs (stubbed init, warm exec); the deferred
+   remainder lives here. A cold instance starts with [lz_deferred_s] of
+   unresolved init; each request forces at most [lz_first_touch_s] of what
+   remains (added to its service time and billed duration), and with
+   [lz_preload] a warm instance resolves pending stubs during its
+   keep-alive idle gap in the manifest's preload order, so the next warm
+   hit finds the work already done. *)
+type lazy_profile = {
+  lz_deferred_s : float;
+  lz_first_touch_s : float;
+  lz_preload : bool;
+}
+
 type config = {
   profile : deployment_profile;
   policy : Pool.policy;
@@ -70,6 +84,7 @@ type config = {
   fallback : fallback option;
   faults : Faults.config;
   resilience : Resilience.policy;
+  lazy_load : lazy_profile option;
 }
 
 let default_config ~profile policy =
@@ -80,7 +95,8 @@ let default_config ~profile policy =
     pending_timeout_s = 60.0;
     fallback = None;
     faults = Faults.none;
-    resilience = Resilience.none }
+    resilience = Resilience.none;
+    lazy_load = None }
 
 type totals = {
   peak : int;
@@ -122,6 +138,7 @@ type req = {
   mutable shed : bool;          (* breaker routed this straight to original *)
   mutable role : breaker_role;
   mutable acc_billed_ms : float;
+  mutable touch_s : float;      (* stub-forcing time of the live attempt *)
   mutable lane : int;           (* trace lane while the request is live *)
   mutable span : Obs.Span.h;    (* open request span (none when untraced) *)
 }
@@ -271,7 +288,7 @@ let run_with ?queue ~(emit : record -> unit) cfg (trace : Platform.Trace.t) :
         { idx; arrival; needs_fb = draws idx; status = Waiting;
           start = arrival; kind = None; attempt = 0; attempts = 0;
           retries = 0; hedged = false; hedge_inflight = false; shed = false;
-          role = Unsampled; acc_billed_ms = 0.0; lane = 0;
+          role = Unsampled; acc_billed_ms = 0.0; touch_s = 0.0; lane = 0;
           span = Obs.Span.none }
       in
       push ~time:arrival (Arrival r)
@@ -329,11 +346,30 @@ let run_with ?queue ~(emit : record -> unit) cfg (trace : Platform.Trace.t) :
     r.kind <- Some kind;
     r.attempts <- r.attempts + 1;
     let attempt = r.attempt in
+    (* lazy deployments (ARCHITECTURE §14): settle the instance's
+       deferred-init ledger. A cold start records the full deferred amount;
+       a warm start with preloading on first resolves whatever the idle gap
+       covered. The attempt then forces at most [lz_first_touch_s] of the
+       remainder, extending its service time and billed duration. Doomed
+       attempts (init failure, crash) leave the ledger untouched — the
+       instance is reclaimed anyway. *)
+    let touch =
+      match cfg.lazy_load with
+      | None -> 0.0
+      | Some lz ->
+        (match kind with
+         | Cold -> Pool.set_pending inst lz.lz_deferred_s
+         | Warm -> if lz.lz_preload then Pool.preload_idle pool inst ~now);
+        Float.min (Pool.pending_s inst) lz.lz_first_touch_s
+    in
+    r.touch_s <- 0.0;
     match
       Faults.attempt_fault cfg.faults ~cold:(kind = Cold) ~req:r.idx ~attempt
     with
     | Faults.No_fault ->
-      let finish = now +. service_s cfg.profile kind in
+      Pool.consume_pending inst touch;
+      r.touch_s <- touch;
+      let finish = now +. service_s cfg.profile kind +. touch in
       inst.Pool.busy_until <- finish;
       attempt_span ~track:(attempt_track inst)
         ~name:("attempt:" ^ start_kind_name kind) ~start_s:now ~end_s:finish
@@ -380,13 +416,15 @@ let run_with ?queue ~(emit : record -> unit) cfg (trace : Platform.Trace.t) :
       push ~time:t_crash (Fault_hit (r, attempt, inst, Crashed, billed))
     | Faults.Transient_error ->
       (* runs to completion, billed in full, but returns an error *)
-      let finish = now +. service_s cfg.profile kind in
+      Pool.consume_pending inst touch;
+      let finish = now +. service_s cfg.profile kind +. touch in
       inst.Pool.busy_until <- finish;
       attempt_span ~track:(attempt_track inst)
         ~name:("attempt:" ^ start_kind_name kind) ~start_s:now ~end_s:finish
         ~r ~result:(failure_name Errored);
       push ~time:finish
-        (Fault_hit (r, attempt, inst, Errored, billed_ms cfg.profile kind))
+        (Fault_hit (r, attempt, inst, Errored,
+                    billed_ms cfg.profile kind +. (1000.0 *. touch)))
   in
   (* dispatch from the pending queue while capacity allows; stale entries
      (timed out) are dropped lazily *)
@@ -523,7 +561,9 @@ let run_with ?queue ~(emit : record -> unit) cfg (trace : Platform.Trace.t) :
        | Complete (r, inst) ->
          release_primary r inst ~now;
          r.acc_billed_ms <-
-           r.acc_billed_ms +. billed_ms cfg.profile (Option.get r.kind);
+           r.acc_billed_ms
+           +. billed_ms cfg.profile (Option.get r.kind)
+           +. (1000.0 *. r.touch_s);
          breaker_record r ~now ~failed:r.needs_fb;
          (match cfg.fallback with
           | Some fb when r.needs_fb ->

@@ -81,6 +81,20 @@ type fallback = {
   fb_setup_s : float;  (** wrapper overhead before re-invocation (§8.7) *)
 }
 
+(** Lazy-loading model (ARCHITECTURE §14). With a lazy deployment the
+    [config.profile] carries the {e measured} lazy costs (stubbed init,
+    warm exec); this record carries the deferred remainder. A cold instance
+    starts with [lz_deferred_s] of unresolved init; each request forces at
+    most [lz_first_touch_s] of what remains, added to its service time and
+    billed duration; with [lz_preload] a warm instance resolves pending
+    stubs during its keep-alive idle gap (profile-guided preloading), so
+    the next warm hit finds that work already done. *)
+type lazy_profile = {
+  lz_deferred_s : float;
+  lz_first_touch_s : float;
+  lz_preload : bool;
+}
+
 type config = {
   profile : deployment_profile;
   policy : Pool.policy;
@@ -90,10 +104,11 @@ type config = {
   fallback : fallback option;
   faults : Faults.config;     (** [Faults.none] = nothing ever goes wrong *)
   resilience : Resilience.policy;  (** [Resilience.none] = failures final *)
+  lazy_load : lazy_profile option;  (** [None] = eager deployment *)
 }
 
 (** Unbounded concurrency, a 1024-deep pending queue, 60 s timeout, no
-    fallback, no faults, no resilience. *)
+    fallback, no faults, no resilience, eager loading. *)
 val default_config : profile:deployment_profile -> Pool.policy -> config
 
 (** Pool/engine aggregates of a run, independent of how records were

@@ -41,13 +41,26 @@ let bucket_of v =
     let i = 1 + int_of_float (Float.floor (log (v /. min_value) /. log_gamma)) in
     if i >= n_buckets then n_buckets - 1 else i
 
+(* NaN observations are dropped, not coerced: a NaN counted as 0.0 poisons
+   min/mean/sum (the Platform.Metrics NaN policy). Sketches fill on worker
+   domains, so the shared counter is updated under a lock. *)
+let nan_lock = Mutex.create ()
+let c_nan_dropped = Obs.Metrics.counter Obs.Metrics.global "fleet.sketch.nan_dropped"
+
 let add t v =
-  let v = if Float.is_nan v then 0.0 else Float.max 0.0 v in
-  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
-  t.n <- t.n + 1;
-  t.sum <- t.sum +. v;
-  if v < t.mn then t.mn <- v;
-  if v > t.mx then t.mx <- v
+  if Float.is_nan v then begin
+    Mutex.lock nan_lock;
+    Obs.Metrics.incr c_nan_dropped;
+    Mutex.unlock nan_lock
+  end
+  else begin
+    let v = Float.max 0.0 v in
+    t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. v;
+    if v < t.mn then t.mn <- v;
+    if v > t.mx then t.mx <- v
+  end
 
 let count t = t.n
 let sum t = t.sum

@@ -13,7 +13,9 @@ type t
 
 val create : unit -> t
 
-(** Record one value. Negative and NaN inputs clamp to 0. *)
+(** Record one value. Negative inputs clamp to 0; NaN is dropped (it would
+    poison min/mean/sum) and counted in the [Obs.Metrics.global] counter
+    [fleet.sketch.nan_dropped]. *)
 val add : t -> float -> unit
 
 (** Fold [src] into [into]; [src] is unchanged. *)

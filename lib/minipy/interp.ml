@@ -50,6 +50,16 @@ type t = {
   mutable obs_sink : Obs.Span.sink;
   mutable obs_track : int;
   mutable obs_offset_ms : float;
+  (* lazy loading (ARCHITECTURE §14): import roots listed in the image's
+     [lazy_manifest_file] get stub modules at the import statement; the
+     module body runs — and its ticks are charged — at first attribute
+     touch instead. [lazy_pending] marks stubs whose body has not run;
+     [lazy_forcing] counts the force nesting depth — imports executed while
+     a body is being forced run eagerly, so forcing a root replays exactly
+     the eager import subtree (partial-init order included). *)
+  lazy_roots : (string, unit) Hashtbl.t;
+  lazy_pending : (string, unit) Hashtbl.t;
+  mutable lazy_forcing : int;
 }
 
 and env = {
@@ -94,6 +104,46 @@ let tick t =
 let output t s = Buffer.add_string t.stdout_buf s
 
 let stdout_contents t = Buffer.contents t.stdout_buf
+
+(* --- lazy-loading manifest (ARCHITECTURE §14) --------------------------- *)
+
+(* VFS path of the lazy-loading manifest. The leading dot keeps it out of
+   import resolution ([Importer] maps dotted names to <root>/...py paths),
+   so adding it can never shadow application code. *)
+let lazy_manifest_file = ".lazy-manifest"
+
+(* One directive per line: `lazy <root>` defers that import root's body to
+   first attribute touch; `preload <dotted>` records the profile-guided
+   resolution order fleet instances follow during keep-alive idle time.
+   Blank lines and `#` comments are ignored; both lists keep file order. *)
+let parse_lazy_manifest src =
+  let lazified = ref [] and preload = ref [] in
+  String.split_on_char '\n' src
+  |> List.iter (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match String.index_opt line ' ' with
+        | None -> ()
+        | Some i ->
+          let kw = String.sub line 0 i in
+          let arg =
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          if arg <> "" then (
+            match kw with
+            | "lazy" -> lazified := arg :: !lazified
+            | "preload" -> preload := arg :: !preload
+            | _ -> ()));
+  (List.rev !lazified, List.rev !preload)
+
+(* Stub-configuration tag for oracle memo and journal run-digest keys: the
+   lazy and eager twins of an image must never share verdicts. The manifest
+   already feeds the image digest, but keys state the variant explicitly. *)
+let lazy_config_of_vfs vfs =
+  match Vfs.read vfs lazy_manifest_file with
+  | None -> "eager"
+  | Some src -> "lazy:" ^ Digest.to_hex (Digest.string src)
 
 (* --- arithmetic --------------------------------------------------------- *)
 
@@ -485,6 +535,8 @@ let dict_method t (d : vdict) name =
 let rec getattr t obj name =
   match obj with
   | Vmodule m ->
+    (* first attribute touch materializes a lazy stub (ARCHITECTURE §14) *)
+    force_module t m;
     (match Hashtbl.find_opt m.mattrs name with
      | Some v -> v
      | None ->
@@ -536,10 +588,14 @@ and bind_method t self f =
         bcall = (fun args kwargs -> call_function t fn (self :: args) kwargs) }
   | _ -> f
 
-and setattr _t obj name v =
+and setattr t obj name v =
   match obj with
   | Vinstance i -> Hashtbl.replace i.iattrs name v
-  | Vmodule m -> Hashtbl.replace m.mattrs name v
+  | Vmodule m ->
+    (* setting an attribute is a touch too: the body must run first so the
+       write is not clobbered when the stub is later forced *)
+    force_module t m;
+    Hashtbl.replace m.mattrs name v
   | Vclass c -> Hashtbl.replace c.cattrs name v
   | other ->
     py_error "AttributeError" "cannot set attribute '%s' on '%s'" name
@@ -904,7 +960,7 @@ and exec_stmt t env (s : Ast.stmt) =
      | Ast.Tattr (base, name) ->
        (match eval t env base with
         | Vinstance i -> Hashtbl.remove i.iattrs name
-        | Vmodule m -> Hashtbl.remove m.mattrs name
+        | Vmodule m -> force_module t m; Hashtbl.remove m.mattrs name
         | Vclass c -> Hashtbl.remove c.cattrs name
         | v -> py_error "AttributeError" "cannot delete attribute of '%s'" (type_name v))
      | Ast.Tsubscript (base, idx) ->
@@ -933,7 +989,11 @@ and import_dotted t (parts : string list) : module_obj =
 and import_one t (parts : string list) : module_obj =
   let name = Ast.dotted_to_string parts in
   match Hashtbl.find_opt t.modules name with
-  | Some m -> m
+  | Some m ->
+    (* an eager import of a pending stub (from-imports, submodule access)
+       demands the initialized module, exactly like eager mode *)
+    force_module t m;
+    m
   | None ->
     if List.mem name t.import_stack then
       (* circular import: return the partially-initialized module if present *)
@@ -1018,8 +1078,149 @@ and import_submodule t (m : module_obj) name : value option =
     let sub = import_one t parts in
     Some (Vmodule sub)
 
+(* --- lazy stubs (ARCHITECTURE §14) -------------------------------------- *)
+
+(* Can [path] be imported as lazy stubs? Never while a force is replaying a
+   body (its nested imports must run in eager order — see [force_body]).
+   The root must be in the image's lazy set and every prefix either already
+   cached or resolvable, so an unresolvable name still raises eagerly at
+   the import statement — exactly where eager mode raises it. *)
+and lazy_importable t (path : string list) =
+  t.lazy_forcing = 0
+  && Hashtbl.mem t.lazy_roots (List.hd path)
+  && List.for_all
+       (fun parts ->
+          Hashtbl.mem t.modules (Ast.dotted_to_string parts)
+          || (match Importer.resolve t.vfs parts with
+              | Importer.Package _ | Importer.Module _ -> true
+              | Importer.Not_found -> false))
+       (Importer.prefixes path)
+
+(* Stub every missing prefix of [path]; returns the last component's module
+   (stub or already materialized). Mirrors [import_dotted]'s shape: `import
+   a.b.c` stubs a, a.b and a.b.c with each child bound into its parent, and
+   forcing later re-runs the bodies in that same root-first order. *)
+and lazy_import_dotted t (path : string list) : module_obj =
+  let rec go last = function
+    | [] -> (match last with Some m -> m | None -> assert false)
+    | parts :: rest ->
+      let name = Ast.dotted_to_string parts in
+      let m =
+        match Hashtbl.find_opt t.modules name with
+        | Some m -> m
+        | None -> make_stub t parts name
+      in
+      go (Some m) rest
+  in
+  go None (Importer.prefixes path)
+
+and make_stub t parts name : module_obj =
+  let file =
+    match Importer.resolve t.vfs parts with
+    | Importer.Package file | Importer.Module file -> file
+    | Importer.Not_found -> assert false  (* guarded by [lazy_importable] *)
+  in
+  let mattrs = Hashtbl.create 16 in
+  Hashtbl.replace mattrs "__name__" (Vstr name);
+  Hashtbl.replace mattrs "__file__" (Vstr file);
+  let m = { mname = name; mfile = file; mattrs } in
+  (* the module shell is allocated now; the loader fee and body ticks move
+     to force time, so a fully-forced run charges the same multiset of
+     time/bytes/steps as its eager twin *)
+  charge_alloc t (Vmodule m);
+  Hashtbl.replace t.modules name m;
+  Hashtbl.replace t.lazy_pending name ();
+  (match List.rev parts with
+   | leaf :: (_ :: _ as rev_parent) ->
+     let parent = Ast.dotted_to_string (List.rev rev_parent) in
+     (match Hashtbl.find_opt t.modules parent with
+      | Some pm -> Hashtbl.replace pm.mattrs leaf (Vmodule m)
+      | None -> ())
+   | _ -> ());
+  m
+
+(* Run a pending stub's body; a no-op on initialized modules. Ancestors
+   force first (eager `import a.b` ran a's body before a.b's), and the
+   pending mark clears *before* the body runs, so a circular re-entrant
+   touch observes the partially-initialized module exactly as eager mode
+   does. *)
+and force_module t (m : module_obj) =
+  if Hashtbl.mem t.lazy_pending m.mname then begin
+    (match String.rindex_opt m.mname '.' with
+     | Some i ->
+       (match Hashtbl.find_opt t.modules (String.sub m.mname 0 i) with
+        | Some parent -> force_module t parent
+        | None -> ())
+     | None -> ());
+    (* forcing an ancestor can re-enter and force [m] itself *)
+    if Hashtbl.mem t.lazy_pending m.mname then force_body t m
+  end
+
+and force_body t (m : module_obj) =
+  Hashtbl.remove t.lazy_pending m.mname;
+  let name = m.mname and file = m.mfile in
+  let sp =
+    Obs.Span.begin_ t.obs_sink ~domain:Obs.Span.domain_virtual
+      ~track:t.obs_track ~cat:"minipy" ~name:("lazy-force:" ^ name)
+      ~ts_ms:(t.obs_offset_ms +. t.vtime_ms)
+  in
+  (* the deferred loader fee eager mode charged at the import statement *)
+  charge_time t import_resolve_ms;
+  let prog =
+    try Parse_cache.parse_vfs ~cache:t.parse_cache t.vfs file with
+    | Parser.Error (msg, loc) ->
+      py_error "SyntaxError" "%s at %s" msg (Loc.to_string loc)
+    | Lexer.Error (msg, loc) ->
+      py_error "SyntaxError" "%s at %s" msg (Loc.to_string loc)
+  in
+  t.import_stack <- name :: t.import_stack;
+  let hooks = t.import_hooks in
+  List.iter (fun h -> h.on_before name) hooks;
+  t.lazy_forcing <- t.lazy_forcing + 1;
+  let finish () =
+    t.lazy_forcing <- t.lazy_forcing - 1;
+    t.import_stack <- List.tl t.import_stack;
+    List.iter (fun h -> h.on_after name) hooks;
+    Obs.Span.end_ sp
+      ~attrs:[ ("file", file) ]
+      ~ts_ms:(t.obs_offset_ms +. t.vtime_ms)
+  in
+  let code_key =
+    if Parse_cache.enabled t.parse_cache then
+      Option.map
+        (fun digest -> Parse_cache.key ~file digest)
+        (Vfs.file_digest t.vfs file)
+    else None
+  in
+  (try
+     t.exec_backend.xb_exec_module t (module_env m) code_key prog;
+     finish ()
+   with e ->
+     finish ();
+     Hashtbl.remove t.modules name;
+     raise e);
+  (* eager mode binds a child into its parent *after* the parent body runs,
+     so a body-level name shadowed by a submodule must end up bound to the
+     module — re-assert every registered direct child *)
+  let pfx = name ^ "." in
+  let pl = String.length pfx in
+  Hashtbl.iter
+    (fun cname cm ->
+       if
+         String.length cname > pl
+         && String.sub cname 0 pl = pfx
+         && not (String.contains_from cname pl '.')
+       then
+         Hashtbl.replace m.mattrs
+           (String.sub cname pl (String.length cname - pl))
+           (Vmodule cm))
+    t.modules
+
 and exec_import t env (path : Ast.dotted) alias =
-  let last = import_dotted t path in
+  let last =
+    if lazy_importable t path then lazy_import_dotted t path
+    else import_dotted t path
+  in
   match alias with
   | Some a -> Hashtbl.replace env.locals a (Vmodule last)
   | None ->
@@ -1116,8 +1317,17 @@ let create ?(max_steps = default_max_steps) ?(parse_cache = Parse_cache.global)
       import_stack = [];
       builtins = Hashtbl.create 64;
       external_calls = [];
-      remote_store = Hashtbl.create 8 }
+      remote_store = Hashtbl.create 8;
+      lazy_roots = Hashtbl.create 4;
+      lazy_pending = Hashtbl.create 4;
+      lazy_forcing = 0 }
   in
+  (* arm lazy loading when the image ships a manifest (ARCHITECTURE §14) *)
+  (match Vfs.read vfs lazy_manifest_file with
+   | None -> ()
+   | Some src ->
+     let lazified, _preload = parse_lazy_manifest src in
+     List.iter (fun r -> Hashtbl.replace t.lazy_roots r ()) lazified);
   Builtins.install
     ~output:(fun s -> output t s)
     ~charge_time:(fun ms -> charge_time t ms)

@@ -44,6 +44,14 @@ type t = {
   mutable obs_track : int;  (** trace lane for this interpreter's spans *)
   mutable obs_offset_ms : float;
       (** maps vtime (starts at 0) onto the embedding timeline *)
+  lazy_roots : (string, unit) Hashtbl.t;
+      (** import roots the image's {!lazy_manifest_file} marks for lazy
+          (stub-on-import, force-on-touch) loading — ARCHITECTURE §14 *)
+  lazy_pending : (string, unit) Hashtbl.t;
+      (** stub modules whose body has not run yet *)
+  mutable lazy_forcing : int;
+      (** force nesting depth; imports run eagerly while a body is being
+          forced, so a force replays the eager import subtree in order *)
 }
 
 and env = {
@@ -89,6 +97,28 @@ val external_calls : t -> string list
 
 (** Register a measurement hook on the import machinery (§5.2). *)
 val add_import_hook : t -> import_hook -> unit
+
+(** {1 Lazy loading (ARCHITECTURE §14)} *)
+
+(** VFS path of the lazy-loading manifest ([".lazy-manifest"]). Its leading
+    dot keeps it out of import resolution, so shipping it can never shadow
+    application code. When present, {!create} arms stub-on-import loading
+    for the listed roots. *)
+val lazy_manifest_file : string
+
+(** Parse manifest source into [(lazified roots, preload order)]; directives
+    are [lazy <root>] and [preload <dotted>], in file order. *)
+val parse_lazy_manifest : string -> string list * string list
+
+(** Stub-configuration tag for cache/journal keys: ["eager"] without a
+    manifest, ["lazy:<digest>"] with one. Lazy and eager twins of an image
+    must never share oracle verdicts. *)
+val lazy_config_of_vfs : Vfs.t -> string
+
+(** Run a pending stub's body (ancestors first); no-op on initialized
+    modules. Import hooks fire and the deferred loader fee plus body ticks
+    are charged here, at touch time. *)
+val force_module : t -> Value.module_obj -> unit
 
 (** The module-level environment (locals = globals = the namespace). *)
 val module_env : Value.module_obj -> env

@@ -140,14 +140,23 @@ let sanitize_module_name m =
 
 let journal_run_digest (d : Platform.Deployment.t) ~module_name ~file
     ~protected_list ~candidates =
+  (* optimizer variant / stub configuration: a --resume of a lazy run must
+     never replay eager-run verdicts. Eager images keep the historical
+     digest, so existing journals stay resumable. *)
+  let variant_tag =
+    match Minipy.Interp.lazy_config_of_vfs d.Platform.Deployment.vfs with
+    | "eager" -> []
+    | lazy_cfg -> [ lazy_cfg ]
+  in
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
           ("ltrim-dd/1"
            :: Minipy.Backend.to_string (Minipy.Backend.current ())
-           :: Platform.Deployment.image_digest d
-           :: module_name :: file
-           :: (protected_list @ ("\x01" :: candidates)))))
+           :: (variant_tag
+               @ Platform.Deployment.image_digest d
+                 :: module_name :: file
+                 :: (protected_list @ ("\x01" :: candidates))))))
 
 let open_journal (spec : Journal.spec option) d ~module_name ~file
     ~protected_list ~candidates =

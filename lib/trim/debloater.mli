@@ -64,6 +64,20 @@ val debloat_module :
   module_name:string ->
   Platform.Deployment.t * module_result
 
+(** The journal header digest for one module search: covers the DD revision,
+    execution backend, optimizer variant / stub configuration (lazy images
+    get a distinct digest, so a [--resume] of a lazy run never replays
+    eager-run verdicts — eager images keep the historical digest), image
+    digest, module, file, protections, and candidate order. Exposed so
+    tests can assert the separation. *)
+val journal_run_digest :
+  Platform.Deployment.t ->
+  module_name:string ->
+  file:string ->
+  protected_list:string list ->
+  candidates:string list ->
+  string
+
 (** [apply_result d r] re-applies a finished module search to [d]: rewrites
     [r.dm_file] on a fresh overlay keeping everything except
     [r.removed_attrs]. Folding module results over the input app in ranking

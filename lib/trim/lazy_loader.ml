@@ -1,0 +1,98 @@
+(* Profile-guided lazy/partial loading: the second optimizer family
+   (ROADMAP item 2). Where DD debloating *deletes* unused attributes and
+   therefore needs the §7 fallback re-invocation safety net, this optimizer
+   removes nothing: every file-backed import root the profiler saw during
+   Function Initialization is marked lazy in the image's manifest, so the
+   interpreter stubs it at the import statement and runs its body — charging
+   the deferred ticks on the same virtual clock — at first attribute touch
+   (ARCHITECTURE §14). A handler that touches everything pays eager cost;
+   one that touches a slice pays only that slice's init, with zero
+   correctness risk by construction.
+
+   The rewrite is still validated against the oracle once (stub forcing
+   must be observationally invisible), and the report carries the
+   profiler's estimate of how much init work moved off the cold path. *)
+
+type report = {
+  lz_app : string;
+  lz_original : Platform.Deployment.t;
+  lz_optimized : Platform.Deployment.t;
+      (* original + manifest overlay; = lz_original when nothing lazified
+         or validation failed *)
+  lz_lazified : string list;   (* stubbed import roots, first-import order *)
+  lz_preload : string list;    (* idle-time resolution order *)
+  lz_deferred_ms : float;      (* profiler estimate of init ms deferred *)
+  lz_deferred_mb : float;
+  lz_validated : bool;
+}
+
+let manifest ~lazified ~preload =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "# lazy-loading manifest (ltrim, ARCHITECTURE \xc2\xa714)\n";
+  List.iter (fun m -> Buffer.add_string b ("lazy " ^ m ^ "\n")) lazified;
+  List.iter (fun m -> Buffer.add_string b ("preload " ^ m ^ "\n")) preload;
+  Buffer.contents b
+
+(* File-backed import roots observed during init, in first-import order —
+   the lazifiable set. Builtin modules (simrt/json/cloud) resolve to no
+   file and are skipped; dotted submodules ride along with their root. *)
+let lazifiable_roots (d : Platform.Deployment.t)
+    (profile : Profiler.result) : Profiler.module_profile list =
+  List.filter
+    (fun (mp : Profiler.module_profile) ->
+       (not (String.contains mp.Profiler.mp_name '.'))
+       && (match
+             Minipy.Importer.resolve d.Platform.Deployment.vfs
+               [ mp.Profiler.mp_name ]
+           with
+           | Minipy.Importer.Package _ | Minipy.Importer.Module _ -> true
+           | Minipy.Importer.Not_found -> false))
+    profile.Profiler.modules
+
+let optimize ?(cache = Oracle.Cache.global) ?params
+    (d : Platform.Deployment.t) : report =
+  let profile = Profiler.profile d in
+  let roots = lazifiable_roots d profile in
+  let lazified = List.map (fun mp -> mp.Profiler.mp_name) roots in
+  let unchanged ~validated =
+    { lz_app = d.Platform.Deployment.name;
+      lz_original = d;
+      lz_optimized = d;
+      lz_lazified = [];
+      lz_preload = [];
+      lz_deferred_ms = 0.0;
+      lz_deferred_mb = 0.0;
+      lz_validated = validated }
+  in
+  if lazified = [] then unchanged ~validated:true
+  else begin
+    (* preload order = first-import order: during init every root was
+       touched in exactly this order, so it is the profile's best guess at
+       which stub a warm instance will need next *)
+    let preload = lazified in
+    let optimized = Platform.Deployment.overlay d in
+    Minipy.Vfs.add_file optimized.Platform.Deployment.vfs
+      Minipy.Interp.lazy_manifest_file
+      (manifest ~lazified ~preload);
+    let ok =
+      Oracle.equivalent
+        (Oracle.observe ~cache ?params d)
+        (Oracle.observe ~cache ?params optimized)
+    in
+    if not ok then unchanged ~validated:false
+    else
+      let deferred_ms, deferred_mb =
+        List.fold_left
+          (fun (ms, mb) (mp : Profiler.module_profile) ->
+             (ms +. mp.Profiler.mp_incl_ms, mb +. mp.Profiler.mp_incl_mb))
+          (0.0, 0.0) roots
+      in
+      { lz_app = d.Platform.Deployment.name;
+        lz_original = d;
+        lz_optimized = optimized;
+        lz_lazified = lazified;
+        lz_preload = preload;
+        lz_deferred_ms = deferred_ms;
+        lz_deferred_mb = deferred_mb;
+        lz_validated = true }
+  end

@@ -1,0 +1,38 @@
+(** Profile-guided lazy/partial loading — the second optimizer family.
+
+    Marks every file-backed import root the {!Profiler} observed during
+    Function Initialization as lazy in the image's
+    {!Minipy.Interp.lazy_manifest_file}: the interpreter stubs those roots
+    at the import statement and runs each body at first attribute touch,
+    charging the deferred ticks on the same virtual clock (ARCHITECTURE
+    §14). Nothing is deleted, so — unlike DD debloating — no §7 fallback
+    re-invocation is ever possible. The rewrite is validated against the
+    oracle once before being reported. *)
+
+type report = {
+  lz_app : string;
+  lz_original : Platform.Deployment.t;
+  lz_optimized : Platform.Deployment.t;
+      (** the original plus a manifest overlay; equals [lz_original] when
+          nothing was lazified or validation failed *)
+  lz_lazified : string list;
+      (** stubbed import roots, first-import order *)
+  lz_preload : string list;
+      (** profile-guided idle-time resolution order for fleet preloading *)
+  lz_deferred_ms : float;
+      (** profiler estimate of init-window ms moved off the cold path *)
+  lz_deferred_mb : float;
+  lz_validated : bool;  (** oracle equivalence of the rewrite *)
+}
+
+(** Render a manifest: one [lazy <root>] line per lazified root, one
+    [preload <dotted>] line per preload entry, in order. *)
+val manifest : lazified:string list -> preload:string list -> string
+
+(** Profile [d], lazify its file-backed import roots, validate with the
+    oracle ([cache] defaults to {!Oracle.Cache.global}), and report.
+    Returns the original deployment unchanged (with [lz_validated = false])
+    if the stubbed image is not observationally equivalent. *)
+val optimize :
+  ?cache:Oracle.Cache.t -> ?params:Platform.Lambda_sim.params ->
+  Platform.Deployment.t -> report

@@ -161,8 +161,18 @@ let run_test_case ?params (d : Platform.Deployment.t)
    key. *)
 let test_key ?params ~image_digest (d : Platform.Deployment.t)
     (tc : Platform.Deployment.test_case) =
+  (* optimizer variant / stub configuration: a lazy image must never share
+     verdicts with its eager twin, even if digests collide. Eager images
+     keep the historical key (like default-param runs below). *)
+  let lazy_cfg =
+    Minipy.Interp.lazy_config_of_vfs d.Platform.Deployment.vfs
+  in
+  let variant_tag =
+    if String.equal lazy_cfg "eager" then [] else [ lazy_cfg ]
+  in
   let base =
-    [ Minipy.Backend.to_string (Minipy.Backend.current ());
+    variant_tag
+    @ [ Minipy.Backend.to_string (Minipy.Backend.current ());
       image_digest;
       d.Platform.Deployment.handler_file;
       d.Platform.Deployment.handler_name;

@@ -9,9 +9,9 @@ let no_init ?(exec_s = 0.0) ?(memory_mb = 256.0) () =
 
 let config ?(max_instances = max_int) ?(max_pending = 1024)
     ?(pending_timeout_s = infinity) ?fallback ?(faults = Faults.none)
-    ?(resilience = Resilience.none) ~profile policy =
+    ?(resilience = Resilience.none) ?lazy_load ~profile policy =
   { Router.profile; policy; max_instances; max_pending; pending_timeout_s;
-    fallback; faults; resilience }
+    fallback; faults; resilience; lazy_load }
 
 let run_kinds cfg trace =
   let res = Router.run cfg trace in
