@@ -131,6 +131,69 @@ let quarantine_report_arg =
                  (test, flaky vs behavior-changed, events, executions) to \
                  FILE.")
 
+let memo_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "memo-dir" ] ~docv:"DIR"
+           ~doc:"Persist oracle observations in DIR/observations.memo \
+                 beneath the in-memory memo: observations survive process \
+                 restarts and are shared across apps and revisions (keys \
+                 are content-addressed, so entries never go stale). \
+                 Corrupt or torn tails are discarded on load, never \
+                 replayed. Observations are the same values a fresh \
+                 execution would produce, so results are byte-identical \
+                 with or without the store.")
+
+let memo_cap_arg =
+  Arg.(value & opt (some int) None
+       & info [ "memo-cap" ] ~docv:"N"
+           ~doc:"Bound the in-memory oracle memo at N entries (FIFO \
+                 eviction, counted in oracle.memo.evicted). Default \
+                 unbounded. With $(b,--memo-dir), evicted entries re-load \
+                 from the store instead of re-executing.")
+
+let baseline_arg =
+  Arg.(value & opt (some string) None
+       & info [ "baseline" ] ~docv:"MANIFEST"
+           ~doc:"Re-debloat incrementally against a previous run's manifest \
+                 (see $(b,--manifest)): modules whose reachable-image \
+                 digest is unchanged replay their recorded keep-set with \
+                 zero oracle queries; changed modules warm-start DD from \
+                 the recorded keep-set. Keep-sets are bit-identical to a \
+                 cold run's. A missing or corrupt manifest falls back to a \
+                 cold run.")
+
+let manifest_arg =
+  Arg.(value & opt (some string) None
+       & info [ "manifest" ] ~docv:"FILE"
+           ~doc:"Write this run's manifest (per-module search digests, \
+                 keep-sets, ranking) to FILE for a later \
+                 $(b,--baseline).")
+
+(* Install the persistent memo under the global observation cache, plus the
+   optional in-memory bound. Call before any work, like [setup_jobs]. *)
+let setup_memo memo_dir memo_cap =
+  (match memo_cap with
+   | Some n when n < 1 ->
+     Printf.eprintf "--memo-cap must be >= 1 (got %d)\n" n;
+     exit 2
+   | cap -> Trim.Oracle.Cache.set_capacity Trim.Oracle.Cache.global cap);
+  match memo_dir with
+  | None -> ()
+  | Some dir ->
+    let store = Trim.Memo_store.open_ ~dir in
+    Trim.Oracle.Cache.attach_store Trim.Oracle.Cache.global (Some store);
+    at_exit (fun () -> Trim.Memo_store.close store)
+
+let load_baseline = function
+  | None -> None
+  | Some path ->
+    (match Trim.Manifest.load ~path with
+     | Some m -> Some m
+     | None ->
+       Printf.eprintf
+         "baseline %s is missing or invalid; running cold\n%!" path;
+       None)
+
 (* Install the process-wide execution engine every interpreter construction
    reads. Call before any work, like [setup_jobs]. *)
 let setup_backend backend = Minipy.Backend.configure backend
@@ -249,10 +312,12 @@ let profile_cmd =
 
 let debloat_cmd =
   let run app k scoring verbose jobs trace backend optimizer journal resume
-      oracle_retries quarantine_report =
+      oracle_retries quarantine_report memo_dir memo_cap baseline_path
+      manifest_path =
     setup_backend backend;
     setup_optimizer optimizer;
     setup_jobs jobs;
+    setup_memo memo_dir memo_cap;
     if oracle_retries < 0 then begin
       Printf.eprintf "--oracle-retries must be non-negative (got %d)\n"
         oracle_retries;
@@ -262,13 +327,15 @@ let debloat_cmd =
     with_trace trace @@ fun () ->
     setup_logs verbose;
     let method_ = Trim.Scoring.method_of_string scoring in
+    let baseline = load_baseline baseline_path in
     let d = Workloads.Suite.deployment_of app in
     let o =
       Trim.Optimizer.run
         ~options:{ Trim.Pipeline.default_options with
                    k; scoring = method_; log = verbose;
                    journal_dir = journal; resume;
-                   oracle_retries; quarantine_report }
+                   oracle_retries; quarantine_report;
+                   baseline; manifest_path }
         optimizer d
     in
     (match o.Trim.Optimizer.o_dd with
@@ -278,6 +345,13 @@ let debloat_cmd =
          r.Trim.Pipeline.debloat_wall_s r.Trim.Pipeline.total_oracle_queries;
        Printf.printf "Caches: %s\n"
          (Fmt.str "%a" Trim.Pipeline.pp_cache_stats r.Trim.Pipeline.caches);
+       if baseline <> None then
+         Printf.printf
+           "Incremental: %d/%d modules replayed from baseline, %d \
+            warm-started (%d seed hits)\n"
+           (List.length r.Trim.Pipeline.replayed_modules)
+           (List.length r.Trim.Pipeline.module_results)
+           r.Trim.Pipeline.warm_seeded r.Trim.Pipeline.warm_seed_hits;
        if r.Trim.Pipeline.quarantined_tests > 0 then
          Printf.printf "Quarantined tests: %d (see --quarantine-report)\n"
            r.Trim.Pipeline.quarantined_tests;
@@ -308,7 +382,8 @@ let debloat_cmd =
              family (λ-trim DD debloating by default).")
     Term.(const run $ app_arg $ k_arg $ scoring_arg $ verbose_flag $ jobs_arg
           $ trace_arg $ backend_arg $ optimizer_arg $ journal_arg
-          $ resume_flag $ oracle_retries_arg $ quarantine_report_arg)
+          $ resume_flag $ oracle_retries_arg $ quarantine_report_arg
+          $ memo_dir_arg $ memo_cap_arg $ baseline_arg $ manifest_arg)
 
 (* --- invoke -------------------------------------------------------------- *)
 
@@ -776,8 +851,13 @@ let experiments_cmd =
              ~doc:"Write machine-readable rows to DIR/<id>.csv (experiments \
                    with structured data only).")
   in
-  let run only out csv shards jobs trace backend optimizer journal resume =
+  let run only out csv shards jobs trace backend optimizer journal resume
+      memo_dir memo_cap =
     setup_backend backend;
+    (* committed experiments that exercise the oracle memo create private
+       caches; attaching a store to the global memo only accelerates
+       wall-clock, so committed CSVs stay byte-identical either way *)
+    setup_memo memo_dir memo_cap;
     (* committed experiments pin their own optimizer families (the lazy
        experiment runs all of them side by side), so the process-wide knob
        is inert here by construction — the CI smoke step byte-diffs
@@ -849,13 +929,95 @@ let experiments_cmd =
        ~doc:"Regenerate the paper's tables and figures on the simulator.")
     Term.(const run $ only_arg $ out_arg $ csv_arg $ shards_arg $ jobs_arg
           $ trace_arg $ backend_arg $ optimizer_arg $ journal_arg
-          $ resume_flag)
+          $ resume_flag $ memo_dir_arg $ memo_cap_arg)
+
+(* --- redebloat ------------------------------------------------------------ *)
+
+(* Incremental fleet re-debloating: every app keeps a manifest under
+   --state; runs with a manifest replay unchanged modules and warm-start
+   changed ones, runs without one are cold and just prime the state. *)
+let redebloat_cmd =
+  let apps_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"APP"
+             ~doc:"Applications to re-debloat (default: every synthesized \
+                   app).")
+  in
+  let state_arg =
+    Arg.(required & opt (some string) None
+         & info [ "state" ] ~docv:"DIR"
+             ~doc:"Manifest directory: <DIR>/<app>.manifest is read as the \
+                   baseline (when present) and rewritten after each run.")
+  in
+  let run apps state k scoring verbose jobs trace backend memo_dir memo_cap =
+    setup_backend backend;
+    setup_jobs jobs;
+    setup_memo memo_dir memo_cap;
+    with_trace trace @@ fun () ->
+    setup_logs verbose;
+    let known = List.map (fun s -> s.Workloads.Apps.name) Workloads.Apps.all in
+    let apps = if apps = [] then known else apps in
+    List.iter
+      (fun a ->
+         if not (List.mem a known) then begin
+           Printf.eprintf "unknown application %S (known: %s)\n" a
+             (String.concat ", " known);
+           exit 2
+         end)
+      apps;
+    Trim.Journal.mkdir_p state;
+    let method_ = Trim.Scoring.method_of_string scoring in
+    let job app =
+      let path = Filename.concat state (app ^ ".manifest") in
+      let baseline = Trim.Manifest.load ~path in
+      let d = Workloads.Suite.deployment_of app in
+      let r =
+        Trim.Pipeline.run
+          ~options:{ Trim.Pipeline.default_options with
+                     k; scoring = method_; log = verbose;
+                     baseline; manifest_path = Some path }
+          d
+      in
+      (app, baseline <> None, r)
+    in
+    (* per-app jobs fan out over the configured pool; each pipeline runs
+       its debloat stage sequentially inside its job (nested submission is
+       pool-safe, but per-app parallelism is the win here) *)
+    let rows = Parallel.Pool.map_default job apps in
+    Printf.printf "%-18s %5s %10s %7s %10s %8s %9s\n" "app" "mode" "replayed"
+      "seeded" "seed-hits" "queries" "wall-s";
+    let t_queries = ref 0 and t_replayed = ref 0 and t_mods = ref 0 in
+    List.iter
+      (fun (app, warm, (r : Trim.Pipeline.report)) ->
+         let modules = List.length r.Trim.Pipeline.module_results in
+         let replayed = List.length r.Trim.Pipeline.replayed_modules in
+         t_queries := !t_queries + r.Trim.Pipeline.total_oracle_queries;
+         t_replayed := !t_replayed + replayed;
+         t_mods := !t_mods + modules;
+         Printf.printf "%-18s %5s %7d/%2d %7d %10d %8d %9.2f\n" app
+           (if warm then "warm" else "cold") replayed modules
+           r.Trim.Pipeline.warm_seeded r.Trim.Pipeline.warm_seed_hits
+           r.Trim.Pipeline.total_oracle_queries
+           r.Trim.Pipeline.debloat_wall_s)
+      rows;
+    Printf.printf
+      "Total: %d/%d modules replayed, %d oracle queries across %d apps\n"
+      !t_replayed !t_mods !t_queries (List.length rows)
+  in
+  Cmd.v
+    (Cmd.info "redebloat"
+       ~doc:"Re-debloat applications incrementally against per-app manifests \
+             kept under $(b,--state), fanning the apps out over the worker \
+             pool.")
+    Term.(const run $ apps_arg $ state_arg $ k_arg $ scoring_arg
+          $ verbose_flag $ jobs_arg $ trace_arg $ backend_arg $ memo_dir_arg
+          $ memo_cap_arg)
 
 let main =
   Cmd.group
     (Cmd.info "ltrim" ~version:"1.0.0"
        ~doc:"Cost-driven debloating for serverless applications (lambda-trim).")
     [ list_cmd; analyze_cmd; profile_cmd; debloat_cmd; invoke_cmd; fleet_cmd;
-      calibrate_cmd; experiments_cmd ]
+      calibrate_cmd; experiments_cmd; redebloat_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -50,6 +50,10 @@ let all : entry list =
       description =
         "crash/resume journal and flaky-oracle quorum sweeps";
       print = Durability.print; csv = Some Durability.csv };
+    { id = "incremental";
+      description =
+        "incremental re-debloating: warm vs cold over a synthetic history";
+      print = Incremental.print; csv = Some Incremental.csv };
     { id = "abl-granularity";
       description = "attribute vs statement granularity ablation";
       print = Ablations.print_granularity; csv = None };

@@ -26,6 +26,11 @@ type stats = {
      debloater (DD itself only sees an opaque subset oracle). *)
   mutable oracle_cache_hits : int;
   mutable oracle_cache_misses : int;
+  (* warm-start accounting ({!minimize_with_seed}): confirming queries spent
+     testing a previous keep-set, and how many of them passed (a hit skips
+     the whole coarse-granularity descent). *)
+  mutable ws_queries : int;
+  mutable ws_hits : int;
 }
 
 type 'a step = {
@@ -81,7 +86,8 @@ let journal_keepset ~journal result =
 let minimize ?(on_step = fun (_ : 'a step) -> ()) ?journal ~oracle items =
   let stats =
     { oracle_queries = 0; cache_hits = 0; iterations = 0;
-      oracle_cache_hits = 0; oracle_cache_misses = 0 }
+      oracle_cache_hits = 0; oracle_cache_misses = 0;
+      ws_queries = 0; ws_hits = 0 }
   in
   let arr = Array.of_list items in
   let cache : (string, bool) Hashtbl.t = Hashtbl.create 64 in
@@ -327,6 +333,8 @@ let minimize_with_seed ?on_step ~oracle ~seed items =
     let kept, stats = minimize ?on_step ~oracle seed in
     (* +1 for the seed test itself *)
     stats.oracle_queries <- stats.oracle_queries + 1;
+    stats.ws_queries <- stats.ws_queries + 1;
+    stats.ws_hits <- stats.ws_hits + 1;
     (kept, stats, true)
   end
   else begin
@@ -334,6 +342,7 @@ let minimize_with_seed ?on_step ~oracle ~seed items =
     let stats =
       if seed_distinct <> List.sort_uniq compare items then begin
         stats.oracle_queries <- stats.oracle_queries + 1;
+        stats.ws_queries <- stats.ws_queries + 1;
         stats
       end
       else stats

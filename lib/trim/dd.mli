@@ -13,6 +13,12 @@ type stats = {
       (** queries answered by the observation memo ({!Oracle.Cache}) instead
           of fresh interpreters; filled in by the debloater *)
   mutable oracle_cache_misses : int;
+  mutable ws_queries : int;
+      (** warm-start confirmation queries issued by {!minimize_with_seed}
+          (testing a previous keep-set before searching) *)
+  mutable ws_hits : int;
+      (** warm-start confirmations that passed, skipping the
+          coarse-granularity descent entirely *)
 }
 
 type 'a step = {

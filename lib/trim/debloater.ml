@@ -116,7 +116,9 @@ let dd_minimize ?on_step ?pool ?journal ~oracle candidates =
         cache_hits = ps.Dd.p_cache_hits;
         iterations = ps.Dd.p_iterations;
         oracle_cache_hits = 0;
-        oracle_cache_misses = 0 } )
+        oracle_cache_misses = 0;
+        ws_queries = 0;
+        ws_hits = 0 } )
   | _ -> Dd.minimize ?on_step ?journal ~oracle candidates
 
 (* --- journal wiring --------------------------------------------------------
@@ -368,3 +370,157 @@ let debloat_module_seeded ?(oracle_cache = Oracle.Cache.global)
       result_of_stats ~module_name ~file ~all_attrs ~final_keep
         ~protected_list stats,
       seed_hit )
+
+(* --- incremental re-debloating (digest-diffed searches) -------------------
+
+   One module's DD search is a pure function of its *reachable image*: the
+   module's own library subtree (every file a query can read or rewrite),
+   the handler and test cases driving the oracle, the candidate/protected
+   split, and the execution configuration (backend, lazy-stub variant).
+   [module_search_digest] hashes exactly that set, so across two revisions
+   an equal digest means the search would replay move for move — the
+   recorded keep-set can be applied without a single oracle query — while
+   an unequal digest localizes re-search to the changed module.
+
+   The digest deliberately excludes files outside the module's top-level
+   library subtree. That is the same library-separability invariant the
+   parallel pipeline's per-root grouping rests on (see
+   Pipeline.debloat_parallel): a query for module [a.b] overlays only files
+   under [site-packages/a], so edits elsewhere cannot change its verdicts.
+   It also makes the digest identical between the sequential fold (where
+   earlier-ranked foreign modules are already trimmed in [d]) and the
+   parallel per-root group fold (where they are not) — hence warm runs are
+   [--jobs]-invariant. A module whose file does not live under
+   [site-packages/<root>] falls back to the whole image digest:
+   conservative, never wrong. *)
+
+let module_search_digest (d : Platform.Deployment.t) ~module_name ~file
+    ~protected_list ~candidates =
+  let vfs = d.Platform.Deployment.vfs in
+  let root =
+    match String.index_opt module_name '.' with
+    | Some i -> String.sub module_name 0 i
+    | None -> module_name
+  in
+  let subtree = "site-packages/" ^ root in
+  let in_subtree =
+    String.length file > String.length subtree
+    && String.sub file 0 (String.length subtree + 1) = subtree ^ "/"
+  in
+  let digest_of f =
+    match Minipy.Vfs.file_digest vfs f with Some dg -> dg | None -> "absent"
+  in
+  let scope =
+    if not in_subtree then [ "image"; Platform.Deployment.image_digest d ]
+    else
+      List.concat_map
+        (fun f -> [ f; digest_of f ])
+        (Minipy.Vfs.files_under vfs subtree)
+  in
+  let tests =
+    List.concat_map
+      (fun (tc : Platform.Deployment.test_case) ->
+         [ tc.Platform.Deployment.tc_name;
+           tc.Platform.Deployment.tc_event;
+           tc.Platform.Deployment.tc_context ])
+      d.Platform.Deployment.test_cases
+  in
+  let variant_tag =
+    match Minipy.Interp.lazy_config_of_vfs vfs with
+    | "eager" -> []
+    | lazy_cfg -> [ lazy_cfg ]
+  in
+  let parts =
+    List.concat
+      [ [ "ltrim-module/1";
+          Minipy.Backend.to_string (Minipy.Backend.current ()) ];
+        variant_tag;
+        [ module_name;
+          file;
+          d.Platform.Deployment.handler_file;
+          d.Platform.Deployment.handler_name;
+          digest_of d.Platform.Deployment.handler_file ];
+        "\x01" :: tests;
+        "\x02" :: protected_list;
+        "\x03" :: candidates;
+        "\x04" :: scope ]
+  in
+  Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+(* Digest for built-in modules: no file, no search, nothing to hash. *)
+let builtin_digest = "none"
+
+type search_kind =
+  | Fresh                 (* full DD: no baseline entry, or a builtin *)
+  | Replayed              (* digest unchanged: keep-set applied, zero queries *)
+  | Seeded of bool        (* digest changed: warm-started (did the seed hit?) *)
+
+(* Like [debloat_module], but consulting a previous run's manifest entry.
+   Digest unchanged → replay the recorded keep-set (no oracle traffic at
+   all). Digest changed → warm-start DD with the recorded keep-set as seed
+   (one confirming query; full ddmin on failure). No entry → fresh search.
+   Always returns the search digest so the caller can record a new
+   manifest. The fresh path honors [pool]/[journal] exactly like
+   [debloat_module]; replayed and seeded searches are sequential (a replay
+   has nothing to parallelize, a seeded search is expected to be tiny). *)
+let debloat_module_incremental ?(oracle_cache = Oracle.Cache.global) ?pool
+    ?journal ~(oracle : Platform.Deployment.t -> bool)
+    ~(protected : String_set.t) ~(baseline : Manifest.module_entry option)
+    (d : Platform.Deployment.t) ~module_name :
+  Platform.Deployment.t * module_result * search_kind * string =
+  match Minipy.Importer.init_file_of d.Platform.Deployment.vfs module_name with
+  | None -> (d, empty_result module_name, Fresh, builtin_digest)
+  | Some file ->
+    let source = Minipy.Vfs.read_exn d.Platform.Deployment.vfs file in
+    let prog = Minipy.Parse_cache.parse ~file source in
+    let all_attrs = Attrs.attrs_of_program prog in
+    let protected_list =
+      List.filter (fun a -> String_set.mem a protected) all_attrs
+    in
+    let candidates =
+      List.filter (fun a -> not (String_set.mem a protected)) all_attrs
+    in
+    let digest =
+      module_search_digest d ~module_name ~file ~protected_list ~candidates
+    in
+    (match baseline with
+     | Some e when String.equal e.Manifest.me_digest digest ->
+       (* unchanged reachable image: the recorded search replays exactly *)
+       let removed =
+         List.filter
+           (fun a -> List.mem a e.Manifest.me_removed)
+           all_attrs
+       in
+       let keep = List.filter (fun a -> not (List.mem a removed)) all_attrs in
+       let d' = with_restricted d ~file ~keep in
+       ( d',
+         { dm_module = module_name;
+           dm_file = file;
+           attrs_before = List.length all_attrs;
+           attrs_after = List.length keep;
+           removed_attrs = removed;
+           protected = protected_list;
+           oracle_queries = 0;
+           cache_hits = 0;
+           dd_iterations = 0;
+           oracle_cache_hits = 0;
+           oracle_cache_misses = 0 },
+         Replayed,
+         digest )
+     | Some e ->
+       let seed_keep =
+         List.filter
+           (fun a -> not (List.mem a e.Manifest.me_removed))
+           all_attrs
+       in
+       let d', r, hit =
+         debloat_module_seeded ~oracle_cache ~oracle ~protected ~seed_keep d
+           ~module_name
+       in
+       (d', r, Seeded hit, digest)
+     | None ->
+       let d', r =
+         debloat_module ~oracle_cache ?pool ?journal ~oracle ~protected d
+           ~module_name
+       in
+       (d', r, Fresh, digest))

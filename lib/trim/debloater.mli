@@ -108,3 +108,55 @@ val debloat_module_seeded :
   Platform.Deployment.t ->
   module_name:string ->
   Platform.Deployment.t * module_result * bool
+
+(** {1 Incremental re-debloating} *)
+
+(** The reachable-image digest of one module's DD search: md5 over the
+    module's top-level library subtree (path + content digest of every
+    file a query can read or rewrite), the handler file/name/content and
+    test cases driving the oracle, the candidate/protected split, the
+    execution backend, and the optimizer variant. Equal digests across two
+    revisions mean the search would replay move for move, so its recorded
+    keep-set can be applied without any oracle query.
+
+    Files outside the module's [site-packages/<root>] subtree are
+    deliberately excluded — the library-separability invariant the
+    parallel pipeline's per-root grouping already rests on — which also
+    makes the digest identical between the sequential fold and the
+    parallel group fold, keeping warm runs [--jobs]-invariant. A module
+    whose file lives outside its subtree falls back to the whole image
+    digest (conservative, never wrong). *)
+val module_search_digest :
+  Platform.Deployment.t ->
+  module_name:string ->
+  file:string ->
+  protected_list:string list ->
+  candidates:string list ->
+  string
+
+(** Digest recorded for built-in (non-file-backed) modules: ["none"]. *)
+val builtin_digest : string
+
+type search_kind =
+  | Fresh          (** full DD: no baseline entry, or a builtin module *)
+  | Replayed       (** digest unchanged: keep-set applied, zero queries *)
+  | Seeded of bool (** digest changed: warm-started ([true] = seed passed) *)
+
+(** [debloat_module_incremental ~baseline d ~module_name] is
+    {!debloat_module} consulting a previous run's manifest entry: an entry
+    with an unchanged {!module_search_digest} replays its recorded
+    keep-set with zero oracle traffic; a stale entry warm-starts DD with
+    the recorded keep-set as seed (one confirming query, full ddmin on
+    failure); no entry runs a fresh search. Returns the current search
+    digest for the caller's new manifest. [pool]/[journal] apply to the
+    fresh path only; replayed and seeded searches are sequential. *)
+val debloat_module_incremental :
+  ?oracle_cache:Oracle.Cache.t ->
+  ?pool:Parallel.Pool.t ->
+  ?journal:Journal.spec ->
+  oracle:(Platform.Deployment.t -> bool) ->
+  protected:String_set.t ->
+  baseline:Manifest.module_entry option ->
+  Platform.Deployment.t ->
+  module_name:string ->
+  Platform.Deployment.t * module_result * search_kind * string

@@ -37,10 +37,37 @@ module Cache : sig
   val hits : t -> int
   val misses : t -> int
 
-  (** Number of memoized (image, test case) observations. *)
+  (** Hits answered by the attached persistent store (a subset of
+      {!hits}); [<prefix>.store_hits]. *)
+  val store_hits : t -> int
+
+  (** In-memory entries dropped by the capacity bound;
+      [<prefix>.evicted]. *)
+  val evicted : t -> int
+
+  (** Number of memoized (image, test case) observations held in memory. *)
   val size : t -> int
 
-  (** Drop all entries and reset the hit/miss counters. *)
+  (** Bound the in-memory table. [None] (the default) is unbounded; with
+      [Some cap], inserting into a full table evicts the oldest in-memory
+      entries (FIFO). An attached persistent store is unaffected by
+      eviction — evicted keys re-promote from it on their next miss.
+      @raise Invalid_argument if [cap < 1]. *)
+  val set_capacity : t -> int option -> unit
+
+  val capacity : t -> int option
+
+  (** Attach (or with [None] detach) a persistent {!Memo_store} beneath
+      this cache: misses consult the store and promote hits into memory
+      (counted as a hit plus [<prefix>.store_hits]); fresh observations
+      write through durably. Off by default. *)
+  val attach_store : t -> Memo_store.t option -> unit
+
+  val backing : t -> Memo_store.t option
+
+  (** Drop all in-memory entries and reset the hit/miss/store-hit/evicted
+      counters. The attached persistent store (if any) keeps its
+      contents. *)
   val clear : t -> unit
 end
 

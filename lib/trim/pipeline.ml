@@ -22,6 +22,10 @@ type options = {
   oracle_inject : Chaos.injector option;  (* fault injection (chaos runs) *)
   oracle_cache : Oracle.Cache.t option;   (* private memo; default global *)
   quarantine_report : string option;      (* write divergence CSV here *)
+  (* incremental re-debloating (both off by default — with no baseline and
+     no manifest to write, stage 3 runs the exact historical code path) *)
+  baseline : Manifest.t option;           (* previous run's manifest *)
+  manifest_path : string option;          (* write this run's manifest here *)
 }
 
 let default_options =
@@ -33,7 +37,9 @@ let default_options =
     oracle_retries = 0;
     oracle_inject = None;
     oracle_cache = None;
-    quarantine_report = None }
+    quarantine_report = None;
+    baseline = None;
+    manifest_path = None }
 
 type cache_stats = {
   parse_hits : int;
@@ -54,6 +60,11 @@ type report = {
   total_oracle_queries : int;
   caches : cache_stats;               (* cache traffic during this run *)
   quarantined_tests : int;            (* hardened oracle's quarantine size *)
+  (* incremental accounting (empty/zero on non-incremental runs) *)
+  manifest : Manifest.t option;       (* this run's manifest, when requested *)
+  replayed_modules : string list;     (* digest-unchanged, zero queries *)
+  warm_seeded : int;                  (* modules warm-started from baseline *)
+  warm_seed_hits : int;               (* warm starts whose seed passed *)
 }
 
 let src = Logs.Src.create "lambda-trim" ~doc:"lambda-trim pipeline"
@@ -167,21 +178,22 @@ let make_oracle options (app : Platform.Deployment.t) =
    module's __init__). That is the bit-identical-CSV guarantee. Each group
    task additionally fans its DD oracle batches out on the same pool
    (nested submission is safe). *)
-let debloat_parallel ?oracle_cache ?journal ~options ~analysis ~jobs ~oracle
-    (app : Platform.Deployment.t) ranked =
+let group_by_root ranked : (string * string list) list =
   let root m =
     match String.index_opt m '.' with Some i -> String.sub m 0 i | None -> m
   in
-  let groups : (string * string list) list =
-    List.fold_left
-      (fun acc m ->
-         let r = root m in
-         match List.assoc_opt r acc with
-         | Some ms -> (r, m :: ms) :: List.remove_assoc r acc
-         | None -> (r, [ m ]) :: acc)
-      [] ranked
-    |> List.rev_map (fun (r, ms) -> (r, List.rev ms))
-  in
+  List.fold_left
+    (fun acc m ->
+       let r = root m in
+       match List.assoc_opt r acc with
+       | Some ms -> (r, m :: ms) :: List.remove_assoc r acc
+       | None -> (r, [ m ]) :: acc)
+    [] ranked
+  |> List.rev_map (fun (r, ms) -> (r, List.rev ms))
+
+(* Run [f] on the configured pool when its size matches [jobs], else on a
+   transient pool shut down afterwards. *)
+let with_group_pool ~jobs f =
   let pool, transient =
     match Parallel.Pool.configured () with
     | Some p when Parallel.Pool.size p = jobs -> (p, false)
@@ -189,49 +201,102 @@ let debloat_parallel ?oracle_cache ?journal ~options ~analysis ~jobs ~oracle
   in
   Fun.protect
     ~finally:(fun () -> if transient then Parallel.Pool.shutdown pool)
-    (fun () ->
-       let group_results =
-         Parallel.Pool.map pool
-           (fun (_root, modules) ->
-              let _, results =
-                List.fold_left
-                  (fun (d, acc) module_name ->
-                     let protected =
-                       Static_analyzer.protected_attrs analysis ~module_name
-                     in
-                     let d', r =
-                       Debloater.debloat_module ?oracle_cache ?journal ~pool
-                         ~oracle ~protected d ~module_name
-                     in
-                     (d', r :: acc))
-                  (app, []) modules
-              in
-              List.rev results)
-           groups
-       in
-       (* back to global ranking order, as the sequential fold reports *)
-       let by_module = Hashtbl.create 32 in
-       List.iter
-         (List.iter (fun r -> Hashtbl.replace by_module r.Debloater.dm_module r))
-         group_results;
-       let module_results =
-         List.map (fun m -> Hashtbl.find by_module m) ranked
-       in
-       if options.log then
-         List.iter
-           (fun r -> Log.info (fun m -> m "%a" Debloater.pp_module_result r))
-           module_results;
-       let optimized =
-         List.fold_left Debloater.apply_result app module_results
-       in
-       (optimized, module_results))
+    (fun () -> f pool)
+
+(* Fan per-root groups out on the pool, each group folded sequentially
+   against the input [app] by [step pool d module_name]; merge the
+   [Debloater.module_result]s (projected by [result_of]) back in global
+   ranking order and rebuild the output deployment. *)
+let debloat_grouped ~options ~jobs ~result_of ~step
+    (app : Platform.Deployment.t) ranked =
+  with_group_pool ~jobs (fun pool ->
+      let group_results =
+        Parallel.Pool.map pool
+          (fun (_root, modules) ->
+             let _, results =
+               List.fold_left
+                 (fun (d, acc) module_name ->
+                    let d', r = step pool d module_name in
+                    (d', r :: acc))
+                 (app, []) modules
+             in
+             List.rev results)
+          (group_by_root ranked)
+      in
+      (* back to global ranking order, as the sequential fold reports *)
+      let by_module = Hashtbl.create 32 in
+      List.iter
+        (List.iter (fun r ->
+             Hashtbl.replace by_module (result_of r).Debloater.dm_module r))
+        group_results;
+      let entries = List.map (fun m -> Hashtbl.find by_module m) ranked in
+      let module_results = List.map result_of entries in
+      if options.log then
+        List.iter
+          (fun r -> Log.info (fun m -> m "%a" Debloater.pp_module_result r))
+          module_results;
+      let optimized =
+        List.fold_left Debloater.apply_result app module_results
+      in
+      (optimized, entries))
+
+let debloat_parallel ?oracle_cache ?journal ~options ~analysis ~jobs ~oracle
+    (app : Platform.Deployment.t) ranked =
+  let optimized, results =
+    debloat_grouped ~options ~jobs ~result_of:Fun.id
+      ~step:(fun pool d module_name ->
+          let protected =
+            Static_analyzer.protected_attrs analysis ~module_name
+          in
+          Debloater.debloat_module ?oracle_cache ?journal ~pool ~oracle
+            ~protected d ~module_name)
+      app ranked
+  in
+  (optimized, results)
+
+(* Incremental parallel mode: identical grouping, but each module first
+   diffs its search digest against the baseline manifest. The digest hashes
+   only the module's own library subtree plus the oracle configuration
+   (see Debloater.module_search_digest), so it is the same value the
+   sequential fold computes — replay/seed decisions, counters and keep-sets
+   are [--jobs]-invariant. *)
+let debloat_parallel_incremental ?oracle_cache ?journal ~options ~analysis
+    ~jobs ~oracle ~baseline (app : Platform.Deployment.t) ranked =
+  debloat_grouped ~options ~jobs
+    ~result_of:(fun (r, _kind, _digest) -> r)
+    ~step:(fun pool d module_name ->
+        let protected =
+          Static_analyzer.protected_attrs analysis ~module_name
+        in
+        let entry =
+          Option.bind baseline (fun m -> Manifest.find_module m module_name)
+        in
+        let d', r, kind, digest =
+          Debloater.debloat_module_incremental ?oracle_cache ?journal ~pool
+            ~oracle ~protected ~baseline:entry d ~module_name
+        in
+        (d', (r, kind, digest)))
+    app ranked
 
 let run ?(options = default_options) ?jobs (app : Platform.Deployment.t) :
   report =
   let jobs = match jobs with Some j -> j | None -> Parallel.Pool.jobs () in
   if jobs < 1 then invalid_arg "Pipeline.run: jobs < 1";
+  (* A baseline for a different app is operator error; ignore it rather
+     than let [find_module] silently miss every entry. *)
+  let baseline =
+    match options.baseline with
+    | Some m when String.equal m.Manifest.mf_app app.Platform.Deployment.name
+      ->
+      Some m
+    | _ -> None
+  in
+  (* the incremental stage-3 path runs only when asked for: with neither a
+     baseline nor a manifest to write, the historical code path runs
+     untouched (and byte-identical) *)
+  let incremental = baseline <> None || options.manifest_path <> None in
   let wall_start = Unix.gettimeofday () in
-  let (analysis, profile, ranked, optimized, module_results, hardened), caches
+  let (analysis, profile, ranked, optimized, entries, hardened), caches
     =
     with_cache_stats (fun () ->
         obs_phase "pipeline:run" (fun () ->
@@ -261,18 +326,20 @@ let run ?(options = default_options) ?jobs (app : Platform.Deployment.t) :
            debloats the top-K sequentially). With [jobs > 1] the modules
            are searched concurrently and merged in ranking order — same
            output, see [debloat_parallel]. *)
-        let optimized, module_results, hardened =
+        let optimized, entries, hardened =
           obs_phase "phase:debloat" (fun () ->
               let journal = journal_spec options app in
               let oracle, hardened = make_oracle options app in
-              if jobs > 1 then begin
+              match (incremental, jobs > 1) with
+              | false, true ->
                 let optimized, module_results =
                   debloat_parallel ?oracle_cache:options.oracle_cache
                     ?journal ~options ~analysis ~jobs ~oracle app ranked
                 in
-                (optimized, module_results, hardened)
-              end
-              else begin
+                ( optimized,
+                  List.map (fun r -> (r, Debloater.Fresh, "")) module_results,
+                  hardened )
+              | false, false ->
                 let optimized, module_results =
                   List.fold_left
                     (fun (d, results) module_name ->
@@ -290,10 +357,41 @@ let run ?(options = default_options) ?jobs (app : Platform.Deployment.t) :
                        (d', r :: results))
                     (app, []) ranked
                 in
-                (optimized, List.rev module_results, hardened)
-              end)
+                ( optimized,
+                  List.rev_map (fun r -> (r, Debloater.Fresh, "")) module_results,
+                  hardened )
+              | true, true ->
+                let optimized, entries =
+                  debloat_parallel_incremental
+                    ?oracle_cache:options.oracle_cache ?journal ~options
+                    ~analysis ~jobs ~oracle ~baseline app ranked
+                in
+                (optimized, entries, hardened)
+              | true, false ->
+                let optimized, entries =
+                  List.fold_left
+                    (fun (d, entries) module_name ->
+                       let protected =
+                         Static_analyzer.protected_attrs analysis ~module_name
+                       in
+                       let entry =
+                         Option.bind baseline (fun m ->
+                             Manifest.find_module m module_name)
+                       in
+                       let d', r, kind, digest =
+                         Debloater.debloat_module_incremental
+                           ?oracle_cache:options.oracle_cache ?journal ~oracle
+                           ~protected ~baseline:entry d ~module_name
+                       in
+                       if options.log then
+                         Log.info
+                           (fun m -> m "%a" Debloater.pp_module_result r);
+                       (d', (r, kind, digest) :: entries))
+                    (app, []) ranked
+                in
+                (optimized, List.rev entries, hardened))
         in
-        (analysis, profile, ranked, optimized, module_results, hardened)))
+        (analysis, profile, ranked, optimized, entries, hardened)))
   in
   (match options.quarantine_report with
    | Some path ->
@@ -304,6 +402,51 @@ let run ?(options = default_options) ?jobs (app : Platform.Deployment.t) :
      in
      Journal.write_file_atomic ~path contents
    | None -> ());
+  let module_results = List.map (fun (r, _, _) -> r) entries in
+  let replayed_modules =
+    List.filter_map
+      (fun ((r : Debloater.module_result), kind, _) ->
+         match kind with
+         | Debloater.Replayed -> Some r.Debloater.dm_module
+         | _ -> None)
+      entries
+  in
+  let warm_seeded, warm_seed_hits =
+    List.fold_left
+      (fun (s, h) (_, kind, _) ->
+         match kind with
+         | Debloater.Seeded hit -> (s + 1, if hit then h + 1 else h)
+         | _ -> (s, h))
+      (0, 0) entries
+  in
+  let manifest =
+    if not incremental then None
+    else
+      Some
+        { Manifest.mf_app = app.Platform.Deployment.name;
+          mf_backend = Minipy.Backend.to_string (Minipy.Backend.current ());
+          mf_variant =
+            Minipy.Interp.lazy_config_of_vfs app.Platform.Deployment.vfs;
+          mf_scoring = Scoring.method_name options.scoring;
+          mf_k = options.k;
+          mf_input_digest = Platform.Deployment.image_digest app;
+          mf_output_digest = Platform.Deployment.image_digest optimized;
+          mf_ranked = ranked;
+          mf_modules =
+            List.map2
+              (fun m ((r : Debloater.module_result), _, digest) ->
+                 { Manifest.me_module = m;
+                   me_file = r.Debloater.dm_file;
+                   me_digest = digest;
+                   me_removed = r.Debloater.removed_attrs;
+                   me_queries = r.Debloater.oracle_queries;
+                   me_cache_hits = r.Debloater.cache_hits;
+                   me_iterations = r.Debloater.dd_iterations })
+              ranked entries }
+  in
+  (match (options.manifest_path, manifest) with
+   | Some path, Some m -> Manifest.save ~path m
+   | _ -> ());
   { app_name = app.Platform.Deployment.name;
     original = app;
     optimized;
@@ -319,7 +462,11 @@ let run ?(options = default_options) ?jobs (app : Platform.Deployment.t) :
     quarantined_tests =
       (match hardened with
        | Some h -> Oracle.Hardened.quarantined h
-       | None -> 0) }
+       | None -> 0);
+    manifest;
+    replayed_modules;
+    warm_seeded;
+    warm_seed_hits }
 
 (* Total attributes removed across all debloated modules. *)
 let attrs_removed (r : report) =
@@ -438,6 +585,10 @@ let run_continuous ?(options = default_options)
           List.fold_left (fun acc r -> acc + r.Debloater.oracle_queries) 0
             module_results;
         caches;
-        quarantined_tests = 0 };
+        quarantined_tests = 0;
+        manifest = None;
+        replayed_modules = [];
+        warm_seeded = seeded;
+        warm_seed_hits = seed_hits };
     seed_hits;
     seeded_modules = seeded }

@@ -28,6 +28,15 @@ type options = {
           runs must use a private memo so poison never reaches other runs *)
   quarantine_report : string option;
       (** write the divergence-classification CSV here (atomically) *)
+  baseline : Manifest.t option;
+      (** a previous run's manifest: modules whose
+          {!Debloater.module_search_digest} is unchanged replay their
+          recorded keep-set with zero oracle queries, changed modules
+          warm-start DD from the recorded keep-set, unknown modules run
+          fresh. A manifest for a different app is ignored. Warm keep-sets
+          are bit-identical to a cold run's at any [jobs] *)
+  manifest_path : string option;
+      (** write this run's manifest here (atomically, after the run) *)
 }
 
 val default_options : options
@@ -56,6 +65,14 @@ type report = {
   caches : cache_stats;
   quarantined_tests : int;
       (** tests the hardened oracle quarantined; 0 when not hardened *)
+  manifest : Manifest.t option;
+      (** this run's manifest — present iff a [baseline] or
+          [manifest_path] was given *)
+  replayed_modules : string list;
+      (** baseline modules whose digest was unchanged: recorded keep-set
+          applied, zero oracle queries *)
+  warm_seeded : int;   (** modules warm-started from a stale baseline entry *)
+  warm_seed_hits : int;  (** warm starts whose seed passed confirmation *)
 }
 
 val src : Logs.src
